@@ -1,0 +1,143 @@
+//! Per-gate stress extraction and netlist-wide aging factors.
+
+use agemul_netlist::{Netlist, WorkloadStats};
+
+use crate::BtiModel;
+
+/// Extracts each gate's output-high probability from workload statistics.
+///
+/// The returned vector is indexable by [`agemul_netlist::GateId::index`] and is the `S`
+/// input of the BTI model: the pull-up network is NBTI-stressed while the
+/// output is high, the pull-down PBTI-stressed while it is low.
+pub fn stress_probabilities(netlist: &Netlist, stats: &WorkloadStats) -> Vec<f64> {
+    netlist
+        .gates()
+        .iter()
+        .map(|g| stats.net_high_probability(g.output()))
+        .collect()
+}
+
+/// Computes per-gate-instance delay degradation factors after `years` of
+/// operation under the workload summarized by `stats`.
+///
+/// The result plugs into
+/// [`agemul_netlist::DelayAssignment::with_factors`] to build an aged
+/// timing view of the circuit. Gates that the workload never exercises
+/// still age (their stress probability defaults to the 0.5 prior), which
+/// mirrors the paper's static/dynamic BTI distinction: an idle gate held at
+/// a fixed level experiences *static* stress on one network.
+///
+/// # Example
+///
+/// ```
+/// use agemul_aging::{aging_factors, BtiModel};
+/// use agemul_logic::{GateKind, Logic, Technology};
+/// use agemul_netlist::{Netlist, WorkloadStats};
+///
+/// let mut n = Netlist::new();
+/// let a = n.add_input("a");
+/// let y = n.add_gate(GateKind::Not, &[a])?;
+/// n.mark_output(y, "y");
+/// let topo = n.topology()?;
+///
+/// let mut stats = WorkloadStats::new(&n);
+/// stats.observe_patterns(&n, &topo, [[Logic::Zero], [Logic::One]])?;
+///
+/// let model = BtiModel::calibrated(Technology::ptm_32nm_hk(), 1.13);
+/// let factors = aging_factors(&n, &stats, &model, 7.0);
+/// assert_eq!(factors.len(), 1);
+/// assert!(factors[0] > 1.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn aging_factors(
+    netlist: &Netlist,
+    stats: &WorkloadStats,
+    model: &BtiModel,
+    years: f64,
+) -> Vec<f64> {
+    stress_probabilities(netlist, stats)
+        .into_iter()
+        .map(|p_high| model.delay_factor(years, p_high))
+        .collect()
+}
+
+/// Convenience: the single delay factor of the most-stressed gate — an
+/// upper bound on how much any path can stretch.
+pub fn worst_gate_factor(factors: &[f64]) -> f64 {
+    factors.iter().copied().fold(1.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_logic::{GateKind, Logic, Technology};
+    use agemul_netlist::Netlist;
+
+    use super::*;
+
+    fn fixture() -> (Netlist, WorkloadStats) {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        let z = n.add_gate(GateKind::Or, &[a, b]).unwrap();
+        n.mark_output(y, "y");
+        n.mark_output(z, "z");
+        let topo = n.topology().unwrap();
+        let mut stats = WorkloadStats::new(&n);
+        // Uniform two-bit workload: AND high 1/4, OR high 3/4.
+        let pats = [
+            [Logic::Zero, Logic::Zero],
+            [Logic::Zero, Logic::One],
+            [Logic::One, Logic::Zero],
+            [Logic::One, Logic::One],
+        ];
+        stats.observe_patterns(&n, &topo, pats).unwrap();
+        (n, stats)
+    }
+
+    #[test]
+    fn stress_matches_output_probability() {
+        let (n, stats) = fixture();
+        let s = stress_probabilities(&n, &stats);
+        assert!((s[0] - 0.25).abs() < 1e-12);
+        assert!((s[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factors_cover_all_gates_and_exceed_one() {
+        let (n, stats) = fixture();
+        let model = BtiModel::calibrated(Technology::ptm_32nm_hk(), 1.13);
+        let f = aging_factors(&n, &stats, &model, 7.0);
+        assert_eq!(f.len(), n.gate_count());
+        assert!(f.iter().all(|&x| x > 1.0));
+    }
+
+    #[test]
+    fn skewed_duty_ages_slower_than_balanced() {
+        // α(S) = Sⁿ with n = 1/6 is very flat, so the balanced gate (both
+        // networks stressed half the time) has the worst *average* factor;
+        // the skewed 0.25/0.75 pair sits strictly below it.
+        let (n, stats) = fixture();
+        let model = BtiModel::calibrated(Technology::ptm_32nm_hk(), 1.13);
+        let f = aging_factors(&n, &stats, &model, 7.0);
+        let balanced = model.delay_factor(7.0, 0.5);
+        assert!(f[0] < balanced);
+        assert!(f[1] < balanced);
+        // And by NBTI/PBTI symmetry the two complementary gates match.
+        assert!((f[0] - f[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_years_is_identity() {
+        let (n, stats) = fixture();
+        let model = BtiModel::calibrated(Technology::ptm_32nm_hk(), 1.13);
+        let f = aging_factors(&n, &stats, &model, 0.0);
+        assert!(f.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn worst_factor_is_max() {
+        assert_eq!(worst_gate_factor(&[1.1, 1.3, 1.2]), 1.3);
+        assert_eq!(worst_gate_factor(&[]), 1.0);
+    }
+}

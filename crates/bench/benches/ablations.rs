@@ -1,0 +1,108 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`.
+//!
+//! These are *quality* ablations dressed as benches: each bench replays
+//! the same profiled workload under one design-knob variation, and the
+//! interesting output is the measured latency printed alongside the
+//! throughput numbers. Criterion keeps them regression-tracked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use agemul::{run_engine, AhlConfig, EngineConfig, RazorConfig};
+use agemul_bench::Fixture;
+
+fn bench_skip_number(c: &mut Criterion) {
+    let fixture = Fixture::column_bypass_16(4_096);
+    let mut g = c.benchmark_group("ablation_skip");
+    for skip in [5u32, 6, 7, 8, 9, 10, 11] {
+        let cfg = EngineConfig::adaptive(0.95, skip);
+        let m = run_engine(&fixture.profile, &cfg);
+        g.bench_function(
+            format!(
+                "skip{skip}_lat{:.3}ns_err{:.0}",
+                m.avg_latency_ns(),
+                m.errors_per_10k_cycles()
+            ),
+            |b| b.iter(|| run_engine(&fixture.profile, &cfg)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_aging_indicator(c: &mut Criterion) {
+    let fixture = Fixture::column_bypass_16(4_096);
+    let mut g = c.benchmark_group("ablation_ahl");
+    for (label, ahl) in [
+        ("paper_10pct_sticky", AhlConfig::paper()),
+        (
+            "5pct_sticky",
+            AhlConfig {
+                error_threshold: 5,
+                ..AhlConfig::paper()
+            },
+        ),
+        (
+            "20pct_sticky",
+            AhlConfig {
+                error_threshold: 20,
+                ..AhlConfig::paper()
+            },
+        ),
+        (
+            "10pct_oscillating",
+            AhlConfig {
+                sticky: false,
+                ..AhlConfig::paper()
+            },
+        ),
+    ] {
+        let cfg = EngineConfig {
+            ahl,
+            ..EngineConfig::adaptive(0.80, 7)
+        };
+        let m = run_engine(&fixture.profile, &cfg);
+        g.bench_function(
+            format!("{label}_lat{:.3}ns", m.avg_latency_ns()),
+            |b| b.iter(|| run_engine(&fixture.profile, &cfg)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_razor_penalty(c: &mut Criterion) {
+    let fixture = Fixture::column_bypass_16(4_096);
+    let mut g = c.benchmark_group("ablation_razor");
+    for penalty in [1u32, 2, 3, 5] {
+        let cfg = EngineConfig {
+            error_penalty_cycles: penalty,
+            ..EngineConfig::adaptive(0.85, 7)
+        };
+        let m = run_engine(&fixture.profile, &cfg);
+        g.bench_function(
+            format!("penalty{penalty}_lat{:.3}ns", m.avg_latency_ns()),
+            |b| b.iter(|| run_engine(&fixture.profile, &cfg)),
+        );
+    }
+    // Shrunken detection window: silent corruptions appear.
+    for window in [1.0f64, 0.25] {
+        let cfg = EngineConfig {
+            razor: RazorConfig {
+                window_factor: window,
+            },
+            ..EngineConfig::adaptive(0.70, 7)
+        };
+        let m = run_engine(&fixture.profile, &cfg);
+        g.bench_function(
+            format!("window{window}_undetected{}", m.undetected),
+            |b| b.iter(|| run_engine(&fixture.profile, &cfg)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_skip_number,
+    bench_aging_indicator,
+    bench_razor_penalty
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Architecture hot-path benches: profile replay through the engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use agemul::{run_engine, run_fixed_latency, EngineConfig};
+use agemul_bench::Fixture;
+
+fn bench_engine_replay(c: &mut Criterion) {
+    let fixture = Fixture::column_bypass_16(4_096);
+    let mut g = c.benchmark_group("engine");
+
+    g.bench_function("adaptive_replay_4096", |b| {
+        let cfg = EngineConfig::adaptive(0.95, 7);
+        b.iter(|| run_engine(&fixture.profile, &cfg))
+    });
+    g.bench_function("traditional_replay_4096", |b| {
+        let cfg = EngineConfig::traditional(0.95, 7);
+        b.iter(|| run_engine(&fixture.profile, &cfg))
+    });
+    g.bench_function("fixed_latency_4096", |b| {
+        b.iter(|| run_fixed_latency(4_096, 1.734))
+    });
+    // A full Fig. 13-style sweep: 15 periods × 3 skips, two engines each.
+    g.bench_function("fig13_style_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for step in 0..15 {
+                let period = 0.60 + 0.05 * f64::from(step);
+                for skip in [7u32, 8, 9] {
+                    acc += run_engine(&fixture.profile, &EngineConfig::adaptive(period, skip))
+                        .avg_latency_ns();
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_replay);
+criterion_main!(benches);

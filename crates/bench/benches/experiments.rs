@@ -1,0 +1,63 @@
+//! End-to-end regeneration benches for the paper's artifacts.
+//!
+//! One bench per table/figure family. The cheap artifacts run whole; the
+//! timing-simulation-bound figures (5, 6, 13–24, 26, 27) are all dominated
+//! by the same two kernels, benched here at reduced pattern counts:
+//! `profile_building` (event-driven workload profiling — the cost of
+//! Figs. 5/6/13–24/26/27) and `aging_factors` (the per-gate BTI pass used
+//! by Figs. 7/19–24/26/27).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use agemul_aging::{aging_factors, BtiModel};
+use agemul_bench::Fixture;
+use agemul_logic::Technology;
+use agemul_repro::{experiments, Context, Scale};
+
+fn bench_cheap_artifacts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("artifacts");
+    g.sample_size(10);
+    for id in ["table1", "table2", "fig9-10", "fig25"] {
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let mut ctx = Context::new(Scale::Quick);
+                experiments::run_by_id(&mut ctx, id).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_profile_building(c: &mut Criterion) {
+    let fixture = Fixture::column_bypass_16(1);
+    let patterns = agemul::PatternSet::uniform(16, 256, 7);
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10);
+    g.bench_function("profile_256_patterns_cb16", |b| {
+        b.iter(|| fixture.design.profile(patterns.pairs(), None).unwrap())
+    });
+    g.bench_function("critical_delay_cb16", |b| {
+        b.iter(|| fixture.design.critical_delay_ns(None).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_aging_pass(c: &mut Criterion) {
+    let fixture = Fixture::column_bypass_16(64);
+    let stats = fixture
+        .design
+        .workload_stats(fixture.patterns.pairs())
+        .unwrap();
+    let bti = BtiModel::calibrated(Technology::ptm_32nm_hk(), 1.132);
+    c.bench_function("kernels/aging_factors_cb16", |b| {
+        b.iter(|| aging_factors(fixture.design.circuit().netlist(), &stats, &bti, 7.0))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cheap_artifacts,
+    bench_profile_building,
+    bench_aging_pass
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Substrate microbenches: generation, validation, simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use agemul_circuits::{MultiplierCircuit, MultiplierKind};
+use agemul_logic::{DelayModel, Logic};
+use agemul_netlist::{static_critical_path_ns, DelayAssignment, EventSim, FuncSim};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate");
+    for kind in MultiplierKind::ALL {
+        g.bench_function(format!("{}16", kind.label()), |b| {
+            b.iter(|| MultiplierCircuit::generate(kind, 16).unwrap())
+        });
+    }
+    g.bench_function("CB32", |b| {
+        b.iter(|| MultiplierCircuit::generate(MultiplierKind::ColumnBypass, 32).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_topology_and_sta(c: &mut Criterion) {
+    let m = MultiplierCircuit::generate(MultiplierKind::ColumnBypass, 16).unwrap();
+    let delays = DelayAssignment::uniform(m.netlist(), &DelayModel::nominal());
+    c.bench_function("topology/CB16", |b| b.iter(|| m.netlist().topology().unwrap()));
+    c.bench_function("sta/CB16", |b| {
+        b.iter(|| static_critical_path_ns(m.netlist(), &delays).unwrap())
+    });
+}
+
+fn bench_func_sim(c: &mut Criterion) {
+    let m = MultiplierCircuit::generate(MultiplierKind::ColumnBypass, 16).unwrap();
+    let topo = m.netlist().topology().unwrap();
+    let mut sim = FuncSim::new(m.netlist(), &topo);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("func_sim/CB16_eval", |b| {
+        b.iter_batched(
+            || {
+                let a = rng.gen::<u64>() & 0xFFFF;
+                let bb = rng.gen::<u64>() & 0xFFFF;
+                m.encode_inputs(a, bb).unwrap()
+            },
+            |inputs| sim.eval(&inputs).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_event_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_sim");
+    for (label, kind, width) in [
+        ("AM16", MultiplierKind::Array, 16usize),
+        ("CB16", MultiplierKind::ColumnBypass, 16),
+        ("RB16", MultiplierKind::RowBypass, 16),
+        ("CB32", MultiplierKind::ColumnBypass, 32),
+    ] {
+        let m = MultiplierCircuit::generate(kind, width).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let delays = DelayAssignment::uniform(m.netlist(), &DelayModel::nominal());
+        let mut sim = EventSim::new(m.netlist(), &topo, delays);
+        sim.settle(&vec![Logic::Zero; 2 * width]).unwrap();
+        let mask = (1u64 << width) - 1;
+        let mut rng = StdRng::seed_from_u64(2);
+        g.bench_function(format!("{label}_step"), |b| {
+            b.iter_batched(
+                || {
+                    m.encode_inputs(rng.gen::<u64>() & mask, rng.gen::<u64>() & mask)
+                        .unwrap()
+                },
+                |inputs| sim.step(&inputs).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_topology_and_sta,
+    bench_func_sim,
+    bench_event_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Shared fixtures for the `agemul` Criterion benches.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `simulator` — microbenches of the substrate: netlist generation,
+//!   topology validation, functional evaluation, event-driven stepping,
+//!   static timing analysis.
+//! * `engine` — the architecture hot path: profile replay through the
+//!   variable-latency engine under the paper's configurations.
+//! * `experiments` — end-to-end regeneration of the cheap paper artifacts
+//!   (Tables I/II, Figs. 9/10, Fig. 25) plus profile-building throughput,
+//!   which dominates every heavier figure.
+//! * `ablations` — design-choice sweeps called out in `DESIGN.md`: skip
+//!   number, aging-indicator threshold and stickiness, Razor penalty and
+//!   detection window, and adaptive-vs-traditional hold logic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use agemul::{MultiplierDesign, PatternProfile, PatternSet};
+use agemul_circuits::MultiplierKind;
+
+/// A ready-to-replay 16×16 column-bypassing fixture shared by the benches.
+pub struct Fixture {
+    /// The design under test.
+    pub design: MultiplierDesign,
+    /// A profiled uniform workload.
+    pub profile: PatternProfile,
+    /// The workload itself.
+    pub patterns: PatternSet,
+}
+
+impl Fixture {
+    /// Builds the standard fixture: 16×16 CB, `count` uniform patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if generation or profiling fails (benches treat that as a
+    /// broken workspace).
+    pub fn column_bypass_16(count: usize) -> Self {
+        let design = MultiplierDesign::new(MultiplierKind::ColumnBypass, 16)
+            .expect("16 is a supported width");
+        let patterns = PatternSet::uniform(16, count, 0xBE7C);
+        let profile = design
+            .profile(patterns.pairs(), None)
+            .expect("profiling a valid workload succeeds");
+        Fixture {
+            design,
+            profile,
+            patterns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds() {
+        let f = Fixture::column_bypass_16(32);
+        assert_eq!(f.profile.len(), 32);
+        assert_eq!(f.patterns.len(), 32);
+    }
+}

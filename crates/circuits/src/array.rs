@@ -1,0 +1,138 @@
+//! The normal array multiplier (paper Fig. 1).
+
+use agemul_netlist::{Bus, Netlist, NetlistError};
+
+use crate::cells::full_adder;
+use crate::common::{operand_buses, partial_products, CsaState};
+use crate::multiplier::MultiplierParts;
+use crate::CircuitError;
+
+/// Builds the n×n array multiplier: a carry-save adder array whose FAs are
+/// always active, closed by a ripple row for the upper product bits.
+///
+/// Structure (weights tracked via [`CsaState`]): row `j ∈ 1..n` adds the
+/// `b_j` partial-product row; each row retires its position-0 sum as product
+/// bit `p_{j-1}`; the final ripple row merges the remaining sums and carries
+/// into `p_n..p_{2n-1}`.
+pub(crate) fn build(width: usize) -> Result<MultiplierParts, CircuitError> {
+    let mut n = Netlist::new();
+    let (a, b) = operand_buses(&mut n, width);
+    let pp = partial_products(&mut n, &a, &b)?;
+    let mut st = CsaState::from_row0(&mut n, &pp);
+
+    for j in 1..width {
+        st.retire_product_bit();
+        let mut sums = Vec::with_capacity(width);
+        let mut carries = Vec::with_capacity(width);
+        for i in 0..width {
+            let x = st.sum_from_above(&mut n, i);
+            let bits = full_adder(&mut n, x, pp[i][j], st.carries[i])?;
+            sums.push(bits.sum);
+            carries.push(bits.carry);
+        }
+        st.sums = sums;
+        st.carries = carries;
+    }
+    st.retire_product_bit();
+
+    finish_ripple_row(&mut n, &mut st, None)?;
+    let product = finalize_outputs(&mut n, &st);
+    Ok(MultiplierParts {
+        netlist: n,
+        a,
+        b,
+        product,
+    })
+}
+
+/// Appends the final ripple row, optionally masking each incoming carry with
+/// an AND gate (used by the column-bypassing multiplier, whose skipped
+/// diagonals leave stale carries that must be forced to zero).
+pub(crate) fn finish_ripple_row(
+    n: &mut Netlist,
+    st: &mut CsaState,
+    carry_masks: Option<&Bus>,
+) -> Result<(), NetlistError> {
+    let width = st.carries.len();
+    let mut ripple = n.const_zero();
+    for k in 0..width {
+        let x = st.sum_from_above(n, k);
+        let y = match carry_masks {
+            Some(masks) => n.add_gate(
+                agemul_logic::GateKind::And,
+                &[st.carries[k], masks.net(k)],
+            )?,
+            None => st.carries[k],
+        };
+        let bits = full_adder(n, x, y, ripple)?;
+        st.product_bits.push(bits.sum);
+        ripple = bits.carry;
+    }
+    // The final carry out is structurally zero for in-range operands
+    // (a·b < 2^{2n}) and is dropped.
+    Ok(())
+}
+
+/// Marks the accumulated product bits as primary outputs `p0..`.
+pub(crate) fn finalize_outputs(n: &mut Netlist, st: &CsaState) -> Bus {
+    for (k, &bit) in st.product_bits.iter().enumerate() {
+        n.mark_output(bit, format!("p{k}"));
+    }
+    Bus::new(st.product_bits.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_netlist::FuncSim;
+
+    use crate::{MultiplierCircuit, MultiplierKind};
+
+    #[test]
+    fn four_bit_exhaustive() {
+        let m = MultiplierCircuit::generate(MultiplierKind::Array, 4).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+                assert_eq!(
+                    m.product().decode(sim.values()),
+                    Some((a * b) as u128),
+                    "{a} × {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn product_width_is_double() {
+        for w in [2, 3, 5, 8] {
+            let m = MultiplierCircuit::generate(MultiplierKind::Array, w).unwrap();
+            assert_eq!(m.product().width(), 2 * w);
+        }
+    }
+
+    #[test]
+    fn gate_population_is_quadratic() {
+        let m4 = MultiplierCircuit::generate(MultiplierKind::Array, 4).unwrap();
+        let m8 = MultiplierCircuit::generate(MultiplierKind::Array, 8).unwrap();
+        // n² AND + n·5 FA gates per CSA row… roughly 4× when doubling n.
+        let ratio = m8.netlist().gate_count() as f64 / m4.netlist().gate_count() as f64;
+        assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn corner_operands() {
+        let m = MultiplierCircuit::generate(MultiplierKind::Array, 8).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        for (a, b) in [(0, 0), (0, 255), (255, 0), (255, 255), (1, 255), (128, 128)] {
+            sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+            assert_eq!(
+                m.product().decode(sim.values()),
+                Some((a as u128) * (b as u128)),
+                "{a} × {b}"
+            );
+        }
+    }
+}

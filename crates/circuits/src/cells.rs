@@ -1,0 +1,160 @@
+//! Adder cell builders shared by the multiplier generators.
+
+use agemul_logic::GateKind;
+use agemul_netlist::{NetId, Netlist, NetlistError};
+
+/// Outputs of a single adder cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct AdderBits {
+    pub sum: NetId,
+    pub carry: NetId,
+}
+
+/// Builds a gate-level full adder: `sum = x ⊕ y ⊕ z`,
+/// `carry = (x·y) + (z·(x⊕y))` — 2 XOR, 2 AND, 1 OR.
+pub(crate) fn full_adder(
+    n: &mut Netlist,
+    x: NetId,
+    y: NetId,
+    z: NetId,
+) -> Result<AdderBits, NetlistError> {
+    let xy = n.add_gate(GateKind::Xor, &[x, y])?;
+    let sum = n.add_gate(GateKind::Xor, &[xy, z])?;
+    let g1 = n.add_gate(GateKind::And, &[x, y])?;
+    let g2 = n.add_gate(GateKind::And, &[z, xy])?;
+    let carry = n.add_gate(GateKind::Or, &[g1, g2])?;
+    Ok(AdderBits { sum, carry })
+}
+
+/// Builds a gate-level half adder: `sum = x ⊕ y`, `carry = x·y`.
+pub(crate) fn half_adder(
+    n: &mut Netlist,
+    x: NetId,
+    y: NetId,
+) -> Result<AdderBits, NetlistError> {
+    let sum = n.add_gate(GateKind::Xor, &[x, y])?;
+    let carry = n.add_gate(GateKind::And, &[x, y])?;
+    Ok(AdderBits { sum, carry })
+}
+
+/// A full adder whose three inputs pass through tri-state gates enabled by
+/// `enable` — the cell body used by both bypassing multipliers. When
+/// `enable` is low the adder's internal nodes hold their previous values, so
+/// it neither switches (power) nor contributes timing events; downstream
+/// muxes/ANDs controlled by the same `enable` mask its stale outputs.
+pub(crate) fn gated_full_adder(
+    n: &mut Netlist,
+    x: NetId,
+    y: NetId,
+    z: NetId,
+    enable: NetId,
+) -> Result<AdderBits, NetlistError> {
+    let xg = n.add_gate(GateKind::Tbuf, &[x, enable])?;
+    let yg = n.add_gate(GateKind::Tbuf, &[y, enable])?;
+    let zg = n.add_gate(GateKind::Tbuf, &[z, enable])?;
+    full_adder(n, xg, yg, zg)
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_logic::Logic;
+    use agemul_netlist::FuncSim;
+
+    use super::*;
+
+    fn eval3(build_gated: bool, x: bool, y: bool, z: bool) -> (Logic, Logic) {
+        let mut n = Netlist::new();
+        let xi = n.add_input("x");
+        let yi = n.add_input("y");
+        let zi = n.add_input("z");
+        let bits = if build_gated {
+            let en = n.const_one();
+            gated_full_adder(&mut n, xi, yi, zi, en).unwrap()
+        } else {
+            full_adder(&mut n, xi, yi, zi).unwrap()
+        };
+        n.mark_output(bits.sum, "s");
+        n.mark_output(bits.carry, "c");
+        let t = n.topology().unwrap();
+        let mut sim = FuncSim::new(&n, &t);
+        sim.eval(&[Logic::from(x), Logic::from(y), Logic::from(z)])
+            .unwrap();
+        (sim.value(bits.sum), sim.value(bits.carry))
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        for x in [false, true] {
+            for y in [false, true] {
+                for z in [false, true] {
+                    let (s, c) = eval3(false, x, y, z);
+                    let total = x as u8 + y as u8 + z as u8;
+                    assert_eq!(s, Logic::from(total & 1 == 1), "{x}{y}{z}");
+                    assert_eq!(c, Logic::from(total >= 2), "{x}{y}{z}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gated_full_adder_enabled_matches_plain() {
+        for x in [false, true] {
+            for y in [false, true] {
+                for z in [false, true] {
+                    assert_eq!(eval3(true, x, y, z), eval3(false, x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        for x in [false, true] {
+            for y in [false, true] {
+                let mut n = Netlist::new();
+                let xi = n.add_input("x");
+                let yi = n.add_input("y");
+                let bits = half_adder(&mut n, xi, yi).unwrap();
+                n.mark_output(bits.sum, "s");
+                n.mark_output(bits.carry, "c");
+                let t = n.topology().unwrap();
+                let mut sim = FuncSim::new(&n, &t);
+                sim.eval(&[Logic::from(x), Logic::from(y)]).unwrap();
+                assert_eq!(sim.value(bits.sum), Logic::from(x ^ y));
+                assert_eq!(sim.value(bits.carry), Logic::from(x & y));
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_gated_adder_floats() {
+        let mut n = Netlist::new();
+        let xi = n.add_input("x");
+        let yi = n.add_input("y");
+        let zi = n.add_input("z");
+        let en = n.add_input("en");
+        let bits = gated_full_adder(&mut n, xi, yi, zi, en).unwrap();
+        n.mark_output(bits.sum, "s");
+        let t = n.topology().unwrap();
+        let mut sim = FuncSim::new(&n, &t);
+        sim.eval(&[Logic::One, Logic::One, Logic::One, Logic::Zero])
+            .unwrap();
+        // With the tri-states off, the adder's output is undefined — the
+        // multiplier generators must mask it downstream.
+        assert_eq!(sim.value(bits.sum), Logic::X);
+    }
+
+    #[test]
+    fn full_adder_gate_budget() {
+        let mut n = Netlist::new();
+        let xi = n.add_input("x");
+        let yi = n.add_input("y");
+        let zi = n.add_input("z");
+        full_adder(&mut n, xi, yi, zi).unwrap();
+        assert_eq!(n.gate_count(), 5);
+        let before = n.gate_count();
+        let en = n.const_one();
+        gated_full_adder(&mut n, xi, yi, zi, en).unwrap();
+        assert_eq!(n.gate_count() - before, 8); // 3 TBUF + 5 FA gates
+    }
+}

@@ -1,0 +1,187 @@
+//! Kogge–Stone parallel-prefix (carry-lookahead) adder.
+
+use agemul_logic::GateKind;
+use agemul_netlist::{Bus, NetId, Netlist, NetlistError};
+
+/// Appends a Kogge–Stone adder to `netlist`, returning the sum bus and the
+/// carry-out net.
+///
+/// Generate/propagate signals are combined through a log₂-depth prefix
+/// tree, so an n-bit addition settles in `O(log n)` gate levels instead of
+/// the ripple adder's `O(n)`. The Wallace-tree and Booth multipliers use
+/// it as their final carry-propagate stage — without it their compressor
+/// trees would still be fronted by a linear ripple and the logarithmic
+/// depth would be wasted.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::WidthMismatch`] if the buses differ in width.
+///
+/// # Example
+///
+/// ```
+/// use agemul_circuits::kogge_stone_adder;
+/// use agemul_logic::Logic;
+/// use agemul_netlist::{Bus, FuncSim, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let a: Bus = (0..8).map(|i| n.add_input(format!("a{i}"))).collect();
+/// let b: Bus = (0..8).map(|i| n.add_input(format!("b{i}"))).collect();
+/// let (sum, cout) = kogge_stone_adder(&mut n, &a, &b)?;
+/// sum.nets().iter().enumerate().for_each(|(i, &s)| n.mark_output(s, format!("s{i}")));
+/// n.mark_output(cout, "cout");
+///
+/// let topo = n.topology()?;
+/// let mut sim = FuncSim::new(&n, &topo);
+/// let mut inputs = a.encode(200)?;
+/// inputs.extend(b.encode(100)?);
+/// sim.eval(&inputs)?;
+/// assert_eq!(sum.decode(sim.values()), Some((200 + 100) & 0xFF));
+/// assert_eq!(sim.value(cout), Logic::One);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn kogge_stone_adder(
+    netlist: &mut Netlist,
+    a: &Bus,
+    b: &Bus,
+) -> Result<(Bus, NetId), NetlistError> {
+    if a.width() != b.width() {
+        return Err(NetlistError::WidthMismatch {
+            expected: a.width(),
+            got: b.width(),
+        });
+    }
+    let width = a.width();
+    if width == 0 {
+        return Ok((Bus::new(Vec::new()), netlist.const_zero()));
+    }
+
+    // Level-0 generate/propagate. The half-sum (XOR) doubles as propagate.
+    let mut g: Vec<NetId> = Vec::with_capacity(width);
+    let mut p: Vec<NetId> = Vec::with_capacity(width);
+    for i in 0..width {
+        g.push(netlist.add_gate(GateKind::And, &[a.net(i), b.net(i)])?);
+        p.push(netlist.add_gate(GateKind::Xor, &[a.net(i), b.net(i)])?);
+    }
+    let half_sum = p.clone();
+
+    // Prefix tree: after the last level, g[i] is the carry out of bits 0..=i.
+    let mut dist = 1;
+    while dist < width {
+        let mut next_g = g.clone();
+        let mut next_p = p.clone();
+        for i in dist..width {
+            let t = netlist.add_gate(GateKind::And, &[p[i], g[i - dist]])?;
+            next_g[i] = netlist.add_gate(GateKind::Or, &[g[i], t])?;
+            next_p[i] = netlist.add_gate(GateKind::And, &[p[i], p[i - dist]])?;
+        }
+        g = next_g;
+        p = next_p;
+        dist *= 2;
+    }
+
+    // sum_i = half_sum_i ⊕ carry_in_i, carry_in_i = G_{i−1} (0 for bit 0).
+    let mut sum = Vec::with_capacity(width);
+    sum.push(half_sum[0]);
+    for i in 1..width {
+        sum.push(netlist.add_gate(GateKind::Xor, &[half_sum[i], g[i - 1]])?);
+    }
+    Ok((Bus::new(sum), g[width - 1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_logic::{DelayModel, Logic};
+    use agemul_netlist::{static_critical_path_ns, DelayAssignment, FuncSim};
+
+    use crate::ripple_carry_adder;
+
+    use super::*;
+
+    fn build(width: usize) -> (Netlist, Bus, Bus, Bus, NetId) {
+        let mut n = Netlist::new();
+        let a: Bus = (0..width).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Bus = (0..width).map(|i| n.add_input(format!("b{i}"))).collect();
+        let (sum, cout) = kogge_stone_adder(&mut n, &a, &b).unwrap();
+        for (i, &s) in sum.nets().iter().enumerate() {
+            n.mark_output(s, format!("s{i}"));
+        }
+        n.mark_output(cout, "cout");
+        (n, a, b, sum, cout)
+    }
+
+    #[test]
+    fn five_bit_exhaustive() {
+        let (n, a, b, sum, cout) = build(5);
+        let topo = n.topology().unwrap();
+        let mut sim = FuncSim::new(&n, &topo);
+        for x in 0..32u128 {
+            for y in 0..32u128 {
+                let mut inputs = a.encode(x).unwrap();
+                inputs.extend(b.encode(y).unwrap());
+                sim.eval(&inputs).unwrap();
+                let total = x + y;
+                assert_eq!(sum.decode(sim.values()), Some(total & 0x1F), "{x}+{y}");
+                assert_eq!(sim.value(cout).to_bool(), Some(total > 0x1F), "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_bit_degenerate() {
+        let (n, _, _, sum, cout) = build(1);
+        let topo = n.topology().unwrap();
+        let mut sim = FuncSim::new(&n, &topo);
+        sim.eval(&[Logic::One, Logic::One]).unwrap();
+        assert_eq!(sum.decode(sim.values()), Some(0));
+        assert_eq!(sim.value(cout), Logic::One);
+    }
+
+    #[test]
+    fn logarithmic_depth_beats_ripple() {
+        let width = 32;
+        let (ks, ..) = build(width);
+        let mut rc = Netlist::new();
+        let a: Bus = (0..width).map(|i| rc.add_input(format!("a{i}"))).collect();
+        let b: Bus = (0..width).map(|i| rc.add_input(format!("b{i}"))).collect();
+        let (sum, cout) = ripple_carry_adder(&mut rc, &a, &b).unwrap();
+        for (i, &s) in sum.nets().iter().enumerate() {
+            rc.mark_output(s, format!("s{i}"));
+        }
+        rc.mark_output(cout, "cout");
+
+        let model = DelayModel::nominal();
+        let ks_crit =
+            static_critical_path_ns(&ks, &DelayAssignment::uniform(&ks, &model)).unwrap();
+        let rc_crit =
+            static_critical_path_ns(&rc, &DelayAssignment::uniform(&rc, &model)).unwrap();
+        assert!(ks_crit < 0.4 * rc_crit, "KS {ks_crit} vs RCA {rc_crit}");
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut n = Netlist::new();
+        let a: Bus = (0..4).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Bus = (0..3).map(|i| n.add_input(format!("b{i}"))).collect();
+        assert!(kogge_stone_adder(&mut n, &a, &b).is_err());
+    }
+
+    #[test]
+    fn random_wide_checks() {
+        let (n, a, b, sum, cout) = build(24);
+        let topo = n.topology().unwrap();
+        let mut sim = FuncSim::new(&n, &topo);
+        let mut state = 7u64;
+        for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = u128::from((state >> 11) & 0xFF_FFFF);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let y = u128::from((state >> 11) & 0xFF_FFFF);
+            let mut inputs = a.encode(x).unwrap();
+            inputs.extend(b.encode(y).unwrap());
+            sim.eval(&inputs).unwrap();
+            assert_eq!(sum.decode(sim.values()), Some((x + y) & 0xFF_FFFF));
+            assert_eq!(sim.value(cout).to_bool(), Some(x + y > 0xFF_FFFF));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The column-bypassing multiplier (paper Fig. 2, after Wen et al.).
+
+use agemul_logic::GateKind;
+use agemul_netlist::Netlist;
+
+use crate::array::{finalize_outputs, finish_ripple_row};
+use crate::cells::gated_full_adder;
+use crate::common::{operand_buses, partial_products, CsaState};
+use crate::multiplier::MultiplierParts;
+use crate::CircuitError;
+
+/// Builds the n×n column-bypassing multiplier.
+///
+/// Each full adder in "diagonal" `i` (the cells whose partial product uses
+/// multiplicand bit `a_i`) is modified as in the paper:
+///
+/// * its three inputs pass through **tri-state gates** enabled by `a_i`, so
+///   a skipped adder neither switches nor propagates timing events;
+/// * a **sum multiplexer** selected by `a_i` forwards the incoming sum
+///   (`in0`) straight past the adder when `a_i = 0`, shortening the
+///   sensitized path — this is what makes zero-rich multiplicands fast;
+/// * carries stay within their diagonal (the carry out of cell `(j, i)`
+///   feeds cell `(j+1, i)`), so a disabled diagonal's stale carries are
+///   only ever read by other disabled cells — except at the final ripple
+///   row, where an **AND mask** with `a_i` forces them to zero, exactly as
+///   in the reference design.
+pub(crate) fn build(width: usize) -> Result<MultiplierParts, CircuitError> {
+    let mut n = Netlist::new();
+    let (a, b) = operand_buses(&mut n, width);
+    let pp = partial_products(&mut n, &a, &b)?;
+    let mut st = CsaState::from_row0(&mut n, &pp);
+
+    for j in 1..width {
+        st.retire_product_bit();
+        let mut sums = Vec::with_capacity(width);
+        let mut carries = Vec::with_capacity(width);
+        for i in 0..width {
+            let enable = a.net(i);
+            let x = st.sum_from_above(&mut n, i);
+            let fa = gated_full_adder(&mut n, x, pp[i][j], st.carries[i], enable)?;
+            // Bypass mux: a_i = 0 routes the incoming sum straight through.
+            let sum = n.add_gate(GateKind::Mux2, &[x, fa.sum, enable])?;
+            sums.push(sum);
+            carries.push(fa.carry);
+        }
+        st.sums = sums;
+        st.carries = carries;
+    }
+    st.retire_product_bit();
+
+    finish_ripple_row(&mut n, &mut st, Some(&a))?;
+    let product = finalize_outputs(&mut n, &st);
+    Ok(MultiplierParts {
+        netlist: n,
+        a,
+        b,
+        product,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_logic::{DelayModel, Logic};
+    use agemul_netlist::{DelayAssignment, EventSim, FuncSim};
+
+    use crate::{MultiplierCircuit, MultiplierKind};
+
+    #[test]
+    fn four_bit_exhaustive() {
+        let m = MultiplierCircuit::generate(MultiplierKind::ColumnBypass, 4).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+                assert_eq!(
+                    m.product().decode(sim.values()),
+                    Some((a * b) as u128),
+                    "{a} × {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_always_defined_despite_floating_cells() {
+        // With zero-rich multiplicands, many adders float — the bypass
+        // muxes and carry masks must still produce fully defined products.
+        let m = MultiplierCircuit::generate(MultiplierKind::ColumnBypass, 8).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        for (a, b) in [(0u64, 0xFFu64), (1, 0xFF), (0x80, 0xFF), (0x11, 0xAB)] {
+            sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+            for &net in m.product().nets() {
+                assert!(
+                    sim.value(net).is_known(),
+                    "p bit undefined for {a:#x} × {b:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_1010_times_1111() {
+        // The worked example from Section II-A of the paper.
+        let m = MultiplierCircuit::generate(MultiplierKind::ColumnBypass, 4).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        sim.eval(&m.encode_inputs(0b1010, 0b1111).unwrap()).unwrap();
+        assert_eq!(m.product().decode(sim.values()), Some(0b1010 * 0b1111));
+    }
+
+    #[test]
+    fn has_more_gates_than_array() {
+        let am = MultiplierCircuit::generate(MultiplierKind::Array, 8).unwrap();
+        let cb = MultiplierCircuit::generate(MultiplierKind::ColumnBypass, 8).unwrap();
+        assert!(cb.netlist().gate_count() > am.netlist().gate_count());
+    }
+
+    #[test]
+    fn zero_rich_multiplicand_is_faster() {
+        // Timing claim behind Fig. 6: more zeros in the multiplicand means
+        // shorter sensitized paths.
+        let m = MultiplierCircuit::generate(MultiplierKind::ColumnBypass, 8).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let delays = DelayAssignment::uniform(m.netlist(), &DelayModel::nominal());
+
+        let worst_case = |a: u64, b: u64| -> f64 {
+            let mut sim = EventSim::new(m.netlist(), &topo, delays.clone());
+            sim.settle(&vec![Logic::Zero; 16]).unwrap();
+            sim.step(&m.encode_inputs(a, b).unwrap()).unwrap().delay_ns
+        };
+
+        // All-ones multiplicand activates every diagonal; a single-bit
+        // multiplicand activates one.
+        let slow = worst_case(0xFF, 0xFF);
+        let fast = worst_case(0x01, 0xFF);
+        assert!(
+            fast < slow,
+            "sparse multiplicand {fast} ns should beat dense {slow} ns"
+        );
+    }
+
+    #[test]
+    fn random_wide_checks() {
+        let m = MultiplierCircuit::generate(MultiplierKind::ColumnBypass, 16).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        // Deterministic LCG so the test is reproducible without rand.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (state >> 16) & 0xFFFF;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = (state >> 16) & 0xFFFF;
+            sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+            assert_eq!(
+                m.product().decode(sim.values()),
+                Some((a as u128) * (b as u128)),
+                "{a} × {b}"
+            );
+        }
+    }
+}

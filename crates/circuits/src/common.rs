@@ -1,0 +1,134 @@
+//! Shared scaffolding for the multiplier generators.
+
+use agemul_logic::GateKind;
+use agemul_netlist::{Bus, NetId, Netlist, NetlistError};
+
+use crate::CircuitError;
+
+/// Validates an operand width against the crate limits.
+pub(crate) fn check_width(width: usize) -> Result<(), CircuitError> {
+    if (crate::MIN_WIDTH..=crate::MAX_WIDTH).contains(&width) {
+        Ok(())
+    } else {
+        Err(CircuitError::WidthOutOfRange { width })
+    }
+}
+
+/// Declares the two operand buses: multiplicand `a` then multiplicator `b`,
+/// LSB first. Input order is `a0..a{n-1}, b0..b{n-1}`, which the
+/// pattern-encoding helpers rely on.
+pub(crate) fn operand_buses(n: &mut Netlist, width: usize) -> (Bus, Bus) {
+    let a: Bus = (0..width).map(|i| n.add_input(format!("a{i}"))).collect();
+    let b: Bus = (0..width).map(|i| n.add_input(format!("b{i}"))).collect();
+    (a, b)
+}
+
+/// Builds the n×n partial-product matrix `pp[i][j] = a_i AND b_j`.
+pub(crate) fn partial_products(
+    n: &mut Netlist,
+    a: &Bus,
+    b: &Bus,
+) -> Result<Vec<Vec<NetId>>, NetlistError> {
+    let width = a.width();
+    let mut pp = Vec::with_capacity(width);
+    for i in 0..width {
+        let mut row = Vec::with_capacity(width);
+        for j in 0..width {
+            row.push(n.add_gate(GateKind::And, &[a.net(i), b.net(j)])?);
+        }
+        pp.push(row);
+    }
+    Ok(pp)
+}
+
+/// Carry-save array state threaded between adder rows.
+///
+/// After row `j`, `sums[i]` carries weight `i + j` and `carries[i]` carries
+/// weight `i + j + 1`. `product_bits` accumulates the finalized low product
+/// bits `p_0..p_j` (each row retires its position-0 sum).
+#[derive(Clone, Debug)]
+pub(crate) struct CsaState {
+    pub sums: Vec<NetId>,
+    pub carries: Vec<NetId>,
+    pub product_bits: Vec<NetId>,
+}
+
+impl CsaState {
+    /// Row-0 state: "sums" are the `b_0` partial products, carries are zero.
+    pub fn from_row0(n: &mut Netlist, pp: &[Vec<NetId>]) -> Self {
+        let width = pp.len();
+        let zero = n.const_zero();
+        CsaState {
+            sums: (0..width).map(|i| pp[i][0]).collect(),
+            carries: vec![zero; width],
+            product_bits: Vec::with_capacity(2 * width),
+        }
+    }
+
+    /// The "sum from above" feeding row `j` position `i`, i.e. the previous
+    /// row's sum at position `i + 1`, or constant zero past the top.
+    pub fn sum_from_above(&self, n: &mut Netlist, i: usize) -> NetId {
+        if i + 1 < self.sums.len() {
+            self.sums[i + 1]
+        } else {
+            n.const_zero()
+        }
+    }
+
+    /// Retires the previous row's position-0 sum as the next product bit.
+    pub fn retire_product_bit(&mut self) {
+        self.product_bits.push(self.sums[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_limits() {
+        assert!(check_width(2).is_ok());
+        assert!(check_width(16).is_ok());
+        assert!(check_width(64).is_ok());
+        assert!(check_width(1).is_err());
+        assert!(check_width(65).is_err());
+    }
+
+    #[test]
+    fn operand_input_order() {
+        let mut n = Netlist::new();
+        let (a, b) = operand_buses(&mut n, 3);
+        assert_eq!(n.input_count(), 6);
+        // a bits come first, then b bits, both LSB-first.
+        assert_eq!(n.inputs()[0], a.net(0));
+        assert_eq!(n.inputs()[2], a.net(2));
+        assert_eq!(n.inputs()[3], b.net(0));
+        assert_eq!(n.net_name(a.net(1)), Some("a1"));
+        assert_eq!(n.net_name(b.net(2)), Some("b2"));
+    }
+
+    #[test]
+    fn pp_matrix_shape() {
+        let mut n = Netlist::new();
+        let (a, b) = operand_buses(&mut n, 4);
+        let pp = partial_products(&mut n, &a, &b).unwrap();
+        assert_eq!(pp.len(), 4);
+        assert!(pp.iter().all(|r| r.len() == 4));
+        assert_eq!(n.gate_count(), 16);
+    }
+
+    #[test]
+    fn csa_state_threading() {
+        let mut n = Netlist::new();
+        let (a, b) = operand_buses(&mut n, 4);
+        let pp = partial_products(&mut n, &a, &b).unwrap();
+        let mut st = CsaState::from_row0(&mut n, &pp);
+        assert_eq!(st.sums.len(), 4);
+        assert_eq!(st.sums[2], pp[2][0]);
+        st.retire_product_bit();
+        assert_eq!(st.product_bits, vec![pp[0][0]]);
+        // Past-the-top reads are constant zero.
+        let top = st.sum_from_above(&mut n, 3);
+        assert_eq!(n.const_level(top), Some(agemul_logic::Logic::Zero));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for circuit generation.
+
+use std::error::Error;
+use std::fmt;
+
+use agemul_netlist::NetlistError;
+
+/// Errors reported by the circuit generators.
+///
+/// # Example
+///
+/// ```
+/// use agemul_circuits::{CircuitError, MultiplierCircuit, MultiplierKind};
+///
+/// let err = MultiplierCircuit::generate(MultiplierKind::Array, 1).unwrap_err();
+/// assert!(matches!(err, CircuitError::WidthOutOfRange { .. }));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// The requested operand width is outside
+    /// [`MIN_WIDTH`](crate::MIN_WIDTH)..=[`MAX_WIDTH`](crate::MAX_WIDTH).
+    WidthOutOfRange {
+        /// The requested width.
+        width: usize,
+    },
+    /// An operand value does not fit in the circuit's width.
+    OperandOverflow {
+        /// The operand value.
+        value: u64,
+        /// The circuit width in bits.
+        width: usize,
+    },
+    /// The underlying netlist rejected a construction step.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::WidthOutOfRange { width } => write!(
+                f,
+                "operand width {width} outside supported range {}..={}",
+                crate::MIN_WIDTH,
+                crate::MAX_WIDTH
+            ),
+            CircuitError::OperandOverflow { value, width } => {
+                write!(f, "operand {value} does not fit in {width} bits")
+            }
+            CircuitError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for CircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CircuitError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for CircuitError {
+    fn from(e: NetlistError) -> Self {
+        CircuitError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CircuitError::WidthOutOfRange { width: 1 };
+        assert!(e.to_string().contains('1'));
+        let e = CircuitError::OperandOverflow {
+            value: 300,
+            width: 8,
+        };
+        assert!(e.to_string().contains("300"));
+    }
+
+    #[test]
+    fn netlist_error_wraps_with_source() {
+        let inner = NetlistError::WidthMismatch {
+            expected: 2,
+            got: 3,
+        };
+        let e = CircuitError::from(inner.clone());
+        assert!(Error::source(&e).is_some());
+        assert!(e.to_string().contains("netlist"));
+    }
+}

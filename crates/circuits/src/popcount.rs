@@ -1,0 +1,234 @@
+//! Population-count and magnitude-comparison builders.
+//!
+//! These are the combinational guts of the AHL's judging blocks: a judging
+//! block asserts "one cycle" when the number of zeros in the judged operand
+//! is at least the skip threshold — i.e. `popcount(!operand) ≥ n`. Building
+//! them at gate level lets the area accounting for the proposed
+//! architecture (paper Fig. 25) count real transistors instead of guesses.
+
+use agemul_logic::GateKind;
+use agemul_netlist::{Bus, NetId, Netlist, NetlistError};
+
+use crate::cells::{full_adder, half_adder};
+
+/// Appends a population counter over `bits`, returning the count as a
+/// little-endian bus of `⌈log₂(n+1)⌉` bits.
+///
+/// Implemented as the classic carry-save reduction: pair bits into half/full
+/// adders level by level until one bus remains.
+///
+/// # Errors
+///
+/// Propagates netlist construction failures.
+///
+/// # Example
+///
+/// ```
+/// use agemul_circuits::popcount;
+/// use agemul_netlist::{Bus, FuncSim, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let bits: Bus = (0..5).map(|i| n.add_input(format!("x{i}"))).collect();
+/// let count = popcount(&mut n, &bits)?;
+/// count.nets().iter().enumerate().for_each(|(i, &c)| n.mark_output(c, format!("c{i}")));
+///
+/// let topo = n.topology()?;
+/// let mut sim = FuncSim::new(&n, &topo);
+/// sim.eval(&bits.encode(0b10110)?)?; // three ones
+/// assert_eq!(count.decode(sim.values()), Some(3));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn popcount(n: &mut Netlist, bits: &Bus) -> Result<Bus, NetlistError> {
+    // columns[w] = nets of weight 2^w awaiting reduction.
+    let mut columns: Vec<Vec<NetId>> = vec![bits.nets().to_vec()];
+    loop {
+        let done = columns.iter().all(|c| c.len() <= 1);
+        if done {
+            break;
+        }
+        let mut next: Vec<Vec<NetId>> = vec![Vec::new(); columns.len() + 1];
+        for (w, col) in columns.iter().enumerate() {
+            let mut i = 0;
+            while col.len() - i >= 3 {
+                let fa = full_adder(n, col[i], col[i + 1], col[i + 2])?;
+                next[w].push(fa.sum);
+                next[w + 1].push(fa.carry);
+                i += 3;
+            }
+            if col.len() - i == 2 {
+                let ha = half_adder(n, col[i], col[i + 1])?;
+                next[w].push(ha.sum);
+                next[w + 1].push(ha.carry);
+            } else if col.len() - i == 1 {
+                next[w].push(col[i]);
+            }
+        }
+        while next.last().is_some_and(Vec::is_empty) {
+            next.pop();
+        }
+        columns = next;
+    }
+    let zero = n.const_zero();
+    Ok(columns
+        .into_iter()
+        .map(|c| c.first().copied().unwrap_or(zero))
+        .collect())
+}
+
+/// Appends a comparator asserting `value(bus) ≥ k` for a constant `k`.
+///
+/// Uses the subtraction trick: compute `bus + (!k) + 1` over the bus width
+/// plus one guard bit and take the carry out — equivalently `bus − k ≥ 0`.
+/// Here implemented directly as a borrow-ripple: `borrow_{i+1} =
+/// majority(!bus_i, k_i, borrow_i)` and the final borrow's complement is
+/// the answer.
+///
+/// # Errors
+///
+/// Propagates netlist construction failures.
+///
+/// # Example
+///
+/// ```
+/// use agemul_circuits::{popcount, greater_equal_const};
+/// use agemul_netlist::{Bus, FuncSim, Netlist};
+/// use agemul_logic::Logic;
+///
+/// let mut n = Netlist::new();
+/// let bits: Bus = (0..4).map(|i| n.add_input(format!("x{i}"))).collect();
+/// let ge = greater_equal_const(&mut n, &bits, 9)?;
+/// n.mark_output(ge, "ge");
+/// let topo = n.topology()?;
+/// let mut sim = FuncSim::new(&n, &topo);
+/// sim.eval(&bits.encode(11)?)?;
+/// assert_eq!(sim.value(ge), Logic::One);
+/// sim.eval(&bits.encode(8)?)?;
+/// assert_eq!(sim.value(ge), Logic::Zero);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn greater_equal_const(n: &mut Netlist, bus: &Bus, k: u64) -> Result<NetId, NetlistError> {
+    if bus.width() < 64 && k >> bus.width() != 0 {
+        // k exceeds the representable range: the comparison is constant 0.
+        return Ok(n.const_zero());
+    }
+    if k == 0 {
+        return Ok(n.const_one());
+    }
+    // Ripple the borrow of bus − k from the LSB.
+    // borrow_out = (!x & k) | (!x & borrow) | (k & borrow), with k a known
+    // constant each stage simplifies to one or two gates.
+    let mut borrow = n.const_zero();
+    for i in 0..bus.width() {
+        let x = bus.net(i);
+        let k_i = (k >> i) & 1 == 1;
+        borrow = if k_i {
+            // borrow' = !x | borrow
+            let nx = n.add_gate(GateKind::Not, &[x])?;
+            n.add_gate(GateKind::Or, &[nx, borrow])?
+        } else {
+            // borrow' = !x & borrow
+            let nx = n.add_gate(GateKind::Not, &[x])?;
+            n.add_gate(GateKind::And, &[nx, borrow])?
+        };
+    }
+    n.add_gate(GateKind::Not, &[borrow])
+}
+
+/// Appends the "count of zero bits in `bus` is at least `k`" predicate —
+/// one AHL judging block at gate level: inverters, a popcount tree, and a
+/// constant comparator.
+///
+/// # Errors
+///
+/// Propagates netlist construction failures.
+pub fn zeros_at_least(n: &mut Netlist, bus: &Bus, k: u64) -> Result<NetId, NetlistError> {
+    let inverted: Result<Bus, NetlistError> = bus
+        .nets()
+        .iter()
+        .map(|&b| n.add_gate(GateKind::Not, &[b]))
+        .collect();
+    let count = popcount(n, &inverted?)?;
+    greater_equal_const(n, &count, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_logic::Logic;
+    use agemul_netlist::FuncSim;
+
+    use super::*;
+
+    #[test]
+    fn popcount_exhaustive_6bit() {
+        let mut n = Netlist::new();
+        let bits: Bus = (0..6).map(|i| n.add_input(format!("x{i}"))).collect();
+        let count = popcount(&mut n, &bits).unwrap();
+        for (i, &c) in count.nets().iter().enumerate() {
+            n.mark_output(c, format!("c{i}"));
+        }
+        let topo = n.topology().unwrap();
+        let mut sim = FuncSim::new(&n, &topo);
+        for v in 0..64u128 {
+            sim.eval(&bits.encode(v).unwrap()).unwrap();
+            assert_eq!(
+                count.decode(sim.values()),
+                Some(v.count_ones() as u128),
+                "{v:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn popcount_single_bit() {
+        let mut n = Netlist::new();
+        let bits: Bus = (0..1).map(|i| n.add_input(format!("x{i}"))).collect();
+        let count = popcount(&mut n, &bits).unwrap();
+        assert_eq!(count.width(), 1);
+        assert_eq!(count.net(0), bits.net(0));
+    }
+
+    #[test]
+    fn ge_const_exhaustive_5bit() {
+        for k in 0..=32u64 {
+            let mut n = Netlist::new();
+            let bits: Bus = (0..5).map(|i| n.add_input(format!("x{i}"))).collect();
+            let ge = greater_equal_const(&mut n, &bits, k).unwrap();
+            n.mark_output(ge, "ge");
+            let topo = n.topology().unwrap();
+            let mut sim = FuncSim::new(&n, &topo);
+            for v in 0..32u128 {
+                sim.eval(&bits.encode(v).unwrap()).unwrap();
+                assert_eq!(
+                    sim.value(ge).to_bool(),
+                    Some(v >= k as u128),
+                    "v={v} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_at_least_matches_software() {
+        let mut n = Netlist::new();
+        let bits: Bus = (0..8).map(|i| n.add_input(format!("x{i}"))).collect();
+        let pred = zeros_at_least(&mut n, &bits, 5).unwrap();
+        n.mark_output(pred, "z5");
+        let topo = n.topology().unwrap();
+        let mut sim = FuncSim::new(&n, &topo);
+        for v in 0..256u128 {
+            sim.eval(&bits.encode(v).unwrap()).unwrap();
+            let zeros = 8 - (v as u64).count_ones();
+            assert_eq!(sim.value(pred).to_bool(), Some(zeros >= 5), "{v:#010b}");
+        }
+    }
+
+    #[test]
+    fn degenerate_thresholds() {
+        let mut n = Netlist::new();
+        let bits: Bus = (0..4).map(|i| n.add_input(format!("x{i}"))).collect();
+        let always = greater_equal_const(&mut n, &bits, 0).unwrap();
+        let never = greater_equal_const(&mut n, &bits, 16).unwrap();
+        assert_eq!(n.const_level(always), Some(Logic::One));
+        assert_eq!(n.const_level(never), Some(Logic::Zero));
+    }
+}

@@ -1,0 +1,252 @@
+//! The row-bypassing multiplier (paper Fig. 3, after Ohban et al.).
+
+use agemul_logic::{GateKind, Logic};
+use agemul_netlist::{NetId, Netlist};
+
+use crate::array::finalize_outputs;
+use crate::cells::{full_adder, gated_full_adder};
+use crate::common::{operand_buses, partial_products, CsaState};
+use crate::multiplier::MultiplierParts;
+use crate::CircuitError;
+
+/// Builds the n×n row-bypassing multiplier.
+///
+/// Adder row `j` is controlled by multiplicator bit `b_j`: when `b_j = 0`
+/// the row adds nothing, so the entire row is skipped —
+///
+/// * tri-state gates (enable `b_j`) freeze the row's adder inputs;
+/// * a **sum multiplexer** per cell forwards the incoming sum from the row
+///   above;
+/// * a **carry multiplexer** per cell forwards the incoming carry from the
+///   diagonal neighbour above (for the first row the bypassed carry is
+///   constant zero — matching the paper's "select 0 as the carry bit").
+///
+/// One subtlety of row bypassing that column bypassing avoids: when row `j`
+/// is skipped, the carry arriving at the row's **left edge** (weight `j`)
+/// has no adder to absorb it, because the cell that would consume it is
+/// frozen. Real row-bypassing arrays add a column of correction cells on
+/// the left edge for exactly this; here each row emits a *leftover carry*
+/// `L_j = !b_j · c_{j-1,0}` and the final ripple row is extended downward
+/// to weight 1 to sum the leftovers back in. This is also why the
+/// row-bypassing multiplier is the larger of the two bypassing designs —
+/// two muxes per cell plus the left-edge correction — matching the paper's
+/// area comparison (Fig. 25).
+pub(crate) fn build(width: usize) -> Result<MultiplierParts, CircuitError> {
+    let mut n = Netlist::new();
+    let (a, b) = operand_buses(&mut n, width);
+    let pp = partial_products(&mut n, &a, &b)?;
+    let mut st = CsaState::from_row0(&mut n, &pp);
+
+    // leftovers[j] (weight j) for rows whose incoming left-edge carry is
+    // not structurally zero.
+    let mut leftovers: Vec<Option<NetId>> = vec![None; width];
+
+    for j in 1..width {
+        let enable = b.net(j);
+        // Leftover carry for the bypassed case (skipped when the incoming
+        // carry is the constant-zero net, as in row 1).
+        if n.const_level(st.carries[0]) != Some(Logic::Zero) {
+            let not_en = n.add_gate(GateKind::Not, &[enable])?;
+            let l = n.add_gate(GateKind::And, &[not_en, st.carries[0]])?;
+            leftovers[j] = Some(l);
+        }
+
+        st.retire_product_bit();
+        let mut sums = Vec::with_capacity(width);
+        let mut carries = Vec::with_capacity(width);
+        for i in 0..width {
+            let x = st.sum_from_above(&mut n, i);
+            let z = st.carries[i];
+            let fa = gated_full_adder(&mut n, x, pp[i][j], z, enable)?;
+            // Bypass the sum straight down…
+            let sum = n.add_gate(GateKind::Mux2, &[x, fa.sum, enable])?;
+            // …and route the diagonal neighbour's carry past the row
+            // (weights: carries[i+1] from row j−1 matches the port that
+            // row j+1 reads at position i).
+            let carry_bypass = if i + 1 < width {
+                st.carries[i + 1]
+            } else {
+                n.const_zero()
+            };
+            let carry = n.add_gate(GateKind::Mux2, &[carry_bypass, fa.carry, enable])?;
+            sums.push(sum);
+            carries.push(carry);
+        }
+        st.sums = sums;
+        st.carries = carries;
+    }
+    st.retire_product_bit();
+
+    // Extended final ripple row: weights 1..n−1 re-absorb the leftover
+    // carries, then weights n..2n−1 merge the remaining sums and carries.
+    let partial: Vec<NetId> = st.product_bits.clone();
+    let zero = n.const_zero();
+    let mut final_bits = Vec::with_capacity(2 * width);
+    final_bits.push(partial[0]);
+    let mut ripple = zero;
+    for (j, &p) in partial.iter().enumerate().skip(1) {
+        let l = leftovers[j].unwrap_or(zero);
+        let bits = full_adder(&mut n, p, l, ripple)?;
+        final_bits.push(bits.sum);
+        ripple = bits.carry;
+    }
+    for k in 0..width {
+        let x = st.sum_from_above(&mut n, k);
+        let bits = full_adder(&mut n, x, st.carries[k], ripple)?;
+        final_bits.push(bits.sum);
+        ripple = bits.carry;
+    }
+    st.product_bits = final_bits;
+
+    let product = finalize_outputs(&mut n, &st);
+    Ok(MultiplierParts {
+        netlist: n,
+        a,
+        b,
+        product,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_logic::{DelayModel, Logic};
+    use agemul_netlist::{DelayAssignment, EventSim, FuncSim};
+
+    use crate::{MultiplierCircuit, MultiplierKind};
+
+    #[test]
+    fn four_bit_exhaustive() {
+        let m = MultiplierCircuit::generate(MultiplierKind::RowBypass, 4).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+                assert_eq!(
+                    m.product().decode(sim.values()),
+                    Some((a * b) as u128),
+                    "{a} × {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn five_bit_exhaustive() {
+        // Odd width exercises the leftover-carry chain asymmetrically.
+        let m = MultiplierCircuit::generate(MultiplierKind::RowBypass, 5).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        for a in 0..32u64 {
+            for b in 0..32u64 {
+                sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+                assert_eq!(
+                    m.product().decode(sim.values()),
+                    Some((a * b) as u128),
+                    "{a} × {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_1111_times_1001() {
+        // The worked example from Section II-B: rows 1 and 2 are skipped.
+        let m = MultiplierCircuit::generate(MultiplierKind::RowBypass, 4).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        sim.eval(&m.encode_inputs(0b1111, 0b1001).unwrap()).unwrap();
+        assert_eq!(m.product().decode(sim.values()), Some(0b1111 * 0b1001));
+    }
+
+    #[test]
+    fn outputs_defined_for_sparse_multiplicators() {
+        let m = MultiplierCircuit::generate(MultiplierKind::RowBypass, 8).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        for (a, b) in [(0xFFu64, 0u64), (0xFF, 1), (0xFF, 0x80), (0xAB, 0x11)] {
+            sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+            for &net in m.product().nets() {
+                assert!(
+                    sim.value(net).is_known(),
+                    "p bit undefined for {a:#x} × {b:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn has_more_muxes_than_column_bypass() {
+        use agemul_logic::GateKind;
+        let count_muxes = |m: &MultiplierCircuit| {
+            m.netlist()
+                .gates()
+                .iter()
+                .filter(|g| g.kind() == GateKind::Mux2)
+                .count()
+        };
+        let cb = MultiplierCircuit::generate(MultiplierKind::ColumnBypass, 8).unwrap();
+        let rb = MultiplierCircuit::generate(MultiplierKind::RowBypass, 8).unwrap();
+        assert!(count_muxes(&rb) > count_muxes(&cb));
+    }
+
+    #[test]
+    fn zero_rich_multiplicator_is_faster() {
+        let m = MultiplierCircuit::generate(MultiplierKind::RowBypass, 8).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let delays = DelayAssignment::uniform(m.netlist(), &DelayModel::nominal());
+
+        let worst_case = |a: u64, b: u64| -> f64 {
+            let mut sim = EventSim::new(m.netlist(), &topo, delays.clone());
+            sim.settle(&vec![Logic::Zero; 16]).unwrap();
+            sim.step(&m.encode_inputs(a, b).unwrap()).unwrap().delay_ns
+        };
+
+        let slow = worst_case(0xFF, 0xFF);
+        let fast = worst_case(0xFF, 0x01);
+        assert!(
+            fast < slow,
+            "sparse multiplicator {fast} ns should beat dense {slow} ns"
+        );
+    }
+
+    #[test]
+    fn random_wide_checks() {
+        let m = MultiplierCircuit::generate(MultiplierKind::RowBypass, 16).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        let mut state = 0x1319_8A2E_0370_7344u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (state >> 16) & 0xFFFF;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = (state >> 16) & 0xFFFF;
+            sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+            assert_eq!(
+                m.product().decode(sim.values()),
+                Some((a as u128) * (b as u128)),
+                "{a} × {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_state_between_patterns_is_harmless() {
+        // Event-driven runs leave stale values inside skipped rows; the
+        // next pattern must still decode correctly.
+        let m = MultiplierCircuit::generate(MultiplierKind::RowBypass, 8).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let delays = DelayAssignment::uniform(m.netlist(), &DelayModel::nominal());
+        let mut sim = EventSim::new(m.netlist(), &topo, delays);
+        sim.settle(&m.encode_inputs(0xFF, 0xFF).unwrap()).unwrap();
+        let seq = [(0xAAu64, 0x00u64), (0xAA, 0xFF), (0x3C, 0x11), (1, 2)];
+        for (a, b) in seq {
+            sim.step(&m.encode_inputs(a, b).unwrap()).unwrap();
+            assert_eq!(
+                m.product().decode_with(|net| sim.value(net)),
+                Some((a as u128) * (b as u128)),
+                "{a} × {b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The didactic variable-latency ripple-carry adder of paper Fig. 4.
+
+use agemul_logic::GateKind;
+use agemul_netlist::{Bus, NetId, Netlist};
+
+use crate::common::check_width;
+use crate::rca::ripple_carry_adder;
+use crate::CircuitError;
+
+/// The paper's Fig. 4 circuit: an n-bit ripple-carry adder plus a hold-logic
+/// gate that predicts whether a carry can propagate across the middle of the
+/// chain.
+///
+/// For the 8-bit instance the hold function is
+/// `(A₄ ⊕ B₄)·(A₅ ⊕ B₅)` (1-indexed): if either checked stage has equal
+/// operand bits it kills or generates the carry locally, bounding the
+/// sensitized carry chain, so the addition finishes within the short cycle.
+/// When the hold output is `1` the operation takes two cycles.
+///
+/// Generalized here to any supported width with the two checked stages at
+/// `width/2 - 1` and `width/2` (0-indexed).
+///
+/// # Example
+///
+/// ```
+/// use agemul_circuits::VariableLatencyRca;
+/// use agemul_netlist::FuncSim;
+/// use agemul_logic::Logic;
+///
+/// let vl = VariableLatencyRca::generate(8)?;
+/// let topo = vl.netlist().topology()?;
+/// let mut sim = FuncSim::new(vl.netlist(), &topo);
+///
+/// // 0b00011000 + 0: both checked bit pairs differ (1 vs 0) →
+/// // a carry could ripple across the middle, so hold = 1 (two cycles).
+/// sim.eval(&vl.encode_inputs(0b0001_1000, 0)?)?;
+/// assert_eq!(sim.value(vl.hold()), Logic::One);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct VariableLatencyRca {
+    netlist: Netlist,
+    a: Bus,
+    b: Bus,
+    sum: Bus,
+    carry_out: NetId,
+    hold: NetId,
+    width: usize,
+}
+
+impl VariableLatencyRca {
+    /// Generates the adder with hold logic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WidthOutOfRange`] for unsupported widths
+    /// (the hold function needs `width ≥ 4` to have two distinct interior
+    /// check stages).
+    pub fn generate(width: usize) -> Result<Self, CircuitError> {
+        check_width(width)?;
+        if width < 4 {
+            return Err(CircuitError::WidthOutOfRange { width });
+        }
+        let mut n = Netlist::new();
+        let a: Bus = (0..width).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Bus = (0..width).map(|i| n.add_input(format!("b{i}"))).collect();
+        let (sum, carry_out) = ripple_carry_adder(&mut n, &a, &b)?;
+        for (i, &s) in sum.nets().iter().enumerate() {
+            n.mark_output(s, format!("s{i}"));
+        }
+        n.mark_output(carry_out, "cout");
+
+        let k = width / 2 - 1;
+        let x1 = n.add_gate(GateKind::Xor, &[a.net(k), b.net(k)])?;
+        let x2 = n.add_gate(GateKind::Xor, &[a.net(k + 1), b.net(k + 1)])?;
+        let hold = n.add_gate(GateKind::And, &[x1, x2])?;
+        n.mark_output(hold, "hold");
+
+        Ok(VariableLatencyRca {
+            netlist: n,
+            a,
+            b,
+            sum,
+            carry_out,
+            hold,
+            width,
+        })
+    }
+
+    /// The underlying netlist.
+    #[inline]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Operand bus `a`.
+    #[inline]
+    pub fn a(&self) -> &Bus {
+        &self.a
+    }
+
+    /// Operand bus `b`.
+    #[inline]
+    pub fn b(&self) -> &Bus {
+        &self.b
+    }
+
+    /// The sum bus.
+    #[inline]
+    pub fn sum(&self) -> &Bus {
+        &self.sum
+    }
+
+    /// The carry-out net.
+    #[inline]
+    pub fn carry_out(&self) -> NetId {
+        self.carry_out
+    }
+
+    /// The hold-logic output: `1` means "this pattern needs two cycles".
+    #[inline]
+    pub fn hold(&self) -> NetId {
+        self.hold
+    }
+
+    /// Operand width in bits.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Encodes an `(a, b)` pair in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::OperandOverflow`] if an operand does not fit.
+    pub fn encode_inputs(&self, a: u64, b: u64) -> Result<Vec<agemul_logic::Logic>, CircuitError> {
+        for value in [a, b] {
+            if self.width < 64 && value >> self.width != 0 {
+                return Err(CircuitError::OperandOverflow {
+                    value,
+                    width: self.width,
+                });
+            }
+        }
+        let mut v = Vec::with_capacity(2 * self.width);
+        for i in 0..self.width {
+            v.push(agemul_logic::Logic::from((a >> i) & 1 == 1));
+        }
+        for i in 0..self.width {
+            v.push(agemul_logic::Logic::from((b >> i) & 1 == 1));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_logic::Logic;
+    use agemul_netlist::FuncSim;
+
+    use super::*;
+
+    #[test]
+    fn addition_is_correct() {
+        let vl = VariableLatencyRca::generate(8).unwrap();
+        let topo = vl.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(vl.netlist(), &topo);
+        for (a, b) in [(0u64, 0u64), (255, 255), (123, 45), (200, 100)] {
+            sim.eval(&vl.encode_inputs(a, b).unwrap()).unwrap();
+            let total = a + b;
+            assert_eq!(vl.sum().decode(sim.values()), Some((total & 0xFF) as u128));
+            assert_eq!(sim.value(vl.carry_out()).to_bool(), Some(total > 0xFF));
+        }
+    }
+
+    #[test]
+    fn hold_matches_paper_function() {
+        // hold = (A4 ⊕ B4)(A5 ⊕ B5) with 1-indexed bits → 0-indexed 3, 4.
+        let vl = VariableLatencyRca::generate(8).unwrap();
+        let topo = vl.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(vl.netlist(), &topo);
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (state >> 20) & 0xFF;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = (state >> 20) & 0xFF;
+            sim.eval(&vl.encode_inputs(a, b).unwrap()).unwrap();
+            let expect = (((a >> 3) ^ (b >> 3)) & 1 == 1) && (((a >> 4) ^ (b >> 4)) & 1 == 1);
+            assert_eq!(sim.value(vl.hold()).to_bool(), Some(expect), "{a} {b}");
+        }
+    }
+
+    #[test]
+    fn hold_zero_guarantees_bounded_carry_chain() {
+        // Paper's safety argument: when hold = 0, a carry cannot ripple
+        // through both checked stages, so the sensitized chain is at most
+        // `width/2 + 1` adders on either side. Verify the end-to-end carry
+        // never crosses from stage k into stage k+2 when hold = 0.
+        let vl = VariableLatencyRca::generate(8).unwrap();
+        let topo = vl.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(vl.netlist(), &topo);
+        for a in 0..=255u64 {
+            for b in (0..=255u64).step_by(7) {
+                sim.eval(&vl.encode_inputs(a, b).unwrap()).unwrap();
+                if sim.value(vl.hold()) == Logic::Zero {
+                    // With hold = 0, either stage 3 or stage 4 has equal
+                    // bits, i.e. carry into stage 5 is generated locally at
+                    // stage 3 or 4 (not propagated from below stage 3).
+                    let p3 = ((a >> 3) ^ (b >> 3)) & 1 == 1;
+                    let p4 = ((a >> 4) ^ (b >> 4)) & 1 == 1;
+                    assert!(!(p3 && p4));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn width_bounds() {
+        assert!(VariableLatencyRca::generate(3).is_err());
+        assert!(VariableLatencyRca::generate(4).is_ok());
+        assert!(VariableLatencyRca::generate(16).is_ok());
+    }
+}

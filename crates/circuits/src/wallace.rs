@@ -1,0 +1,101 @@
+//! Wallace-tree multiplier (extension baseline).
+//!
+//! Not part of the paper's comparison set — included because the paper's
+//! fixed-latency baselines are all linear-depth arrays, and a Wallace tree
+//! shows how the variable-latency argument fares against a *fast* fixed
+//! design: its critical path is much shorter, but its delay is also far
+//! less correlated with operand zeros, so the AHL's prediction is weaker.
+
+use agemul_netlist::Netlist;
+
+use crate::common::{operand_buses, partial_products};
+use crate::compressor::BitColumns;
+use crate::multiplier::MultiplierParts;
+use crate::CircuitError;
+
+/// Builds an n×n Wallace-tree multiplier: the full AND partial-product
+/// matrix dropped into a logarithmic-depth carry-save compressor with a
+/// final ripple merge.
+pub(crate) fn build(width: usize) -> Result<MultiplierParts, CircuitError> {
+    let mut n = Netlist::new();
+    let (a, b) = operand_buses(&mut n, width);
+    let pp = partial_products(&mut n, &a, &b)?;
+
+    let mut cols = BitColumns::new(2 * width);
+    for (i, row) in pp.iter().enumerate() {
+        for (j, &bit) in row.iter().enumerate() {
+            cols.push(i + j, bit);
+        }
+    }
+    let product = cols.reduce_to_sum(&mut n)?;
+    for (k, &bit) in product.nets().iter().enumerate() {
+        n.mark_output(bit, format!("p{k}"));
+    }
+    Ok(MultiplierParts {
+        netlist: n,
+        a,
+        b,
+        product,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_logic::DelayModel;
+    use agemul_netlist::{static_critical_path_ns, DelayAssignment, FuncSim};
+
+    use crate::{MultiplierCircuit, MultiplierKind};
+
+    #[test]
+    fn four_bit_exhaustive() {
+        let m = MultiplierCircuit::generate(MultiplierKind::Wallace, 4).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+                assert_eq!(
+                    m.product().decode(sim.values()),
+                    Some((a * b) as u128),
+                    "{a} × {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_wide_checks() {
+        let m = MultiplierCircuit::generate(MultiplierKind::Wallace, 16).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        let mut state = 0xC0FF_EE00_1234_5678u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (state >> 16) & 0xFFFF;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = (state >> 16) & 0xFFFF;
+            sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+            assert_eq!(
+                m.product().decode(sim.values()),
+                Some((a as u128) * (b as u128)),
+                "{a} × {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn much_faster_than_array() {
+        let model = DelayModel::nominal();
+        let crit = |kind| {
+            let m = MultiplierCircuit::generate(kind, 16).unwrap();
+            let delays = DelayAssignment::uniform(m.netlist(), &model);
+            static_critical_path_ns(m.netlist(), &delays).unwrap()
+        };
+        let array = crit(MultiplierKind::Array);
+        let wallace = crit(MultiplierKind::Wallace);
+        assert!(
+            wallace < 0.7 * array,
+            "wallace {wallace} ns vs array {array} ns"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Exhaustive and cross-architecture functional verification.
+
+use agemul_logic::{DelayModel, Logic};
+use agemul_netlist::{DelayAssignment, EventSim, FuncSim};
+
+use agemul_circuits::{MultiplierCircuit, MultiplierKind};
+
+/// All three architectures, exhaustively, at 6 bits (3 × 4096 products).
+#[test]
+fn all_kinds_exhaustive_6bit() {
+    for kind in MultiplierKind::ALL {
+        let m = MultiplierCircuit::generate(kind, 6).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        for a in 0..64u64 {
+            for b in 0..64u64 {
+                sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+                assert_eq!(
+                    m.product().decode(sim.values()),
+                    Some(u128::from(a * b)),
+                    "{kind:?}: {a} × {b}"
+                );
+            }
+        }
+    }
+}
+
+/// The three architectures are functionally interchangeable: identical
+/// products on a shared random stream at 16 bits.
+#[test]
+fn architectures_are_equivalent_16bit() {
+    let circuits: Vec<MultiplierCircuit> = MultiplierKind::ALL
+        .iter()
+        .map(|&k| MultiplierCircuit::generate(k, 16).unwrap())
+        .collect();
+    let topos: Vec<_> = circuits
+        .iter()
+        .map(|m| m.netlist().topology().unwrap())
+        .collect();
+    let mut sims: Vec<FuncSim<'_>> = circuits
+        .iter()
+        .zip(&topos)
+        .map(|(m, t)| FuncSim::new(m.netlist(), t))
+        .collect();
+
+    let mut state = 0xD1B5_4A32_D192_ED03u64;
+    for _ in 0..400 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let a = (state >> 13) & 0xFFFF;
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let b = (state >> 13) & 0xFFFF;
+        let mut products = Vec::new();
+        for (m, sim) in circuits.iter().zip(&mut sims) {
+            sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+            products.push(m.product().decode(sim.values()));
+        }
+        assert_eq!(products[0], Some(u128::from(a) * u128::from(b)));
+        assert!(products.windows(2).all(|w| w[0] == w[1]), "{a} × {b}");
+    }
+}
+
+/// Event-driven simulation through long random sequences keeps bypassed
+/// state consistent at an unusual width (12 bits, neither paper size).
+#[test]
+fn event_sequences_stay_correct_at_width_12() {
+    for kind in [MultiplierKind::ColumnBypass, MultiplierKind::RowBypass] {
+        let m = MultiplierCircuit::generate(kind, 12).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let delays = DelayAssignment::uniform(m.netlist(), &DelayModel::nominal());
+        let mut sim = EventSim::new(m.netlist(), &topo, delays);
+        sim.settle(&m.encode_inputs(0, 0).unwrap()).unwrap();
+        let mut state = 0x9E37_79B9u64;
+        for step in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (state >> 17) & 0xFFF;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = (state >> 17) & 0xFFF;
+            sim.step(&m.encode_inputs(a, b).unwrap()).unwrap();
+            assert_eq!(
+                m.product().decode_with(|net| sim.value(net)),
+                Some(u128::from(a) * u128::from(b)),
+                "{kind:?} step {step}: {a} × {b}"
+            );
+        }
+    }
+}
+
+/// Sparse-select extremes: all-zero and all-one select operands, where
+/// every diagonal/row is simultaneously skipped or active.
+#[test]
+fn bypass_extremes() {
+    for kind in [MultiplierKind::ColumnBypass, MultiplierKind::RowBypass] {
+        let m = MultiplierCircuit::generate(kind, 10).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        let max = (1u64 << 10) - 1;
+        for (a, b) in [
+            (0, 0),
+            (0, max),
+            (max, 0),
+            (max, max),
+            (1, max),
+            (max, 1),
+            (1 << 9, max),
+            (max, 1 << 9),
+        ] {
+            sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+            assert_eq!(
+                m.product().decode(sim.values()),
+                Some(u128::from(a) * u128::from(b)),
+                "{kind:?}: {a} × {b}"
+            );
+        }
+    }
+}
+
+/// Widths across the supported range generate, validate, and multiply.
+#[test]
+fn width_range_spot_checks() {
+    for width in [2usize, 3, 7, 17, 24, 33, 48, 64] {
+        for kind in MultiplierKind::ALL {
+            let m = MultiplierCircuit::generate(kind, width).unwrap();
+            let topo = m.netlist().topology().unwrap();
+            let mut sim = FuncSim::new(m.netlist(), &topo);
+            let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let a = 0xA5A5_A5A5_A5A5_A5A5u64 & mask;
+            let b = 0x5A5A_5A5A_5A5A_5A5Au64 & mask;
+            sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+            assert_eq!(
+                m.product().decode(sim.values()),
+                Some(u128::from(a) * u128::from(b)),
+                "{kind:?} width {width}"
+            );
+        }
+    }
+}
+
+/// Outputs are never X/Z for any input at small widths (tri-state masking
+/// is airtight), checked exhaustively.
+#[test]
+fn outputs_always_defined_exhaustive_5bit() {
+    for kind in [MultiplierKind::ColumnBypass, MultiplierKind::RowBypass] {
+        let m = MultiplierCircuit::generate(kind, 5).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = FuncSim::new(m.netlist(), &topo);
+        for a in 0..32u64 {
+            for b in 0..32u64 {
+                sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
+                for &net in m.product().nets() {
+                    assert_ne!(sim.value(net), Logic::X, "{kind:?} {a}×{b}");
+                    assert_ne!(sim.value(net), Logic::Z, "{kind:?} {a}×{b}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The Adaptive Hold Logic circuit (paper Fig. 12), modeled behaviourally.
+
+use std::fmt;
+
+use crate::JudgingBlock;
+
+/// The latency class the AHL assigns to an incoming pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CycleDecision {
+    /// The pattern is predicted to finish within one (short) cycle.
+    OneCycle,
+    /// The pattern needs two cycles; the input flip-flops' clock is gated
+    /// for one cycle.
+    TwoCycles,
+}
+
+/// Configuration of the AHL's aging indicator.
+///
+/// The paper's setting is a 10 % error threshold over windows of 100
+/// operations ("10 errors for each 100 operations").
+///
+/// `sticky` controls whether the indicator latches once tripped. The paper
+/// describes a plain counter that resets every window; a literal reading
+/// lets the indicator fall back to the first judging block as soon as the
+/// stricter block suppresses the errors — which immediately re-trips it,
+/// oscillating between blocks window after window. Production Razor-style
+/// controllers latch, so `true` is the default; the ablation benches
+/// explore `false`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AhlConfig {
+    /// Operations per aging-indicator window (paper: 100).
+    pub window_ops: u32,
+    /// Errors within one window that flag significant aging (paper: 10).
+    pub error_threshold: u32,
+    /// Whether the aged state latches once entered.
+    pub sticky: bool,
+}
+
+impl AhlConfig {
+    /// The paper's configuration: 10 errors per 100 operations, latching.
+    pub fn paper() -> Self {
+        AhlConfig {
+            window_ops: 100,
+            error_threshold: 10,
+            sticky: true,
+        }
+    }
+}
+
+impl Default for AhlConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The Adaptive Hold Logic: two judging blocks, an aging indicator, and the
+/// mux/D-flip-flop state that selects between them.
+///
+/// In the hardware (paper Fig. 12) the judging blocks run combinationally
+/// alongside the multiplier; the aging indicator is an error counter that
+/// trips when Razor errors become frequent, after which the stricter
+/// `skip + 1` block classifies patterns, shrinking the one-cycle population
+/// to those with enough slack to absorb the BTI-degraded delays.
+///
+/// The *traditional* variable-latency design (T-VLCB/T-VLRB in the paper's
+/// comparison) is this struct with adaptation disabled — see
+/// [`Ahl::traditional`].
+///
+/// # Example
+///
+/// ```
+/// use agemul::{Ahl, AhlConfig, CycleDecision};
+///
+/// let mut ahl = Ahl::adaptive(7, AhlConfig::paper());
+/// assert_eq!(ahl.decide(9), CycleDecision::OneCycle);
+///
+/// // Heavy error pressure trips the aging indicator…
+/// for _ in 0..100 {
+///     ahl.record(true);
+/// }
+/// assert!(ahl.is_aged_mode());
+/// // …and borderline patterns now take two cycles.
+/// assert_eq!(ahl.decide(7), CycleDecision::TwoCycles);
+/// assert_eq!(ahl.decide(8), CycleDecision::OneCycle);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ahl {
+    first: JudgingBlock,
+    second: JudgingBlock,
+    config: AhlConfig,
+    adaptive: bool,
+    aged: bool,
+    ops_in_window: u32,
+    errors_in_window: u32,
+    transitions: u64,
+}
+
+impl Ahl {
+    /// An adaptive AHL (the proposed design) with base skip threshold
+    /// `skip`.
+    pub fn adaptive(skip: u32, config: AhlConfig) -> Self {
+        let first = JudgingBlock::new(skip);
+        Ahl {
+            first,
+            second: first.stricter(),
+            config,
+            adaptive: true,
+            aged: false,
+            ops_in_window: 0,
+            errors_in_window: 0,
+            transitions: 0,
+        }
+    }
+
+    /// A traditional hold logic with a single judging block (the paper's
+    /// T-VLCB/T-VLRB baseline): the aging indicator never engages.
+    pub fn traditional(skip: u32) -> Self {
+        let mut ahl = Self::adaptive(skip, AhlConfig::paper());
+        ahl.adaptive = false;
+        ahl
+    }
+
+    /// Classifies a pattern with `zeros` zero bits in the judged operand,
+    /// using whichever judging block the aging indicator currently selects.
+    pub fn decide(&self, zeros: u32) -> CycleDecision {
+        let block = self.active_block();
+        if block.is_one_cycle(zeros) {
+            CycleDecision::OneCycle
+        } else {
+            CycleDecision::TwoCycles
+        }
+    }
+
+    /// Records the completion of one operation and whether the Razor bank
+    /// flagged it, advancing the aging-indicator window.
+    pub fn record(&mut self, razor_error: bool) {
+        self.ops_in_window += 1;
+        if razor_error {
+            self.errors_in_window += 1;
+        }
+        if self.ops_in_window >= self.config.window_ops {
+            let tripped = self.errors_in_window >= self.config.error_threshold;
+            if self.adaptive {
+                let next = if self.config.sticky {
+                    self.aged || tripped
+                } else {
+                    tripped
+                };
+                if next != self.aged {
+                    self.transitions += 1;
+                }
+                self.aged = next;
+            }
+            self.ops_in_window = 0;
+            self.errors_in_window = 0;
+        }
+    }
+
+    /// The judging block currently selected by the aging indicator.
+    pub fn active_block(&self) -> JudgingBlock {
+        if self.aged {
+            self.second
+        } else {
+            self.first
+        }
+    }
+
+    /// Whether the aging indicator has engaged the stricter block.
+    #[inline]
+    pub fn is_aged_mode(&self) -> bool {
+        self.aged
+    }
+
+    /// Number of aged-mode transitions observed (interesting for the
+    /// non-sticky oscillation ablation).
+    #[inline]
+    pub fn mode_transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// The base (un-aged) skip threshold.
+    #[inline]
+    pub fn base_skip(&self) -> u32 {
+        self.first.skip()
+    }
+
+    /// Whether this instance adapts (proposed) or not (traditional).
+    #[inline]
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+}
+
+impl fmt::Display for Ahl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AHL({}, {}, {})",
+            self.first,
+            if self.adaptive { "adaptive" } else { "traditional" },
+            if self.aged { "aged" } else { "fresh" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ahl_uses_first_block() {
+        let ahl = Ahl::adaptive(7, AhlConfig::paper());
+        assert_eq!(ahl.decide(7), CycleDecision::OneCycle);
+        assert_eq!(ahl.decide(6), CycleDecision::TwoCycles);
+        assert!(!ahl.is_aged_mode());
+    }
+
+    #[test]
+    fn trips_at_threshold_on_window_boundary() {
+        let mut ahl = Ahl::adaptive(7, AhlConfig::paper());
+        // 9 errors in 100 ops: below the 10 % threshold.
+        for i in 0..100 {
+            ahl.record(i < 9);
+        }
+        assert!(!ahl.is_aged_mode());
+        // 10 errors in the next window: trips.
+        for i in 0..100 {
+            ahl.record(i < 10);
+        }
+        assert!(ahl.is_aged_mode());
+        assert_eq!(ahl.mode_transitions(), 1);
+    }
+
+    #[test]
+    fn sticky_mode_latches() {
+        let mut ahl = Ahl::adaptive(7, AhlConfig::paper());
+        for _ in 0..100 {
+            ahl.record(true);
+        }
+        assert!(ahl.is_aged_mode());
+        // A clean window does not un-trip a sticky indicator.
+        for _ in 0..100 {
+            ahl.record(false);
+        }
+        assert!(ahl.is_aged_mode());
+    }
+
+    #[test]
+    fn non_sticky_mode_oscillates() {
+        let cfg = AhlConfig {
+            sticky: false,
+            ..AhlConfig::paper()
+        };
+        let mut ahl = Ahl::adaptive(7, cfg);
+        for _ in 0..100 {
+            ahl.record(true);
+        }
+        assert!(ahl.is_aged_mode());
+        for _ in 0..100 {
+            ahl.record(false);
+        }
+        assert!(!ahl.is_aged_mode());
+        assert_eq!(ahl.mode_transitions(), 2);
+    }
+
+    #[test]
+    fn traditional_never_adapts() {
+        let mut ahl = Ahl::traditional(7);
+        for _ in 0..1000 {
+            ahl.record(true);
+        }
+        assert!(!ahl.is_aged_mode());
+        assert_eq!(ahl.decide(7), CycleDecision::OneCycle);
+    }
+
+    #[test]
+    fn aged_mode_requires_one_more_zero() {
+        let mut ahl = Ahl::adaptive(15, AhlConfig::paper());
+        for _ in 0..100 {
+            ahl.record(true);
+        }
+        assert_eq!(ahl.decide(15), CycleDecision::TwoCycles);
+        assert_eq!(ahl.decide(16), CycleDecision::OneCycle);
+        assert_eq!(ahl.active_block().skip(), 16);
+    }
+
+    #[test]
+    fn errors_do_not_leak_across_windows() {
+        let mut ahl = Ahl::adaptive(7, AhlConfig::paper());
+        // 5 errors at the end of one window + 5 at the start of the next:
+        // neither window reaches 10.
+        for i in 0..200 {
+            ahl.record((95..105).contains(&i));
+        }
+        assert!(!ahl.is_aged_mode());
+    }
+}

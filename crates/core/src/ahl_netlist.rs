@@ -1,0 +1,216 @@
+//! Gate-level realization of the AHL's combinational judging path
+//! (paper Fig. 12), co-simulated against the behavioural [`Ahl`].
+
+use agemul_circuits::zeros_at_least;
+use agemul_logic::{AreaModel, GateKind, Logic};
+use agemul_netlist::{Bus, FuncSim, NetId, Netlist, Topology};
+
+use crate::{CoreError, CycleDecision};
+
+/// The AHL's combinational core at gate level: two judging blocks
+/// (inverters + popcount tree + constant comparators) and the selection
+/// mux driven by the aging indicator.
+///
+/// The behavioural [`Ahl`] drives all experiments (it is thousands of
+/// times faster); this netlist exists to
+///
+/// * prove the judging hardware is realizable and equivalent — the test
+///   suite co-simulates it against [`Ahl::decide`] exhaustively at small
+///   widths and randomly at 16/32 bits;
+/// * ground the architecture's area accounting ([`crate::area_report`])
+///   in real gates rather than estimates.
+///
+/// [`Ahl`]: crate::Ahl
+/// [`Ahl::decide`]: crate::Ahl::decide
+///
+/// # Example
+///
+/// ```
+/// use agemul::{CycleDecision, GateLevelAhl};
+///
+/// let ahl = GateLevelAhl::generate(16, 7)?;
+/// assert_eq!(ahl.decide(0x00FF, false)?, CycleDecision::OneCycle); // 8 zeros ≥ 7
+/// assert_eq!(ahl.decide(0xFFFE, false)?, CycleDecision::TwoCycles); // 1 zero
+/// # Ok::<(), agemul::CoreError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct GateLevelAhl {
+    netlist: Netlist,
+    topology: Topology,
+    operand: Bus,
+    aging_mode: NetId,
+    one_cycle: NetId,
+    width: usize,
+    skip: u32,
+}
+
+impl GateLevelAhl {
+    /// Builds the judging logic for a `width`-bit operand and base skip
+    /// threshold `skip`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a zero width and
+    /// [`CoreError::Netlist`] on construction failure.
+    pub fn generate(width: usize, skip: u32) -> Result<Self, CoreError> {
+        if width == 0 || width > 64 {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("AHL operand width {width} outside 1..=64"),
+            });
+        }
+        let mut n = Netlist::new();
+        let operand: Bus = (0..width).map(|i| n.add_input(format!("md{i}"))).collect();
+        let aging_mode = n.add_input("aging_mode");
+        let first = zeros_at_least(&mut n, &operand, u64::from(skip))?;
+        let second = zeros_at_least(&mut n, &operand, u64::from(skip) + 1)?;
+        let one_cycle = n.add_gate(GateKind::Mux2, &[first, second, aging_mode])?;
+        n.mark_output(one_cycle, "one_cycle");
+        let topology = n.topology()?;
+        Ok(GateLevelAhl {
+            netlist: n,
+            topology,
+            operand,
+            aging_mode,
+            one_cycle,
+            width,
+            skip,
+        })
+    }
+
+    /// The underlying netlist.
+    #[inline]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Operand width in bits.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Base skip threshold.
+    #[inline]
+    pub fn skip(&self) -> u32 {
+        self.skip
+    }
+
+    /// Transistor count of the combinational judging path.
+    pub fn transistor_count(&self, area: &AreaModel) -> u64 {
+        self.netlist.transistor_count(area)
+    }
+
+    /// Evaluates the hardware judging path for one operand value under the
+    /// given aging-indicator state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `operand` overflows the
+    /// width.
+    pub fn decide(&self, operand: u64, aged: bool) -> Result<CycleDecision, CoreError> {
+        if self.width < 64 && operand >> self.width != 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("operand {operand} overflows {} bits", self.width),
+            });
+        }
+        let mut inputs = Vec::with_capacity(self.width + 1);
+        for i in 0..self.width {
+            inputs.push(Logic::from((operand >> i) & 1 == 1));
+        }
+        inputs.push(Logic::from(aged));
+        let mut sim = FuncSim::new(&self.netlist, &self.topology);
+        sim.eval(&inputs)?;
+        match sim.value(self.one_cycle).to_bool() {
+            Some(true) => Ok(CycleDecision::OneCycle),
+            Some(false) => Ok(CycleDecision::TwoCycles),
+            None => Err(CoreError::InvalidConfig {
+                reason: "judging output undefined".into(),
+            }),
+        }
+    }
+
+    /// The aging-mode input net (for external co-simulation harnesses).
+    #[inline]
+    pub fn aging_mode_net(&self) -> NetId {
+        self.aging_mode
+    }
+
+    /// The operand input bus.
+    #[inline]
+    pub fn operand(&self) -> &Bus {
+        &self.operand
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{count_zeros, Ahl, AhlConfig};
+
+    use super::*;
+
+    #[test]
+    fn exhaustive_equivalence_8bit() {
+        let hw = GateLevelAhl::generate(8, 4).unwrap();
+        for aged in [false, true] {
+            // A behavioural AHL forced into the matching mode.
+            let mut sw = Ahl::adaptive(4, AhlConfig::paper());
+            if aged {
+                for _ in 0..100 {
+                    sw.record(true);
+                }
+            }
+            assert_eq!(sw.is_aged_mode(), aged);
+            for operand in 0..256u64 {
+                let zeros = count_zeros(operand, 8);
+                assert_eq!(
+                    hw.decide(operand, aged).unwrap(),
+                    sw.decide(zeros),
+                    "operand {operand:#010b}, aged {aged}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_equivalence_16bit_paper_config() {
+        let hw = GateLevelAhl::generate(16, 7).unwrap();
+        let sw = Ahl::adaptive(7, AhlConfig::paper());
+        let mut state = 0xFACE_FEED_0123_4567u64;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let operand = (state >> 15) & 0xFFFF;
+            assert_eq!(
+                hw.decide(operand, false).unwrap(),
+                sw.decide(count_zeros(operand, 16)),
+                "{operand:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn aged_mode_is_stricter_in_hardware_too() {
+        let hw = GateLevelAhl::generate(16, 7).unwrap();
+        // Exactly 7 zeros: one-cycle fresh, two-cycle aged.
+        let operand = 0xFF80 >> 7 << 7; // 0xFF80: 9 ones, 7 zeros
+        assert_eq!(count_zeros(0xFF80, 16), 7);
+        let _ = operand;
+        assert_eq!(hw.decide(0xFF80, false).unwrap(), CycleDecision::OneCycle);
+        assert_eq!(hw.decide(0xFF80, true).unwrap(), CycleDecision::TwoCycles);
+    }
+
+    #[test]
+    fn transistor_count_is_positive_and_grows_with_width() {
+        let area = AreaModel::standard_cell();
+        let small = GateLevelAhl::generate(16, 7).unwrap().transistor_count(&area);
+        let large = GateLevelAhl::generate(32, 15).unwrap().transistor_count(&area);
+        assert!(small > 0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(GateLevelAhl::generate(0, 1).is_err());
+        let hw = GateLevelAhl::generate(8, 4).unwrap();
+        assert!(hw.decide(256, false).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Architecture-level area accounting (paper Fig. 25).
+
+use agemul_logic::{AreaModel, FlopKind};
+
+use crate::{CoreError, MultiplierDesign};
+
+/// The two deployment styles the paper prices against each other.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Fixed latency: input D flip-flops, the multiplier, output D
+    /// flip-flops (the paper's AM / FLCB / FLRB rows).
+    FixedLatency,
+    /// The proposed adaptive variable-latency architecture: input D
+    /// flip-flops, the multiplier, 2m Razor flip-flops, and the AHL
+    /// (judging blocks + aging indicator + gating).
+    AdaptiveVariableLatency,
+}
+
+/// Transistor-count breakdown of one deployed multiplier.
+///
+/// # Example
+///
+/// ```
+/// use agemul::{area_report, Architecture, MultiplierDesign};
+/// use agemul_circuits::MultiplierKind;
+///
+/// let d = MultiplierDesign::new(MultiplierKind::ColumnBypass, 16)?;
+/// let fl = area_report(&d, Architecture::FixedLatency, 7)?;
+/// let avl = area_report(&d, Architecture::AdaptiveVariableLatency, 7)?;
+/// assert!(avl.total_transistors() > fl.total_transistors());
+/// # Ok::<(), agemul::CoreError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AreaReport {
+    /// Transistors in the combinational multiplier array.
+    pub combinational: u64,
+    /// Number of input flip-flops (2m, latching both operands).
+    pub input_flop_count: usize,
+    /// Transistors in the input flip-flops.
+    pub input_flops: u64,
+    /// Number of output flip-flops (2m product bits).
+    pub output_flop_count: usize,
+    /// The output flip-flop kind (plain D or Razor).
+    pub output_flop_kind: FlopKind,
+    /// Transistors in the output flip-flops.
+    pub output_flops: u64,
+    /// Transistors in the AHL (0 for fixed latency).
+    pub ahl: u64,
+}
+
+impl AreaReport {
+    /// Total transistors.
+    pub fn total_transistors(&self) -> u64 {
+        self.combinational + self.input_flops + self.output_flops + self.ahl
+    }
+}
+
+/// Prices a design under the given architecture.
+///
+/// The AHL is priced from a *real gate-level netlist* of its two judging
+/// blocks (inverters + popcount tree + constant comparators, built with
+/// [`agemul_circuits::zeros_at_least`]) plus its sequential state: the
+/// aging-indicator window counter (⌈log₂ window⌉ bits), error counter,
+/// mode flip-flop and gating flip-flop, each with ripple-increment and
+/// compare logic priced per bit.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Netlist`] if judging-block construction fails
+/// (it cannot for supported widths).
+pub fn area_report(
+    design: &MultiplierDesign,
+    architecture: Architecture,
+    skip: u32,
+) -> Result<AreaReport, CoreError> {
+    let area = AreaModel::standard_cell();
+    let m = design.circuit();
+    let width = design.width();
+    let combinational = m.netlist().transistor_count(&area);
+
+    let input_flop_count = 2 * width;
+    let input_flops = u64::from(area.flop_transistors(FlopKind::Dff)) * input_flop_count as u64;
+    let output_flop_count = 2 * width;
+
+    let (output_flop_kind, ahl) = match architecture {
+        Architecture::FixedLatency => (FlopKind::Dff, 0),
+        Architecture::AdaptiveVariableLatency => {
+            (FlopKind::RazorFf, ahl_transistors(width, skip, &area)?)
+        }
+    };
+    let output_flops =
+        u64::from(area.flop_transistors(output_flop_kind)) * output_flop_count as u64;
+
+    Ok(AreaReport {
+        combinational,
+        input_flop_count,
+        input_flops,
+        output_flop_count,
+        output_flop_kind,
+        output_flops,
+        ahl,
+    })
+}
+
+/// Prices the AHL: the real gate-level judging netlist
+/// ([`crate::GateLevelAhl`]) plus its sequential parts.
+fn ahl_transistors(width: usize, skip: u32, area: &AreaModel) -> Result<u64, CoreError> {
+    let judging = crate::GateLevelAhl::generate(width, skip)?.transistor_count(area);
+
+    // Aging indicator: window counter, error counter, mode + gating flops.
+    let dff = u64::from(area.flop_transistors(FlopKind::Dff));
+    let window_bits = 7u64; // counts to 100
+    let error_bits = 5u64; // counts to the 10 % threshold with headroom
+    let counter_bits = window_bits + error_bits;
+    // Per counter bit: a half-adder increment (XOR+AND ≈ 14T) and its
+    // share of the threshold comparator (≈ 6T).
+    let counter_logic = counter_bits * (14 + 6);
+    let state_flops = (counter_bits + 2) * dff; // +mode, +gating D-FF
+
+    Ok(judging + counter_logic + state_flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_circuits::MultiplierKind;
+
+    use super::*;
+
+    fn design(kind: MultiplierKind, width: usize) -> MultiplierDesign {
+        MultiplierDesign::new(kind, width).unwrap()
+    }
+
+    #[test]
+    fn variable_latency_costs_more() {
+        let d = design(MultiplierKind::ColumnBypass, 16);
+        let fl = area_report(&d, Architecture::FixedLatency, 7).unwrap();
+        let avl = area_report(&d, Architecture::AdaptiveVariableLatency, 7).unwrap();
+        assert!(avl.total_transistors() > fl.total_transistors());
+        assert_eq!(fl.ahl, 0);
+        assert!(avl.ahl > 0);
+        assert_eq!(fl.output_flop_kind, FlopKind::Dff);
+        assert_eq!(avl.output_flop_kind, FlopKind::RazorFf);
+    }
+
+    #[test]
+    fn overhead_ratio_shrinks_with_width() {
+        // The paper's Fig. 25 observation: AHL + Razor are a smaller
+        // fraction of a larger multiplier.
+        let ratio = |width: usize, skip: u32| {
+            let d = design(MultiplierKind::ColumnBypass, width);
+            let fl = area_report(&d, Architecture::FixedLatency, skip).unwrap();
+            let avl = area_report(&d, Architecture::AdaptiveVariableLatency, skip).unwrap();
+            avl.total_transistors() as f64 / fl.total_transistors() as f64
+        };
+        assert!(ratio(32, 15) < ratio(16, 7));
+    }
+
+    #[test]
+    fn row_bypass_is_larger_than_column_bypass() {
+        let cb = design(MultiplierKind::ColumnBypass, 16);
+        let rb = design(MultiplierKind::RowBypass, 16);
+        let cb_a = area_report(&cb, Architecture::FixedLatency, 7).unwrap();
+        let rb_a = area_report(&rb, Architecture::FixedLatency, 7).unwrap();
+        assert!(rb_a.combinational > cb_a.combinational);
+    }
+
+    #[test]
+    fn array_is_smallest() {
+        let am = design(MultiplierKind::Array, 16);
+        let cb = design(MultiplierKind::ColumnBypass, 16);
+        let am_a = area_report(&am, Architecture::FixedLatency, 7).unwrap();
+        let cb_a = area_report(&cb, Architecture::FixedLatency, 7).unwrap();
+        assert!(am_a.combinational < cb_a.combinational);
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        let d = design(MultiplierKind::Array, 8);
+        let r = area_report(&d, Architecture::AdaptiveVariableLatency, 4).unwrap();
+        assert_eq!(
+            r.total_transistors(),
+            r.combinational + r.input_flops + r.output_flops + r.ahl
+        );
+        assert_eq!(r.input_flop_count, 16);
+        assert_eq!(r.output_flop_count, 16);
+    }
+}

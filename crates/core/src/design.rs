@@ -1,0 +1,272 @@
+//! A multiplier design bound to the calibrated technology.
+
+use agemul_circuits::{MultiplierCircuit, MultiplierKind, Operand};
+use agemul_logic::{DelayModel, Logic};
+use agemul_netlist::{DelayAssignment, EventSim, Topology, WorkloadStats};
+
+use crate::{
+    calibrated_delay_model, count_zeros, CoreError, PatternProfile,
+    PatternRecord,
+};
+
+/// A generated multiplier plus everything needed to simulate it: validated
+/// topology and the workspace-calibrated delay table.
+///
+/// This is the main entry point of the crate — see the crate-level docs for
+/// the full workflow.
+///
+/// # Example
+///
+/// ```
+/// use agemul::MultiplierDesign;
+/// use agemul_circuits::MultiplierKind;
+///
+/// let d = MultiplierDesign::new(MultiplierKind::Array, 8)?;
+/// assert_eq!(d.width(), 8);
+/// let crit = d.critical_delay_ns(None)?;
+/// assert!(crit > 0.0);
+/// # Ok::<(), agemul::CoreError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultiplierDesign {
+    circuit: MultiplierCircuit,
+    topology: Topology,
+    delay_model: DelayModel,
+}
+
+impl MultiplierDesign {
+    /// Generates a design with the workspace-calibrated delay model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Circuit`] for unsupported widths.
+    pub fn new(kind: MultiplierKind, width: usize) -> Result<Self, CoreError> {
+        Self::with_delay_model(kind, width, calibrated_delay_model().clone())
+    }
+
+    /// Generates a design with an explicit delay model (ablation studies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Circuit`] for unsupported widths.
+    pub fn with_delay_model(
+        kind: MultiplierKind,
+        width: usize,
+        delay_model: DelayModel,
+    ) -> Result<Self, CoreError> {
+        let circuit = MultiplierCircuit::generate(kind, width)?;
+        let topology = circuit.netlist().topology()?;
+        Ok(MultiplierDesign {
+            circuit,
+            topology,
+            delay_model,
+        })
+    }
+
+    /// The underlying circuit.
+    #[inline]
+    pub fn circuit(&self) -> &MultiplierCircuit {
+        &self.circuit
+    }
+
+    /// The validated topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The delay model in force.
+    #[inline]
+    pub fn delay_model(&self) -> &DelayModel {
+        &self.delay_model
+    }
+
+    /// The architecture kind.
+    #[inline]
+    pub fn kind(&self) -> MultiplierKind {
+        self.circuit.kind()
+    }
+
+    /// Operand width in bits.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.circuit.width()
+    }
+
+    /// Builds the per-gate delay assignment, optionally applying per-gate
+    /// aging factors (from [`agemul_aging::aging_factors`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Netlist`] if `factors` does not match the gate
+    /// population.
+    pub fn delay_assignment(&self, factors: Option<&[f64]>) -> Result<DelayAssignment, CoreError> {
+        Ok(match factors {
+            None => DelayAssignment::uniform(self.circuit.netlist(), &self.delay_model),
+            Some(f) => {
+                DelayAssignment::with_factors(self.circuit.netlist(), &self.delay_model, f)?
+            }
+        })
+    }
+
+    /// The design's critical path delay — the static longest-path bound —
+    /// optionally aged.
+    ///
+    /// This is the cycle period a fixed-latency deployment of this
+    /// multiplier must clock at; no input pattern's sensitized delay can
+    /// exceed it. For the worst *observed* dynamic delay, see
+    /// [`measure_critical_delay`](crate::measure_critical_delay).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Netlist`] on a malformed factor vector.
+    pub fn critical_delay_ns(&self, factors: Option<&[f64]>) -> Result<f64, CoreError> {
+        let delays = self.delay_assignment(factors)?;
+        Ok(agemul_netlist::static_critical_path_ns(
+            self.circuit.netlist(),
+            &delays,
+        )?)
+    }
+
+    /// Profiles a workload: one event-driven timing simulation recording
+    /// each operation's sensitized delay and judged zero count, plus mean
+    /// switching activity.
+    ///
+    /// `factors` optionally ages every gate (see
+    /// [`delay_assignment`](Self::delay_assignment)). The simulation starts
+    /// from an all-zeros settle, then applies the pairs in order — each
+    /// measurement is a genuine two-vector transition, as in the paper's
+    /// 65 536-pattern experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Circuit`] if an operand overflows the width, or
+    /// [`CoreError::Netlist`] on a malformed factor vector.
+    pub fn profile(
+        &self,
+        pairs: &[(u64, u64)],
+        factors: Option<&[f64]>,
+    ) -> Result<PatternProfile, CoreError> {
+        let delays = self.delay_assignment(factors)?;
+        let mut sim = EventSim::new(self.circuit.netlist(), &self.topology, delays);
+        let width = self.width();
+        sim.settle(&self.circuit.encode_inputs(0, 0)?)?;
+
+        let judged = self.kind().judged_operand();
+        let mut records = Vec::with_capacity(pairs.len());
+        for &(a, b) in pairs {
+            let timing = sim.step(&self.circuit.encode_inputs(a, b)?)?;
+            let judged_value = match judged {
+                Operand::Multiplicand => a,
+                Operand::Multiplicator => b,
+            };
+            records.push(PatternRecord {
+                a,
+                b,
+                zeros: count_zeros(judged_value, width),
+                delay_ns: timing.delay_ns,
+            });
+        }
+        let toggles: u64 = sim.gate_toggle_counts().iter().sum();
+        let avg_toggles = if pairs.is_empty() {
+            0.0
+        } else {
+            toggles as f64 / pairs.len() as f64
+        };
+        Ok(PatternProfile::new(
+            self.kind(),
+            width,
+            records,
+            avg_toggles,
+        ))
+    }
+
+    /// Collects workload statistics (signal probabilities for the aging
+    /// model and switching activity for the power model) over `pairs`.
+    ///
+    /// Signal probabilities come from a cheap functional sweep; toggle
+    /// counts from an event-driven run with nominal delays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Circuit`] if an operand overflows the width.
+    pub fn workload_stats(&self, pairs: &[(u64, u64)]) -> Result<WorkloadStats, CoreError> {
+        let mut stats = WorkloadStats::new(self.circuit.netlist());
+        let encoded: Result<Vec<Vec<Logic>>, CoreError> = pairs
+            .iter()
+            .map(|&(a, b)| self.circuit.encode_inputs(a, b).map_err(CoreError::from))
+            .collect();
+        let encoded = encoded?;
+        stats.observe_patterns(self.circuit.netlist(), &self.topology, encoded.iter())?;
+
+        let delays = self.delay_assignment(None)?;
+        let mut sim = EventSim::new(self.circuit.netlist(), &self.topology, delays);
+        sim.settle(&self.circuit.encode_inputs(0, 0)?)?;
+        for &(a, b) in pairs {
+            sim.step(&self.circuit.encode_inputs(a, b)?)?;
+        }
+        stats.record_toggles(sim.gate_toggle_counts(), pairs.len() as u64)?;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::PatternSet;
+
+    use super::*;
+
+    #[test]
+    fn profile_records_match_workload() {
+        let d = MultiplierDesign::new(MultiplierKind::ColumnBypass, 8).unwrap();
+        let patterns = PatternSet::uniform(8, 50, 1);
+        let p = d.profile(patterns.pairs(), None).unwrap();
+        assert_eq!(p.len(), 50);
+        for (r, &(a, b)) in p.records().iter().zip(patterns.pairs()) {
+            assert_eq!((r.a, r.b), (a, b));
+            assert_eq!(r.zeros, count_zeros(a, 8)); // judged = multiplicand
+            assert!(r.delay_ns >= 0.0);
+        }
+        assert!(p.max_delay_ns() > 0.0);
+        assert!(p.avg_gate_toggles() > 0.0);
+    }
+
+    #[test]
+    fn row_bypass_judges_multiplicator() {
+        let d = MultiplierDesign::new(MultiplierKind::RowBypass, 8).unwrap();
+        let p = d
+            .profile(&[(0xFF, 0x01), (0x01, 0xFF)], None)
+            .unwrap();
+        assert_eq!(p.records()[0].zeros, 7); // zeros of b = 0x01
+        assert_eq!(p.records()[1].zeros, 0); // zeros of b = 0xFF
+    }
+
+    #[test]
+    fn aged_profile_is_slower() {
+        let d = MultiplierDesign::new(MultiplierKind::ColumnBypass, 8).unwrap();
+        let patterns = PatternSet::uniform(8, 40, 2);
+        let fresh = d.profile(patterns.pairs(), None).unwrap();
+        let factors = vec![1.15; d.circuit().netlist().gate_count()];
+        let aged = d.profile(patterns.pairs(), Some(&factors)).unwrap();
+        assert!(aged.avg_delay_ns() > fresh.avg_delay_ns());
+        assert!(aged.max_delay_ns() > fresh.max_delay_ns());
+    }
+
+    #[test]
+    fn critical_delay_responds_to_aging() {
+        let d = MultiplierDesign::new(MultiplierKind::Array, 8).unwrap();
+        let fresh = d.critical_delay_ns(None).unwrap();
+        let factors = vec![1.13; d.circuit().netlist().gate_count()];
+        let aged = d.critical_delay_ns(Some(&factors)).unwrap();
+        assert!((aged / fresh - 1.13).abs() < 0.01, "{fresh} → {aged}");
+    }
+
+    #[test]
+    fn stats_cover_probabilities_and_toggles() {
+        let d = MultiplierDesign::new(MultiplierKind::Array, 4).unwrap();
+        let patterns = PatternSet::uniform(4, 64, 3);
+        let stats = d.workload_stats(patterns.pairs()).unwrap();
+        assert_eq!(stats.pattern_count(), 64);
+        assert!(stats.total_toggles() > 0);
+    }
+}

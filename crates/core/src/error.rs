@@ -1,0 +1,80 @@
+//! Error type for the architecture layer.
+
+use std::error::Error;
+use std::fmt;
+
+use agemul_circuits::CircuitError;
+use agemul_netlist::NetlistError;
+
+/// Errors surfaced by the `agemul` architecture layer.
+///
+/// # Example
+///
+/// ```
+/// use agemul::{CoreError, MultiplierDesign};
+/// use agemul_circuits::MultiplierKind;
+///
+/// let err = MultiplierDesign::new(MultiplierKind::Array, 1).unwrap_err();
+/// assert!(matches!(err, CoreError::Circuit(_)));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Circuit generation failed.
+    Circuit(CircuitError),
+    /// A netlist operation failed.
+    Netlist(NetlistError),
+    /// A configuration value was rejected.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Circuit(e) => write!(f, "circuit generation failed: {e}"),
+            CoreError::Netlist(e) => write!(f, "netlist operation failed: {e}"),
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Circuit(e) => Some(e),
+            CoreError::Netlist(e) => Some(e),
+            CoreError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<CircuitError> for CoreError {
+    fn from(e: CircuitError) -> Self {
+        CoreError::Circuit(e)
+    }
+}
+
+impl From<NetlistError> for CoreError {
+    fn from(e: NetlistError) -> Self {
+        CoreError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain() {
+        let e = CoreError::from(CircuitError::WidthOutOfRange { width: 0 });
+        assert!(Error::source(&e).is_some());
+        let e = CoreError::InvalidConfig {
+            reason: "cycle period must be positive".into(),
+        };
+        assert!(Error::source(&e).is_none());
+        assert!(e.to_string().contains("cycle period"));
+    }
+}

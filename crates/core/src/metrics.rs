@@ -1,0 +1,143 @@
+//! Aggregate metrics of an architecture run.
+
+/// The outcome of replaying a workload through the variable-latency engine
+/// (or a fixed-latency baseline).
+///
+/// # Example
+///
+/// ```
+/// use agemul::RunMetrics;
+///
+/// let m = RunMetrics {
+///     operations: 100,
+///     cycles: 130,
+///     errors: 2,
+///     one_cycle_ops: 70,
+///     two_cycle_ops: 30,
+///     undetected: 0,
+///     cycle_ns: 0.9,
+///     aged_mode_entered: false,
+/// };
+/// assert!((m.avg_cycles() - 1.3).abs() < 1e-12);
+/// assert!((m.avg_latency_ns() - 1.17).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunMetrics {
+    /// Operations executed.
+    pub operations: u64,
+    /// Total clock cycles consumed, including re-execution penalties.
+    pub cycles: u64,
+    /// Razor-detected timing violations.
+    pub errors: u64,
+    /// Operations the hold logic classified as one-cycle.
+    pub one_cycle_ops: u64,
+    /// Operations the hold logic classified as two-cycle.
+    pub two_cycle_ops: u64,
+    /// Timing violations that escaped the Razor window (0 under the
+    /// paper's assumptions; reachable in the shrunken-window ablation).
+    pub undetected: u64,
+    /// The clock period used, nanoseconds.
+    pub cycle_ns: f64,
+    /// Whether the AHL's aging indicator engaged at any point.
+    pub aged_mode_entered: bool,
+}
+
+impl RunMetrics {
+    /// Mean cycles per operation.
+    pub fn avg_cycles(&self) -> f64 {
+        if self.operations == 0 {
+            return 0.0;
+        }
+        self.cycles as f64 / self.operations as f64
+    }
+
+    /// Mean latency per operation, nanoseconds — the paper's headline
+    /// comparison quantity.
+    pub fn avg_latency_ns(&self) -> f64 {
+        self.avg_cycles() * self.cycle_ns
+    }
+
+    /// Errors normalized per 10 000 cycles (the paper's Figs. 16/18–22).
+    pub fn errors_per_10k_cycles(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.errors as f64 * 10_000.0 / self.cycles as f64
+    }
+
+    /// Errors normalized per 10 000 operations.
+    pub fn errors_per_10k_ops(&self) -> f64 {
+        if self.operations == 0 {
+            return 0.0;
+        }
+        self.errors as f64 * 10_000.0 / self.operations as f64
+    }
+
+    /// Fraction of operations classified one-cycle.
+    pub fn one_cycle_ratio(&self) -> f64 {
+        if self.operations == 0 {
+            return 0.0;
+        }
+        self.one_cycle_ops as f64 / self.operations as f64
+    }
+
+    /// Fraction of one-cycle classifications that mispredicted (errored).
+    pub fn misprediction_ratio(&self) -> f64 {
+        if self.one_cycle_ops == 0 {
+            return 0.0;
+        }
+        self.errors as f64 / self.one_cycle_ops as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            operations: 1000,
+            cycles: 1500,
+            errors: 30,
+            one_cycle_ops: 600,
+            two_cycle_ops: 400,
+            undetected: 0,
+            cycle_ns: 0.8,
+            aged_mode_entered: true,
+        }
+    }
+
+    #[test]
+    fn averages() {
+        let m = metrics();
+        assert!((m.avg_cycles() - 1.5).abs() < 1e-12);
+        assert!((m.avg_latency_ns() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalizations() {
+        let m = metrics();
+        assert!((m.errors_per_10k_cycles() - 200.0).abs() < 1e-9);
+        assert!((m.errors_per_10k_ops() - 300.0).abs() < 1e-9);
+        assert!((m.one_cycle_ratio() - 0.6).abs() < 1e-12);
+        assert!((m.misprediction_ratio() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_all_zeros() {
+        let m = RunMetrics {
+            operations: 0,
+            cycles: 0,
+            errors: 0,
+            one_cycle_ops: 0,
+            two_cycle_ops: 0,
+            undetected: 0,
+            cycle_ns: 1.0,
+            aged_mode_entered: false,
+        };
+        assert_eq!(m.avg_cycles(), 0.0);
+        assert_eq!(m.avg_latency_ns(), 0.0);
+        assert_eq!(m.errors_per_10k_cycles(), 0.0);
+        assert_eq!(m.misprediction_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Workload generators for the experiments.
+
+use agemul_circuits::Operand;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible sequence of `(a, b)` operand pairs.
+///
+/// Every generator takes an explicit seed — experiments are deterministic
+/// end to end, which is what lets the repro harness print stable tables.
+///
+/// # Example
+///
+/// ```
+/// use agemul::PatternSet;
+///
+/// let p1 = PatternSet::uniform(16, 100, 7);
+/// let p2 = PatternSet::uniform(16, 100, 7);
+/// assert_eq!(p1.pairs(), p2.pairs()); // same seed, same workload
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternSet {
+    width: usize,
+    pairs: Vec<(u64, u64)>,
+}
+
+impl PatternSet {
+    /// Uniformly random operand pairs — the workload behind the paper's
+    /// Figs. 5, 9, 10 and all the latency sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64`.
+    pub fn uniform(width: usize, count: usize, seed: u64) -> Self {
+        assert!(
+            (1..=64).contains(&width),
+            "width must be in 1..=64, got {width}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = Self::mask(width);
+        let pairs = (0..count)
+            .map(|_| (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask))
+            .collect();
+        PatternSet { width, pairs }
+    }
+
+    /// Pairs whose *judged* operand has exactly `zeros` zero bits, the
+    /// other operand uniform — the workload of the paper's Fig. 6 (delay
+    /// distribution under 6/8/10 zeros in the multiplicand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64` or `zeros > width`.
+    pub fn with_exact_zeros(
+        width: usize,
+        count: usize,
+        zeros: u32,
+        judged: Operand,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (1..=64).contains(&width),
+            "width must be in 1..=64, got {width}"
+        );
+        assert!(
+            zeros as usize <= width,
+            "cannot place {zeros} zeros in {width} bits"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = Self::mask(width);
+        let mut positions: Vec<usize> = (0..width).collect();
+        let pairs = (0..count)
+            .map(|_| {
+                positions.shuffle(&mut rng);
+                let mut judged_value = mask;
+                for &p in positions.iter().take(zeros as usize) {
+                    judged_value &= !(1u64 << p);
+                }
+                let other = rng.gen::<u64>() & mask;
+                match judged {
+                    Operand::Multiplicand => (judged_value, other),
+                    Operand::Multiplicator => (other, judged_value),
+                }
+            })
+            .collect();
+        PatternSet { width, pairs }
+    }
+
+    /// A correlated operand stream: each pattern differs from its
+    /// predecessor by flipping each bit independently with probability
+    /// `flip_probability`.
+    ///
+    /// Real datapaths rarely see uncorrelated operands (sensor samples,
+    /// filter states, and loop counters change a few bits per step); since
+    /// the event-driven profiler measures *transition* delays and
+    /// switching energy, workload correlation matters. Low flip
+    /// probabilities produce short sensitized paths and little switching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64` or `flip_probability` is not
+    /// within `[0, 1]`.
+    pub fn correlated(
+        width: usize,
+        count: usize,
+        flip_probability: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (1..=64).contains(&width),
+            "width must be in 1..=64, got {width}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&flip_probability),
+            "flip probability must be in [0, 1], got {flip_probability}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = Self::mask(width);
+        let mut a = rng.gen::<u64>() & mask;
+        let mut b = rng.gen::<u64>() & mask;
+        let flip = |v: u64, rng: &mut StdRng| -> u64 {
+            let mut out = v;
+            for bit in 0..width {
+                if rng.gen::<f64>() < flip_probability {
+                    out ^= 1 << bit;
+                }
+            }
+            out & mask
+        };
+        let pairs = (0..count)
+            .map(|_| {
+                a = flip(a, &mut rng);
+                b = flip(b, &mut rng);
+                (a, b)
+            })
+            .collect();
+        PatternSet { width, pairs }
+    }
+
+    /// A fixed, explicit sequence (for tests and targeted experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64` or any operand overflows it.
+    pub fn explicit(width: usize, pairs: Vec<(u64, u64)>) -> Self {
+        assert!(
+            (1..=64).contains(&width),
+            "width must be in 1..=64, got {width}"
+        );
+        let mask = Self::mask(width);
+        for &(a, b) in &pairs {
+            assert!(
+                a & !mask == 0 && b & !mask == 0,
+                "operand pair ({a}, {b}) overflows {width} bits"
+            );
+        }
+        PatternSet { width, pairs }
+    }
+
+    /// Operand width in bits.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The operand pairs in application order.
+    #[inline]
+    pub fn pairs(&self) -> &[(u64, u64)] {
+        &self.pairs
+    }
+
+    /// Number of patterns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    fn mask(width: usize) -> u64 {
+        if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::count_zeros;
+
+    use super::*;
+
+    #[test]
+    fn uniform_is_seeded_and_masked() {
+        let p = PatternSet::uniform(8, 1000, 3);
+        assert_eq!(p.len(), 1000);
+        assert!(p.pairs().iter().all(|&(a, b)| a < 256 && b < 256));
+        assert_ne!(
+            PatternSet::uniform(8, 10, 1).pairs(),
+            PatternSet::uniform(8, 10, 2).pairs()
+        );
+    }
+
+    #[test]
+    fn exact_zeros_in_multiplicand() {
+        let p = PatternSet::with_exact_zeros(16, 500, 6, Operand::Multiplicand, 9);
+        for &(a, _) in p.pairs() {
+            assert_eq!(count_zeros(a, 16), 6);
+        }
+    }
+
+    #[test]
+    fn exact_zeros_in_multiplicator() {
+        let p = PatternSet::with_exact_zeros(16, 500, 10, Operand::Multiplicator, 9);
+        for &(_, b) in p.pairs() {
+            assert_eq!(count_zeros(b, 16), 10);
+        }
+    }
+
+    #[test]
+    fn zero_positions_vary() {
+        let p = PatternSet::with_exact_zeros(16, 100, 8, Operand::Multiplicand, 11);
+        let distinct: std::collections::HashSet<u64> =
+            p.pairs().iter().map(|&(a, _)| a).collect();
+        assert!(distinct.len() > 10, "only {} distinct values", distinct.len());
+    }
+
+    #[test]
+    fn explicit_validates_range() {
+        let p = PatternSet::explicit(4, vec![(15, 3)]);
+        assert_eq!(p.pairs(), &[(15, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn explicit_rejects_overflow() {
+        let _ = PatternSet::explicit(4, vec![(16, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn rejects_too_many_zeros() {
+        let _ = PatternSet::with_exact_zeros(8, 1, 9, Operand::Multiplicand, 0);
+    }
+
+    #[test]
+    fn full_width_uniform() {
+        let p = PatternSet::uniform(64, 10, 5);
+        assert_eq!(p.width(), 64);
+        assert_eq!(p.len(), 10);
+    }
+
+    #[test]
+    fn correlated_stream_flips_few_bits() {
+        let p = PatternSet::correlated(16, 500, 0.05, 9);
+        let mut total_flips = 0u32;
+        for w in p.pairs().windows(2) {
+            total_flips += (w[0].0 ^ w[1].0).count_ones() + (w[0].1 ^ w[1].1).count_ones();
+        }
+        let per_step = f64::from(total_flips) / (2.0 * 499.0);
+        // Expect ≈ 16 × 0.05 = 0.8 flips per operand per step.
+        assert!((0.4..1.4).contains(&per_step), "{per_step} flips/step");
+    }
+
+    #[test]
+    fn correlated_zero_probability_is_constant() {
+        let p = PatternSet::correlated(8, 20, 0.0, 1);
+        assert!(p.pairs().windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "flip probability")]
+    fn correlated_rejects_bad_probability() {
+        let _ = PatternSet::correlated(8, 1, 1.5, 0);
+    }
+}

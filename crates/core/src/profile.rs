@@ -1,0 +1,220 @@
+//! Timing profiles: the bridge between circuit simulation and the engine.
+
+use agemul_circuits::MultiplierKind;
+
+/// One profiled operation: its operands, judged zero count, and measured
+/// sensitized path delay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PatternRecord {
+    /// Multiplicand.
+    pub a: u64,
+    /// Multiplicator.
+    pub b: u64,
+    /// Zero bits in the judged operand (multiplicand for column bypassing,
+    /// multiplicator for row bypassing).
+    pub zeros: u32,
+    /// Sensitized path delay of this operation applied after its
+    /// predecessor, in nanoseconds (event-driven two-vector measurement).
+    pub delay_ns: f64,
+}
+
+/// A profiled workload: per-operation timing plus aggregate switching data.
+///
+/// Profiles are produced by [`MultiplierDesign::profile`] — one
+/// (relatively expensive) event-driven simulation — and then replayed
+/// *cheaply* through [`run_engine`] under any combination of cycle period,
+/// skip number, and hold-logic flavour. This mirrors how the paper sweeps
+/// Figs. 13–24 over one set of measured delays.
+///
+/// [`MultiplierDesign::profile`]: crate::MultiplierDesign::profile
+/// [`run_engine`]: crate::run_engine
+#[derive(Clone, Debug)]
+pub struct PatternProfile {
+    kind: MultiplierKind,
+    width: usize,
+    records: Vec<PatternRecord>,
+    max_delay_ns: f64,
+    avg_gate_toggles: f64,
+}
+
+impl PatternProfile {
+    pub(crate) fn new(
+        kind: MultiplierKind,
+        width: usize,
+        records: Vec<PatternRecord>,
+        avg_gate_toggles: f64,
+    ) -> Self {
+        let max_delay_ns = records.iter().map(|r| r.delay_ns).fold(0.0, f64::max);
+        PatternProfile {
+            kind,
+            width,
+            records,
+            max_delay_ns,
+            avg_gate_toggles,
+        }
+    }
+
+    /// Builds a profile from externally supplied records — synthetic
+    /// workloads for testing, or delay data measured by another tool.
+    ///
+    /// Switching activity is unknown for external data, so
+    /// [`avg_gate_toggles`](Self::avg_gate_toggles) reports zero.
+    pub fn from_records(
+        kind: MultiplierKind,
+        width: usize,
+        records: Vec<PatternRecord>,
+    ) -> Self {
+        Self::new(kind, width, records, 0.0)
+    }
+
+    /// The profiled multiplier architecture.
+    #[inline]
+    pub fn kind(&self) -> MultiplierKind {
+        self.kind
+    }
+
+    /// Operand width in bits.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The per-operation records in application order.
+    #[inline]
+    pub fn records(&self) -> &[PatternRecord] {
+        &self.records
+    }
+
+    /// Number of profiled operations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the profile is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The longest observed sensitized delay, nanoseconds.
+    #[inline]
+    pub fn max_delay_ns(&self) -> f64 {
+        self.max_delay_ns
+    }
+
+    /// Mean gate-output toggles per operation (glitches included) — the
+    /// dynamic-power driver.
+    #[inline]
+    pub fn avg_gate_toggles(&self) -> f64 {
+        self.avg_gate_toggles
+    }
+
+    /// Mean sensitized delay across the workload, nanoseconds.
+    pub fn avg_delay_ns(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.delay_ns).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Fraction of operations whose judged operand has at least `skip`
+    /// zeros — the paper's "one-cycle pattern ratio" (Tables I & II).
+    pub fn one_cycle_ratio(&self, skip: u32) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let n = self.records.iter().filter(|r| r.zeros >= skip).count();
+        n as f64 / self.records.len() as f64
+    }
+
+    /// Delay histogram with `bins` equal-width bins over `[0, max]` —
+    /// the paper's Figs. 5 and 6.
+    ///
+    /// Returns `(bin_upper_edge_ns, count)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    pub fn delay_histogram(&self, bins: usize) -> Vec<(f64, u64)> {
+        assert!(bins > 0, "need at least one bin");
+        let hi = self.max_delay_ns.max(f64::MIN_POSITIVE);
+        let w = hi / bins as f64;
+        let mut counts = vec![0u64; bins];
+        for r in &self.records {
+            let mut idx = (r.delay_ns / w) as usize;
+            if idx >= bins {
+                idx = bins - 1;
+            }
+            counts[idx] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (w * (i + 1) as f64, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> PatternProfile {
+        let records = vec![
+            PatternRecord {
+                a: 1,
+                b: 2,
+                zeros: 15,
+                delay_ns: 0.2,
+            },
+            PatternRecord {
+                a: 0xFFFF,
+                b: 0xFFFF,
+                zeros: 0,
+                delay_ns: 1.4,
+            },
+            PatternRecord {
+                a: 0xFF,
+                b: 3,
+                zeros: 8,
+                delay_ns: 0.8,
+            },
+        ];
+        PatternProfile::new(MultiplierKind::ColumnBypass, 16, records, 500.0)
+    }
+
+    #[test]
+    fn aggregates() {
+        let p = profile();
+        assert_eq!(p.len(), 3);
+        assert!((p.max_delay_ns() - 1.4).abs() < 1e-12);
+        assert!((p.avg_delay_ns() - (0.2 + 1.4 + 0.8) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_cycle_ratio_thresholds() {
+        let p = profile();
+        assert!((p.one_cycle_ratio(8) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p.one_cycle_ratio(16) - 0.0).abs() < 1e-12);
+        assert!((p.one_cycle_ratio(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_covers_all_records() {
+        let p = profile();
+        let h = p.delay_histogram(7);
+        assert_eq!(h.len(), 7);
+        assert_eq!(h.iter().map(|&(_, c)| c).sum::<u64>(), 3);
+        // The last bin's upper edge is the max delay.
+        assert!((h.last().unwrap().0 - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profile_is_well_behaved() {
+        let p = PatternProfile::new(MultiplierKind::Array, 16, Vec::new(), 0.0);
+        assert!(p.is_empty());
+        assert_eq!(p.avg_delay_ns(), 0.0);
+        assert_eq!(p.one_cycle_ratio(5), 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Behavioural model of the Razor flip-flop bank (paper Fig. 11).
+
+/// Configuration of the Razor detection window.
+///
+/// A Razor flip-flop's shadow latch samples on a delayed clock; a timing
+/// violation is caught iff the straggling transition lands inside the
+/// shadow window. The paper relies on two cycles always being enough, i.e.
+/// an effective window of one extra cycle — `window_factor = 1.0`, the
+/// default. Smaller factors model cheaper shadow latches that can *miss*
+/// late transitions (silent corruption), which the failure-injection tests
+/// and ablation benches explore.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RazorConfig {
+    /// Shadow window as a fraction of the cycle period.
+    pub window_factor: f64,
+}
+
+impl RazorConfig {
+    /// The paper's effective configuration: the shadow latch covers a full
+    /// extra cycle.
+    pub fn paper() -> Self {
+        RazorConfig { window_factor: 1.0 }
+    }
+}
+
+impl Default for RazorConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Outcome of a Razor check on one operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DetectOutcome {
+    /// The result latched correctly within the cycle.
+    Ok,
+    /// The main flip-flop caught a wrong value; the shadow latch disagreed
+    /// and the error signal fired — the operation re-executes.
+    Error,
+    /// The transition arrived after even the shadow window: the violation
+    /// goes unnoticed (silent data corruption). Impossible under the
+    /// paper's assumptions; reachable only with a shrunken window.
+    Undetected,
+}
+
+/// The bank of `2m` one-bit Razor flip-flops guarding the multiplier
+/// outputs.
+///
+/// Behaviourally, a bank is characterized by one question per operation:
+/// did the slowest output transition beat the clock edge, land inside the
+/// shadow window (→ error + re-execution), or miss both?
+///
+/// # Example
+///
+/// ```
+/// use agemul::{DetectOutcome, RazorBank, RazorConfig};
+///
+/// let bank = RazorBank::new(32, RazorConfig::paper());
+/// assert_eq!(bank.check(0.8, 1.0), DetectOutcome::Ok);
+/// assert_eq!(bank.check(1.4, 1.0), DetectOutcome::Error);
+/// assert_eq!(bank.check(2.5, 1.0), DetectOutcome::Undetected);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RazorBank {
+    bits: usize,
+    config: RazorConfig,
+}
+
+impl RazorBank {
+    /// Creates a bank of `bits` Razor flip-flops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or the window factor is negative/not
+    /// finite.
+    pub fn new(bits: usize, config: RazorConfig) -> Self {
+        assert!(bits > 0, "a Razor bank needs at least one bit");
+        assert!(
+            config.window_factor.is_finite() && config.window_factor >= 0.0,
+            "window factor must be finite and non-negative, got {}",
+            config.window_factor
+        );
+        RazorBank { bits, config }
+    }
+
+    /// Number of flip-flops in the bank.
+    #[inline]
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The detection window configuration.
+    #[inline]
+    pub fn config(&self) -> RazorConfig {
+        self.config
+    }
+
+    /// Classifies one operation whose slowest output transition arrived
+    /// `delay_ns` after the launch edge, under a `cycle_ns` clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_ns` is not finite and positive or `delay_ns` is
+    /// negative/not finite.
+    pub fn check(&self, delay_ns: f64, cycle_ns: f64) -> DetectOutcome {
+        assert!(
+            cycle_ns.is_finite() && cycle_ns > 0.0,
+            "cycle period must be finite and positive, got {cycle_ns}"
+        );
+        assert!(
+            delay_ns.is_finite() && delay_ns >= 0.0,
+            "delay must be finite and non-negative, got {delay_ns}"
+        );
+        if delay_ns <= cycle_ns {
+            DetectOutcome::Ok
+        } else if delay_ns <= cycle_ns * (1.0 + self.config.window_factor) {
+            DetectOutcome::Error
+        } else {
+            DetectOutcome::Undetected
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_boundaries() {
+        let bank = RazorBank::new(8, RazorConfig::paper());
+        assert_eq!(bank.check(1.0, 1.0), DetectOutcome::Ok); // exactly on edge
+        assert_eq!(bank.check(1.0 + 1e-9, 1.0), DetectOutcome::Error);
+        assert_eq!(bank.check(2.0, 1.0), DetectOutcome::Error); // window edge
+        assert_eq!(bank.check(2.0 + 1e-9, 1.0), DetectOutcome::Undetected);
+    }
+
+    #[test]
+    fn zero_delay_patterns_always_pass() {
+        let bank = RazorBank::new(8, RazorConfig::paper());
+        assert_eq!(bank.check(0.0, 0.5), DetectOutcome::Ok);
+    }
+
+    #[test]
+    fn narrow_window_misses_late_transitions() {
+        let bank = RazorBank::new(8, RazorConfig { window_factor: 0.1 });
+        assert_eq!(bank.check(1.05, 1.0), DetectOutcome::Error);
+        assert_eq!(bank.check(1.2, 1.0), DetectOutcome::Undetected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn rejects_empty_bank() {
+        let _ = RazorBank::new(0, RazorConfig::paper());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle period")]
+    fn rejects_zero_cycle() {
+        let bank = RazorBank::new(1, RazorConfig::paper());
+        let _ = bank.check(1.0, 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Cycle-accurate co-simulation of the full architecture.
+//!
+//! The experiment engine ([`crate::run_engine`]) replays *pre-profiled*
+//! per-operation delays — fast, but it assumes the profile/replay
+//! decomposition is sound (in particular, that a re-executed operation
+//! re-applies the same operands and therefore causes no new transitions).
+//! This module removes the assumption: it drives the gate-level netlist,
+//! the AHL, and the Razor bank together, operation by operation, measuring
+//! each sensitized delay live off the event-driven simulator. The test
+//! suite asserts both paths produce identical metrics.
+
+use agemul_netlist::EventSim;
+
+use crate::{
+    Ahl, CycleDecision, DetectOutcome, EngineConfig, MultiplierDesign, PatternSet, RazorBank,
+    RunMetrics,
+};
+
+/// Runs the architecture cycle-accurately over `patterns`, measuring every
+/// operation's delay from the live circuit state instead of a profile.
+///
+/// `factors` optionally ages the circuit (as in
+/// [`MultiplierDesign::profile`]).
+///
+/// # Errors
+///
+/// Propagates circuit/netlist errors ([`crate::CoreError`]).
+///
+/// # Example
+///
+/// ```no_run
+/// use agemul::{cycle_accurate_run, EngineConfig, MultiplierDesign, PatternSet};
+/// use agemul_circuits::MultiplierKind;
+///
+/// let design = MultiplierDesign::new(MultiplierKind::ColumnBypass, 16)?;
+/// let patterns = PatternSet::uniform(16, 500, 1);
+/// let metrics = cycle_accurate_run(
+///     &design,
+///     &patterns,
+///     None,
+///     &EngineConfig::adaptive(0.95, 7),
+/// )?;
+/// assert_eq!(metrics.operations, 500);
+/// # Ok::<(), agemul::CoreError>(())
+/// ```
+pub fn cycle_accurate_run(
+    design: &MultiplierDesign,
+    patterns: &PatternSet,
+    factors: Option<&[f64]>,
+    config: &EngineConfig,
+) -> Result<RunMetrics, crate::CoreError> {
+    assert!(
+        config.cycle_ns.is_finite() && config.cycle_ns > 0.0,
+        "cycle period must be finite and positive, got {}",
+        config.cycle_ns
+    );
+    let delays = design.delay_assignment(factors)?;
+    let mut sim = EventSim::new(design.circuit().netlist(), design.topology(), delays);
+    sim.settle(&design.circuit().encode_inputs(0, 0)?)?;
+
+    let mut ahl = if config.adaptive {
+        Ahl::adaptive(config.skip, config.ahl)
+    } else {
+        Ahl::traditional(config.skip)
+    };
+    let razor = RazorBank::new(2 * design.width().max(1), config.razor);
+
+    let mut metrics = RunMetrics {
+        operations: 0,
+        cycles: 0,
+        errors: 0,
+        one_cycle_ops: 0,
+        two_cycle_ops: 0,
+        undetected: 0,
+        cycle_ns: config.cycle_ns,
+        aged_mode_entered: false,
+    };
+
+    let width = design.width();
+    for &(a, b) in patterns.pairs() {
+        metrics.operations += 1;
+        // The AHL and the array see the new operands in the same cycle.
+        let zeros = crate::count_zeros(
+            match design.kind().judged_operand() {
+                agemul_circuits::Operand::Multiplicand => a,
+                agemul_circuits::Operand::Multiplicator => b,
+            },
+            width,
+        );
+        let timing = sim.step(&design.circuit().encode_inputs(a, b)?)?;
+
+        match ahl.decide(zeros) {
+            CycleDecision::OneCycle => {
+                metrics.one_cycle_ops += 1;
+                match razor.check(timing.delay_ns, config.cycle_ns) {
+                    DetectOutcome::Ok => {
+                        metrics.cycles += 1;
+                        ahl.record(false);
+                    }
+                    DetectOutcome::Error => {
+                        metrics.errors += 1;
+                        metrics.cycles += 1 + u64::from(config.error_penalty_cycles);
+                        // Re-execution re-applies the same operands: the
+                        // settled circuit produces no further transitions,
+                        // which we verify rather than assume.
+                        let redo = sim.step(&design.circuit().encode_inputs(a, b)?)?;
+                        debug_assert_eq!(redo.events, 0, "re-execution must be quiescent");
+                        ahl.record(true);
+                    }
+                    DetectOutcome::Undetected => {
+                        metrics.undetected += 1;
+                        metrics.cycles += 1;
+                        ahl.record(false);
+                    }
+                }
+            }
+            CycleDecision::TwoCycles => {
+                metrics.two_cycle_ops += 1;
+                metrics.cycles += 2;
+                if config.strict_two_cycle && timing.delay_ns > 2.0 * config.cycle_ns {
+                    metrics.errors += 1;
+                    metrics.cycles += u64::from(config.error_penalty_cycles);
+                    ahl.record(true);
+                } else {
+                    ahl.record(false);
+                }
+            }
+        }
+        metrics.aged_mode_entered |= ahl.is_aged_mode();
+    }
+    Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_circuits::MultiplierKind;
+
+    use crate::run_engine;
+
+    use super::*;
+
+    #[test]
+    fn matches_profile_replay_exactly() {
+        let design = MultiplierDesign::new(MultiplierKind::ColumnBypass, 8).unwrap();
+        let patterns = PatternSet::uniform(8, 400, 17);
+        let config = EngineConfig::adaptive(0.55, 4);
+
+        let profile = design.profile(patterns.pairs(), None).unwrap();
+        let replayed = run_engine(&profile, &config);
+        let live = cycle_accurate_run(&design, &patterns, None, &config).unwrap();
+        assert_eq!(live, replayed);
+        assert!(live.errors > 0, "pick a period that actually errors");
+    }
+
+    #[test]
+    fn matches_replay_on_aged_circuit() {
+        let design = MultiplierDesign::new(MultiplierKind::RowBypass, 8).unwrap();
+        let patterns = PatternSet::uniform(8, 300, 23);
+        let factors = vec![1.12; design.circuit().netlist().gate_count()];
+        for adaptive in [false, true] {
+            let config = if adaptive {
+                EngineConfig::adaptive(0.6, 4)
+            } else {
+                EngineConfig::traditional(0.6, 4)
+            };
+            let profile = design.profile(patterns.pairs(), Some(&factors)).unwrap();
+            let replayed = run_engine(&profile, &config);
+            let live =
+                cycle_accurate_run(&design, &patterns, Some(&factors), &config).unwrap();
+            assert_eq!(live, replayed, "adaptive={adaptive}");
+        }
+    }
+
+    #[test]
+    fn reexecution_is_quiescent() {
+        // Covered by the debug_assert inside the run; exercise a config
+        // with many errors so the assertion actually fires.
+        let design = MultiplierDesign::new(MultiplierKind::ColumnBypass, 8).unwrap();
+        let patterns = PatternSet::uniform(8, 200, 31);
+        let config = EngineConfig::adaptive(0.4, 0); // everything one-cycle, tiny period
+        let live = cycle_accurate_run(&design, &patterns, None, &config).unwrap();
+        assert!(live.errors > 50);
+    }
+}

@@ -1,0 +1,138 @@
+//! Scenario tests for the variable-latency engine and AHL dynamics.
+
+use agemul::{
+    run_engine, Ahl, AhlConfig, CycleDecision, EngineConfig, MultiplierDesign, PatternProfile,
+    PatternRecord, PatternSet, RazorConfig,
+};
+use agemul_circuits::MultiplierKind;
+
+fn synthetic_profile(records: Vec<PatternRecord>) -> PatternProfile {
+    PatternProfile::from_records(MultiplierKind::ColumnBypass, 16, records)
+}
+
+fn rec(zeros: u32, delay_ns: f64) -> PatternRecord {
+    PatternRecord {
+        a: 0,
+        b: 0,
+        zeros,
+        delay_ns,
+    }
+}
+
+/// A step change in delay mid-stream (sudden degradation): the adaptive
+/// engine converges to the stricter block within one window and stays
+/// there; errors stop.
+#[test]
+fn adaptation_converges_after_step_degradation() {
+    let mut records = Vec::new();
+    // Phase 1: healthy — borderline patterns fit in the cycle.
+    for _ in 0..500 {
+        records.push(rec(7, 0.85));
+    }
+    // Phase 2: degradation — the same patterns now miss the 0.9 ns cycle.
+    for _ in 0..1500 {
+        records.push(rec(7, 0.95));
+    }
+    let profile = synthetic_profile(records);
+    let m = run_engine(&profile, &EngineConfig::adaptive(0.9, 7));
+    assert!(m.aged_mode_entered);
+    // At most two windows of errors (200 ops × up to 100% error rate)
+    // before the stricter block demotes every 7-zero pattern.
+    assert!(m.errors <= 200, "errors {}", m.errors);
+    // Phase-2 patterns after adaptation run at 2 cycles, never erroring.
+    let tail = run_engine(
+        &synthetic_profile(vec![rec(7, 0.95); 100]),
+        &EngineConfig::traditional(0.9, 8),
+    );
+    assert_eq!(tail.errors, 0);
+}
+
+/// Without adaptation the same stream pays the Razor penalty forever.
+#[test]
+fn traditional_design_pays_forever() {
+    let records = vec![rec(7, 0.95); 2000];
+    let profile = synthetic_profile(records);
+    let adaptive = run_engine(&profile, &EngineConfig::adaptive(0.9, 7));
+    let traditional = run_engine(&profile, &EngineConfig::traditional(0.9, 7));
+    assert_eq!(traditional.errors, 2000);
+    assert!(adaptive.errors < 150);
+    // 4 cycles per op traditional vs ~2 adaptive.
+    assert!(traditional.avg_cycles() > 3.9);
+    assert!(adaptive.avg_cycles() < 2.2);
+}
+
+/// The oscillation hazard of a non-latching aging indicator: mode flips
+/// back and forth between windows on a borderline workload.
+#[test]
+fn non_sticky_indicator_oscillates_on_borderline_load() {
+    let mut ahl = Ahl::adaptive(
+        7,
+        AhlConfig {
+            window_ops: 100,
+            error_threshold: 10,
+            sticky: false,
+        },
+    );
+    // Simulate: patterns error iff judged by the *first* block (7 zeros,
+    // delay just over the cycle) — exactly the paper's aged borderline.
+    for _ in 0..1000 {
+        let would_error = ahl.decide(7) == CycleDecision::OneCycle;
+        ahl.record(would_error);
+    }
+    assert!(ahl.mode_transitions() >= 4, "{}", ahl.mode_transitions());
+}
+
+/// A sticky indicator settles after one transition on the same load.
+#[test]
+fn sticky_indicator_settles() {
+    let mut ahl = Ahl::adaptive(7, AhlConfig::paper());
+    for _ in 0..1000 {
+        let would_error = ahl.decide(7) == CycleDecision::OneCycle;
+        ahl.record(would_error);
+    }
+    assert_eq!(ahl.mode_transitions(), 1);
+    assert!(ahl.is_aged_mode());
+}
+
+/// Failure injection: a shrunken Razor window lets violations through as
+/// silent corruptions, and the AHL — blind to them — never adapts.
+#[test]
+fn undetected_violations_disable_adaptation() {
+    let records = vec![rec(7, 2.5); 500]; // way beyond cycle and window
+    let profile = synthetic_profile(records);
+    let mut cfg = EngineConfig::adaptive(0.9, 7);
+    cfg.razor = RazorConfig { window_factor: 0.2 };
+    let m = run_engine(&profile, &cfg);
+    assert_eq!(m.errors, 0);
+    assert_eq!(m.undetected, 500);
+    assert!(!m.aged_mode_entered, "AHL cannot see silent corruption");
+}
+
+/// End-to-end profile → engine at an unusual width (20 bits) with real
+/// simulation, checking the one-cycle ratio tracks the judging threshold.
+#[test]
+fn real_profile_one_cycle_ratio_matches_judging() {
+    let design = MultiplierDesign::new(MultiplierKind::ColumnBypass, 20).unwrap();
+    let patterns = PatternSet::uniform(20, 400, 5);
+    let profile = design.profile(patterns.pairs(), None).unwrap();
+    let skip = 10;
+    let expected = profile.one_cycle_ratio(skip);
+    // Generous cycle so no errors perturb the classification.
+    let m = run_engine(&profile, &EngineConfig::adaptive(5.0, skip));
+    assert_eq!(m.errors, 0);
+    assert!((m.one_cycle_ratio() - expected).abs() < 1e-12);
+}
+
+/// Two-cycle strictness: under absurd aging, even two cycles miss; the
+/// strict engine reports it, the default (paper) engine does not.
+#[test]
+fn strict_two_cycle_mode_exposes_paper_assumption() {
+    let records = vec![rec(0, 5.0); 50];
+    let profile = synthetic_profile(records);
+    let relaxed = run_engine(&profile, &EngineConfig::adaptive(1.0, 7));
+    assert_eq!(relaxed.errors, 0);
+    let mut cfg = EngineConfig::adaptive(1.0, 7);
+    cfg.strict_two_cycle = true;
+    let strict = run_engine(&profile, &cfg);
+    assert_eq!(strict.errors, 50);
+}

@@ -1,0 +1,171 @@
+//! Transistor-count area model (paper Fig. 25 reports area in transistors).
+
+use std::fmt;
+
+use crate::GateKind;
+
+/// Sequential cell kinds that appear in the proposed architecture but are not
+/// part of the combinational netlist itself.
+///
+/// The paper's area comparison (Fig. 25) counts input flip-flops, output
+/// flip-flops (plain D flip-flops for the fixed-latency designs, Razor
+/// flip-flops for the variable-latency ones), and the AHL's D flip-flop, so
+/// the area model must price them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlopKind {
+    /// A plain master–slave D flip-flop.
+    Dff,
+    /// A Razor flip-flop: main flip-flop + shadow latch + XOR comparator +
+    /// restore mux (Ernst et al., MICRO'03).
+    RazorFf,
+    /// A level-sensitive latch (used inside Razor accounting and clock
+    /// gating cells).
+    Latch,
+}
+
+impl FlopKind {
+    /// Every sequential kind.
+    pub const ALL: [FlopKind; 3] = [FlopKind::Dff, FlopKind::RazorFf, FlopKind::Latch];
+}
+
+impl fmt::Display for FlopKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FlopKind::Dff => "DFF",
+            FlopKind::RazorFf => "RAZOR",
+            FlopKind::Latch => "LATCH",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Transistor counts per gate and flip-flop kind, in a static-CMOS flavour.
+///
+/// The defaults follow standard-cell conventions: a 2-input NAND/NOR is 4
+/// transistors, AND/OR add an output inverter, a transmission-gate XOR is 8,
+/// a transmission-gate 2:1 mux is 6, a tri-state buffer 8 (inverter +
+/// clocked output stage), a D flip-flop 24, and a Razor flip-flop prices the
+/// main flop plus shadow latch (10), XOR comparator (8) and restore mux (6).
+///
+/// Variadic gates are priced per-input: an n-input AND is modeled as
+/// `2n + 2` transistors (series/parallel stacks plus the inverter).
+///
+/// # Example
+///
+/// ```
+/// use agemul_logic::{AreaModel, GateKind, FlopKind};
+///
+/// let area = AreaModel::standard_cell();
+/// assert_eq!(area.gate_transistors(GateKind::Nand, 2), 4);
+/// assert!(area.flop_transistors(FlopKind::RazorFf)
+///     > area.flop_transistors(FlopKind::Dff));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AreaModel {
+    dff: u32,
+    razor: u32,
+    latch: u32,
+}
+
+impl AreaModel {
+    /// The default static-CMOS standard-cell model described on the type.
+    pub fn standard_cell() -> Self {
+        AreaModel {
+            dff: 24,
+            razor: 24 + 10 + 8 + 6,
+            latch: 10,
+        }
+    }
+
+    /// Transistor count of a combinational gate with `arity` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is illegal for the gate kind.
+    pub fn gate_transistors(&self, kind: GateKind, arity: usize) -> u32 {
+        assert!(
+            kind.accepts_arity(arity),
+            "gate {kind} cannot have {arity} inputs"
+        );
+        let n = arity as u32;
+        match kind {
+            GateKind::Buf => 4,
+            GateKind::Not => 2,
+            GateKind::Nand | GateKind::Nor => 2 * n,
+            GateKind::And | GateKind::Or => 2 * n + 2,
+            // Transmission-gate XOR is 8T for 2 inputs; each extra input
+            // cascades another XOR stage.
+            GateKind::Xor => 8 * (n - 1),
+            GateKind::Xnor => 8 * (n - 1) + 2,
+            GateKind::Mux2 => 6,
+            GateKind::Tbuf => 8,
+        }
+    }
+
+    /// Transistor count of a sequential cell.
+    pub fn flop_transistors(&self, kind: FlopKind) -> u32 {
+        match kind {
+            FlopKind::Dff => self.dff,
+            FlopKind::RazorFf => self.razor,
+            FlopKind::Latch => self.latch,
+        }
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::standard_cell()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_counts() {
+        let a = AreaModel::standard_cell();
+        assert_eq!(a.gate_transistors(GateKind::Not, 1), 2);
+        assert_eq!(a.gate_transistors(GateKind::Nand, 2), 4);
+        assert_eq!(a.gate_transistors(GateKind::Nor, 2), 4);
+        assert_eq!(a.gate_transistors(GateKind::And, 2), 6);
+        assert_eq!(a.gate_transistors(GateKind::Or, 2), 6);
+        assert_eq!(a.gate_transistors(GateKind::Xor, 2), 8);
+        assert_eq!(a.gate_transistors(GateKind::Mux2, 3), 6);
+        assert_eq!(a.gate_transistors(GateKind::Tbuf, 2), 8);
+    }
+
+    #[test]
+    fn variadic_gates_grow_linearly() {
+        let a = AreaModel::standard_cell();
+        assert_eq!(a.gate_transistors(GateKind::And, 3), 8);
+        assert_eq!(a.gate_transistors(GateKind::Nand, 4), 8);
+        assert_eq!(a.gate_transistors(GateKind::Xor, 3), 16);
+    }
+
+    #[test]
+    fn razor_is_heavier_than_dff() {
+        let a = AreaModel::standard_cell();
+        assert!(a.flop_transistors(FlopKind::RazorFf) > a.flop_transistors(FlopKind::Dff));
+        assert!(a.flop_transistors(FlopKind::Dff) > a.flop_transistors(FlopKind::Latch));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot have")]
+    fn rejects_bad_arity() {
+        let a = AreaModel::standard_cell();
+        let _ = a.gate_transistors(GateKind::Mux2, 2);
+    }
+
+    #[test]
+    fn all_counts_positive() {
+        let a = AreaModel::standard_cell();
+        for kind in GateKind::ALL {
+            let arity = kind.fixed_arity().unwrap_or(2);
+            assert!(a.gate_transistors(kind, arity) > 0, "{kind}");
+        }
+        for kind in FlopKind::ALL {
+            assert!(a.flop_transistors(kind) > 0, "{kind}");
+        }
+    }
+}

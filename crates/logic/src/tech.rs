@@ -1,0 +1,157 @@
+//! Technology constants for the 32 nm high-k/metal-gate process assumed by
+//! the paper's evaluation.
+
+/// A bundle of process/operating-point constants consumed by the BTI aging
+/// model (`agemul-aging`) and the power model (`agemul-power`).
+///
+/// The paper adopts the 32 nm high-k predictive technology model (PTM) and
+/// simulates at 125 °C; [`Technology::ptm_32nm_hk`] mirrors that setup.
+/// `E0` and `Ea` are the reaction–diffusion constants the paper quotes
+/// (1.9–2.0 MV/cm and 0.12 eV). The time exponent `n` of the RD framework is
+/// 1/6 for H₂ diffusion, the commonly used value in the cited model
+/// (refs. 24–26 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use agemul_logic::Technology;
+///
+/// let tech = Technology::ptm_32nm_hk();
+/// assert!(tech.vdd_v > tech.vth0_v);
+/// assert!((tech.temperature_k - 398.15).abs() < 1e-9); // 125 °C
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Technology {
+    /// Supply voltage in volts.
+    pub vdd_v: f64,
+    /// Zero-time threshold-voltage magnitude in volts (|Vth| for pMOS,
+    /// Vth for nMOS — the model treats them symmetrically because on
+    /// 32 nm HKMG the PBTI effect is comparable to NBTI).
+    pub vth0_v: f64,
+    /// Equivalent oxide thickness in centimetres.
+    pub tox_cm: f64,
+    /// Gate-oxide capacitance per area, F/cm².
+    pub cox_f_per_cm2: f64,
+    /// Junction temperature in kelvin.
+    pub temperature_k: f64,
+    /// RD-model field-acceleration constant E₀, V/cm (paper: 1.9–2.0 MV/cm).
+    pub e0_v_per_cm: f64,
+    /// RD-model activation energy, eV (paper: 0.12 eV).
+    pub ea_ev: f64,
+    /// RD-model time exponent `n` (1/6 for H₂ diffusion).
+    pub time_exponent: f64,
+    /// Alpha-power-law velocity-saturation exponent used to translate
+    /// ΔVth into gate-delay degradation (≈ 1.3 at 32 nm).
+    pub alpha_power: f64,
+}
+
+impl Technology {
+    /// Boltzmann constant in eV/K.
+    pub const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
+
+    /// The 32 nm high-k/metal-gate operating point used throughout the
+    /// paper's experiments (125 °C junction temperature).
+    pub fn ptm_32nm_hk() -> Self {
+        Technology {
+            vdd_v: 0.9,
+            vth0_v: 0.30,
+            // ~1.65 nm EOT expressed in cm.
+            tox_cm: 1.65e-7,
+            // εox / tox with εox = 3.9 ε0; ε0 = 8.854e-14 F/cm.
+            cox_f_per_cm2: 3.9 * 8.854e-14 / 1.65e-7,
+            temperature_k: 125.0 + 273.15,
+            e0_v_per_cm: 2.0e6,
+            ea_ev: 0.12,
+            time_exponent: 1.0 / 6.0,
+            alpha_power: 1.3,
+        }
+    }
+
+    /// The gate overdrive voltage `Vgs − Vth` at time zero, in volts.
+    #[inline]
+    pub fn overdrive_v(&self) -> f64 {
+        self.vdd_v - self.vth0_v
+    }
+
+    /// The vertical oxide field `Eox = (Vgs − Vth) / Tox`, in V/cm.
+    #[inline]
+    pub fn eox_v_per_cm(&self) -> f64 {
+        self.overdrive_v() / self.tox_cm
+    }
+
+    /// `kT` at the operating temperature, in eV.
+    #[inline]
+    pub fn kt_ev(&self) -> f64 {
+        Self::BOLTZMANN_EV_PER_K * self.temperature_k
+    }
+
+    /// Returns a copy at a different junction temperature (kelvin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temperature_k` is not finite and positive.
+    pub fn at_temperature(&self, temperature_k: f64) -> Self {
+        assert!(
+            temperature_k.is_finite() && temperature_k > 0.0,
+            "temperature must be finite and positive, got {temperature_k}"
+        );
+        Technology {
+            temperature_k,
+            ..self.clone()
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::ptm_32nm_hk()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operating_point_sanity() {
+        let t = Technology::ptm_32nm_hk();
+        assert!(t.vdd_v > 0.0 && t.vdd_v < 1.5);
+        assert!(t.vth0_v > 0.0 && t.vth0_v < t.vdd_v);
+        assert!(t.overdrive_v() > 0.0);
+        assert!(t.cox_f_per_cm2 > 0.0);
+    }
+
+    #[test]
+    fn field_is_mega_volts_per_cm() {
+        let t = Technology::ptm_32nm_hk();
+        let eox = t.eox_v_per_cm();
+        // Oxide fields in scaled CMOS sit in the MV/cm range.
+        assert!(eox > 1.0e6 && eox < 2.0e7, "Eox = {eox}");
+    }
+
+    #[test]
+    fn kt_at_125c() {
+        let t = Technology::ptm_32nm_hk();
+        // kT at 398 K ≈ 0.0343 eV.
+        assert!((t.kt_ev() - 0.0343).abs() < 0.001);
+    }
+
+    #[test]
+    fn temperature_override() {
+        let t = Technology::ptm_32nm_hk().at_temperature(300.0);
+        assert_eq!(t.temperature_k, 300.0);
+        assert_eq!(t.vdd_v, Technology::ptm_32nm_hk().vdd_v);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_absolute_zero() {
+        let _ = Technology::ptm_32nm_hk().at_temperature(0.0);
+    }
+
+    #[test]
+    fn time_exponent_is_rd_h2() {
+        let t = Technology::default();
+        assert!((t.time_exponent - 1.0 / 6.0).abs() < 1e-12);
+    }
+}

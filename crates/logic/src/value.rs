@@ -1,0 +1,267 @@
+//! The four-valued signal type used throughout the workspace.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A four-valued digital logic level.
+///
+/// The two extra levels beyond `0`/`1` exist to model the tri-state bypassing
+/// networks of the column- and row-bypassing multipliers:
+///
+/// * [`Logic::Z`] — high impedance: the value of a net whose tri-state driver
+///   is disabled. A gate *reading* `Z` treats it as unknown.
+/// * [`Logic::X`] — unknown/uninitialized: the value of every net before the
+///   first settling pass, and the result of any gate whose inputs do not
+///   determine its output.
+///
+/// Gate evaluation follows Kleene semantics with controlling values: e.g.
+/// `AND(Zero, X) = Zero` because a single `0` input forces an AND gate low
+/// regardless of the other inputs. This is exactly what makes the bypassing
+/// multipliers functionally safe: an un-driven full-adder output is always
+/// masked downstream by a mux whose select is known, or by an AND gate whose
+/// other input is `0`.
+///
+/// # Example
+///
+/// ```
+/// use agemul_logic::Logic;
+///
+/// assert_eq!(Logic::Zero.and(Logic::X), Logic::Zero); // controlling 0
+/// assert_eq!(Logic::One.and(Logic::X), Logic::X);     // undetermined
+/// assert_eq!(!Logic::Zero, Logic::One);
+/// assert_eq!(!Logic::Z, Logic::X); // reading Z yields unknown
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Logic {
+    /// Driven low.
+    Zero,
+    /// Driven high.
+    One,
+    /// High impedance (no driver). Reads as unknown.
+    Z,
+    /// Unknown / uninitialized.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// All four logic levels, useful for exhaustive table-driven tests.
+    pub const ALL: [Logic; 4] = [Logic::Zero, Logic::One, Logic::Z, Logic::X];
+
+    /// Returns `true` if the value is a defined `0` or `1`.
+    #[inline]
+    pub fn is_known(self) -> bool {
+        matches!(self, Logic::Zero | Logic::One)
+    }
+
+    /// Converts to `bool` if the value is defined.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::Z | Logic::X => None,
+        }
+    }
+
+    /// Collapses `Z` (a floating input pin) to `X` for gate-input purposes.
+    #[inline]
+    pub fn read(self) -> Logic {
+        match self {
+            Logic::Z => Logic::X,
+            v => v,
+        }
+    }
+
+    /// Kleene AND with controlling-zero semantics.
+    #[inline]
+    pub fn and(self, other: Logic) -> Logic {
+        match (self.read(), other.read()) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Kleene OR with controlling-one semantics.
+    #[inline]
+    pub fn or(self, other: Logic) -> Logic {
+        match (self.read(), other.read()) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Kleene XOR; any unknown input yields `X`.
+    #[inline]
+    pub fn xor(self, other: Logic) -> Logic {
+        match (self.read().to_bool(), other.read().to_bool()) {
+            (Some(a), Some(b)) => Logic::from(a ^ b),
+            _ => Logic::X,
+        }
+    }
+
+    /// Resolves two drivers on the same net (wired-resolution).
+    ///
+    /// `Z` yields to any real driver; conflicting or unknown drivers resolve
+    /// to `X`. This is used by the netlist validator to explain multi-driver
+    /// errors, and by bus modeling in tests.
+    #[inline]
+    pub fn resolve(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Z, v) | (v, Logic::Z) => v,
+            (a, b) if a == b => a,
+            _ => Logic::X,
+        }
+    }
+
+    /// The fraction of time a net at this settled value is considered high,
+    /// used when accumulating signal probabilities for the aging model.
+    /// Unknown values count as half.
+    #[inline]
+    pub fn high_weight(self) -> f64 {
+        match self {
+            Logic::Zero => 0.0,
+            Logic::One => 1.0,
+            Logic::Z | Logic::X => 0.5,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    #[inline]
+    fn from(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+
+    #[inline]
+    fn not(self) -> Logic {
+        match self.read() {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::Z => 'z',
+            Logic::X => 'x',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Logic::from(true), Logic::One);
+        assert_eq!(Logic::from(false), Logic::Zero);
+        assert_eq!(Logic::One.to_bool(), Some(true));
+        assert_eq!(Logic::Zero.to_bool(), Some(false));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert_eq!(Logic::Z.to_bool(), None);
+    }
+
+    #[test]
+    fn known_levels() {
+        assert!(Logic::Zero.is_known());
+        assert!(Logic::One.is_known());
+        assert!(!Logic::Z.is_known());
+        assert!(!Logic::X.is_known());
+    }
+
+    #[test]
+    fn and_controlling_zero() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::Zero.and(v), Logic::Zero);
+            assert_eq!(v.and(Logic::Zero), Logic::Zero);
+        }
+        assert_eq!(Logic::One.and(Logic::One), Logic::One);
+        assert_eq!(Logic::One.and(Logic::X), Logic::X);
+        assert_eq!(Logic::One.and(Logic::Z), Logic::X);
+    }
+
+    #[test]
+    fn or_controlling_one() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::One.or(v), Logic::One);
+            assert_eq!(v.or(Logic::One), Logic::One);
+        }
+        assert_eq!(Logic::Zero.or(Logic::Zero), Logic::Zero);
+        assert_eq!(Logic::Zero.or(Logic::X), Logic::X);
+    }
+
+    #[test]
+    fn xor_propagates_unknown() {
+        assert_eq!(Logic::One.xor(Logic::Zero), Logic::One);
+        assert_eq!(Logic::One.xor(Logic::One), Logic::Zero);
+        assert_eq!(Logic::One.xor(Logic::X), Logic::X);
+        assert_eq!(Logic::Z.xor(Logic::Zero), Logic::X);
+    }
+
+    #[test]
+    fn not_inverts_known_only() {
+        assert_eq!(!Logic::Zero, Logic::One);
+        assert_eq!(!Logic::One, Logic::Zero);
+        assert_eq!(!Logic::X, Logic::X);
+        assert_eq!(!Logic::Z, Logic::X);
+    }
+
+    #[test]
+    fn resolution_prefers_real_drivers() {
+        assert_eq!(Logic::Z.resolve(Logic::One), Logic::One);
+        assert_eq!(Logic::Zero.resolve(Logic::Z), Logic::Zero);
+        assert_eq!(Logic::Zero.resolve(Logic::One), Logic::X);
+        assert_eq!(Logic::Z.resolve(Logic::Z), Logic::Z);
+        assert_eq!(Logic::One.resolve(Logic::One), Logic::One);
+    }
+
+    #[test]
+    fn and_or_are_commutative() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a.and(b), b.and(a), "AND({a},{b})");
+                assert_eq!(a.or(b), b.or(a), "OR({a},{b})");
+                assert_eq!(a.xor(b), b.xor(a), "XOR({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn high_weight_bounds() {
+        for v in Logic::ALL {
+            let w = v.high_weight();
+            assert!((0.0..=1.0).contains(&w));
+        }
+        assert_eq!(Logic::One.high_weight(), 1.0);
+        assert_eq!(Logic::Zero.high_weight(), 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s: String = Logic::ALL.iter().map(|v| v.to_string()).collect();
+        assert_eq!(s, "01zx");
+    }
+
+    #[test]
+    fn default_is_unknown() {
+        assert_eq!(Logic::default(), Logic::X);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the logic substrate.
+
+use agemul_logic::{DelayModel, GateKind, Logic};
+use proptest::prelude::*;
+
+fn arb_logic() -> impl Strategy<Value = Logic> {
+    prop_oneof![
+        Just(Logic::Zero),
+        Just(Logic::One),
+        Just(Logic::Z),
+        Just(Logic::X),
+    ]
+}
+
+proptest! {
+    /// De Morgan duality holds in four-valued logic.
+    #[test]
+    fn de_morgan(a in arb_logic(), b in arb_logic()) {
+        prop_assert_eq!(!(a.and(b)), (!a).or(!b));
+        prop_assert_eq!(!(a.or(b)), (!a).and(!b));
+    }
+
+    /// NAND/NOR/XNOR gates are the negations of their positive forms.
+    #[test]
+    fn negated_gate_duals(a in arb_logic(), b in arb_logic()) {
+        let ins = [a, b];
+        prop_assert_eq!(GateKind::Nand.eval(&ins), !GateKind::And.eval(&ins));
+        prop_assert_eq!(GateKind::Nor.eval(&ins), !GateKind::Or.eval(&ins));
+        prop_assert_eq!(GateKind::Xnor.eval(&ins), !GateKind::Xor.eval(&ins));
+    }
+
+    /// Gate evaluation is monotone in information: refining an X input to
+    /// a definite value never flips an already-definite output to the
+    /// opposite definite value (it may stay, or become definite).
+    #[test]
+    fn x_refinement_is_monotone(
+        kind_sel in 0usize..8,
+        a in arb_logic(),
+        b in arb_logic(),
+        refined in proptest::bool::ANY,
+    ) {
+        let kind = [
+            GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Nor,
+            GateKind::Xor, GateKind::Xnor, GateKind::Buf, GateKind::Not,
+        ][kind_sel];
+        let arity = kind.fixed_arity().unwrap_or(2);
+        let base: Vec<Logic> = if arity == 1 { vec![a] } else { vec![a, b] };
+        let out_before = kind.eval(&base);
+        // Refine the first X (or Z) input, if any.
+        let mut refined_ins = base.clone();
+        if let Some(slot) = refined_ins.iter().position(|v| !v.is_known()) {
+            refined_ins[slot] = Logic::from(refined);
+        }
+        let out_after = kind.eval(&refined_ins);
+        if out_before.is_known() {
+            prop_assert_eq!(out_before, out_after, "{:?} {:?}", base, refined_ins);
+        }
+    }
+
+    /// The mux never invents values: its output is one of its data inputs
+    /// (or X when undetermined).
+    #[test]
+    fn mux_output_is_a_data_input(
+        in0 in arb_logic(),
+        in1 in arb_logic(),
+        sel in arb_logic(),
+    ) {
+        let out = GateKind::Mux2.eval(&[in0, in1, sel]);
+        let candidates = [in0.read(), in1.read(), Logic::X];
+        prop_assert!(candidates.contains(&out), "mux({in0},{in1},{sel}) = {out}");
+    }
+
+    /// Resolution is commutative, associative, and has Z as identity.
+    #[test]
+    fn resolution_algebra(a in arb_logic(), b in arb_logic(), c in arb_logic()) {
+        prop_assert_eq!(a.resolve(b), b.resolve(a));
+        prop_assert_eq!(a.resolve(Logic::Z), a);
+        prop_assert_eq!(a.resolve(b).resolve(c), a.resolve(b.resolve(c)));
+    }
+
+    /// Delay model scaling composes multiplicatively.
+    #[test]
+    fn delay_scaling_composes(f1 in 0.1f64..10.0, f2 in 0.1f64..10.0) {
+        let m = DelayModel::nominal();
+        let double = m.scaled(f1).scaled(f2);
+        let direct = m.scaled(f1 * f2);
+        for kind in GateKind::ALL {
+            prop_assert!((double.delay_ns(kind) - direct.delay_ns(kind)).abs() < 1e-12);
+        }
+    }
+
+    /// Variadic AND/OR are order-insensitive.
+    #[test]
+    fn variadic_gates_are_commutative(values in proptest::collection::vec(arb_logic(), 2..6)) {
+        let mut reversed = values.clone();
+        reversed.reverse();
+        for kind in [GateKind::And, GateKind::Or, GateKind::Xor] {
+            prop_assert_eq!(kind.eval(&values), kind.eval(&reversed));
+        }
+    }
+}

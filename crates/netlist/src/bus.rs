@@ -1,0 +1,158 @@
+//! Multi-bit bundle helper for encoding and decoding integers.
+
+use agemul_logic::Logic;
+
+use crate::{NetId, NetlistError};
+
+/// An ordered, little-endian bundle of nets representing a binary word.
+///
+/// Circuit generators return `Bus` handles for their operand and product
+/// ports; tests and experiment harnesses use them to move integers in and
+/// out of simulations.
+///
+/// Bit 0 is the least significant bit.
+///
+/// # Example
+///
+/// ```
+/// use agemul_logic::Logic;
+/// use agemul_netlist::{Bus, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let bits: Vec<_> = (0..4).map(|i| n.add_input(format!("a{i}"))).collect();
+/// let bus = Bus::new(bits);
+///
+/// let word = bus.encode(0b1010)?;
+/// assert_eq!(word[1], Logic::One);
+/// assert_eq!(bus.decode(&word), Some(0b1010));
+/// # Ok::<(), agemul_netlist::NetlistError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bus {
+    nets: Vec<NetId>,
+}
+
+impl Bus {
+    /// Bundles `nets` into a bus; `nets[0]` is the LSB.
+    pub fn new(nets: Vec<NetId>) -> Self {
+        Bus { nets }
+    }
+
+    /// Bit width of the bus.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// The net carrying bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width()`.
+    #[inline]
+    pub fn net(&self, i: usize) -> NetId {
+        self.nets[i]
+    }
+
+    /// The underlying nets, LSB first.
+    #[inline]
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// Encodes `value` as logic levels, LSB first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::WidthMismatch`] if `value` does not fit in
+    /// the bus width.
+    pub fn encode(&self, value: u128) -> Result<Vec<Logic>, NetlistError> {
+        if self.width() < 128 && value >> self.width() != 0 {
+            return Err(NetlistError::WidthMismatch {
+                expected: self.width(),
+                got: (128 - value.leading_zeros()) as usize,
+            });
+        }
+        Ok((0..self.width())
+            .map(|i| Logic::from((value >> i) & 1 == 1))
+            .collect())
+    }
+
+    /// Decodes this bus from a full per-net value array (indexable by
+    /// [`NetId::index`]), returning `None` if any bit is undefined.
+    pub fn decode(&self, values: &[Logic]) -> Option<u128> {
+        self.decode_with(|net| values.get(net.index()).copied().unwrap_or(Logic::X))
+    }
+
+    /// Decodes this bus by querying each bit's level through `lookup`,
+    /// returning `None` if any bit is undefined.
+    pub fn decode_with(&self, mut lookup: impl FnMut(NetId) -> Logic) -> Option<u128> {
+        let mut out: u128 = 0;
+        for (i, &net) in self.nets.iter().enumerate() {
+            match lookup(net).to_bool() {
+                Some(true) => out |= 1 << i,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(out)
+    }
+}
+
+impl FromIterator<NetId> for Bus {
+    fn from_iter<T: IntoIterator<Item = NetId>>(iter: T) -> Self {
+        Bus::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Netlist;
+
+    use super::*;
+
+    fn four_bit_bus(n: &mut Netlist) -> Bus {
+        (0..4).map(|i| n.add_input(format!("b{i}"))).collect()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut n = Netlist::new();
+        let bus = four_bit_bus(&mut n);
+        for v in 0..16u128 {
+            let word = bus.encode(v).unwrap();
+            // Build a value array covering all nets.
+            let mut values = vec![Logic::X; n.net_count()];
+            for (i, &net) in bus.nets().iter().enumerate() {
+                values[net.index()] = word[i];
+            }
+            assert_eq!(bus.decode(&values), Some(v));
+        }
+    }
+
+    #[test]
+    fn encode_rejects_overflow() {
+        let mut n = Netlist::new();
+        let bus = four_bit_bus(&mut n);
+        assert!(bus.encode(16).is_err());
+        assert!(bus.encode(15).is_ok());
+    }
+
+    #[test]
+    fn decode_requires_defined_bits() {
+        let mut n = Netlist::new();
+        let bus = four_bit_bus(&mut n);
+        let mut values = vec![Logic::Zero; n.net_count()];
+        values[bus.net(2).index()] = Logic::X;
+        assert_eq!(bus.decode(&values), None);
+    }
+
+    #[test]
+    fn lsb_is_bit_zero() {
+        let mut n = Netlist::new();
+        let bus = four_bit_bus(&mut n);
+        let word = bus.encode(1).unwrap();
+        assert_eq!(word[0], Logic::One);
+        assert_eq!(word[1], Logic::Zero);
+    }
+}

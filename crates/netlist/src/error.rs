@@ -1,0 +1,111 @@
+//! Error type for netlist construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{GateId, NetId};
+
+/// Errors reported while building or validating a [`Netlist`](crate::Netlist).
+///
+/// # Example
+///
+/// ```
+/// use agemul_logic::GateKind;
+/// use agemul_netlist::{Netlist, NetlistError};
+///
+/// let mut n = Netlist::new();
+/// let a = n.add_input("a");
+/// let err = n.add_gate(GateKind::Mux2, &[a, a]).unwrap_err();
+/// assert!(matches!(err, NetlistError::BadArity { .. }));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was created with an input count its kind does not accept.
+    BadArity {
+        /// The offending gate kind, formatted for display.
+        kind: String,
+        /// The number of inputs supplied.
+        got: usize,
+    },
+    /// A gate referenced a net id that does not exist in this netlist.
+    UnknownNet {
+        /// The dangling reference.
+        net: NetId,
+    },
+    /// The netlist contains a combinational cycle through the given gate.
+    CombinationalCycle {
+        /// A gate on the cycle.
+        gate: GateId,
+    },
+    /// A net was marked as a primary output but has no driver.
+    UndrivenOutput {
+        /// The undriven net.
+        net: NetId,
+    },
+    /// Two input/output vectors disagree on width.
+    WidthMismatch {
+        /// Expected width.
+        expected: usize,
+        /// Provided width.
+        got: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::BadArity { kind, got } => {
+                write!(f, "gate {kind} cannot have {got} inputs")
+            }
+            NetlistError::UnknownNet { net } => {
+                write!(f, "reference to unknown net {net}")
+            }
+            NetlistError::CombinationalCycle { gate } => {
+                write!(f, "combinational cycle through gate {gate}")
+            }
+            NetlistError::UndrivenOutput { net } => {
+                write!(f, "primary output {net} has no driver")
+            }
+            NetlistError::WidthMismatch { expected, got } => {
+                write!(f, "expected {expected} signals, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_concise() {
+        let cases: Vec<NetlistError> = vec![
+            NetlistError::BadArity {
+                kind: "MUX2".into(),
+                got: 2,
+            },
+            NetlistError::UnknownNet { net: NetId(5) },
+            NetlistError::CombinationalCycle { gate: GateId(2) },
+            NetlistError::UndrivenOutput { net: NetId(1) },
+            NetlistError::WidthMismatch {
+                expected: 4,
+                got: 3,
+            },
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("gate"));
+        }
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<NetlistError>();
+    }
+}

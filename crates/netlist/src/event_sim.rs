@@ -1,0 +1,714 @@
+//! Event-driven two-vector timing simulator.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use agemul_logic::{DelayModel, GateKind, Logic};
+
+use crate::{GateId, NetId, Netlist, NetlistError, Topology};
+
+/// Femtoseconds per nanosecond; event times are integer femtoseconds so the
+/// priority queue ordering is exact and deterministic.
+const FS_PER_NS: f64 = 1.0e6;
+
+/// Per-gate-instance propagation delays, in integer femtoseconds.
+///
+/// A `DelayAssignment` is the bridge between the per-*kind* [`DelayModel`]
+/// and the per-*instance* degradation factors produced by the aging engine:
+/// `delay(gate) = model.delay_ns(kind(gate)) × factor(gate)`.
+///
+/// # Example
+///
+/// ```
+/// use agemul_logic::{DelayModel, GateKind};
+/// use agemul_netlist::{DelayAssignment, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let a = n.add_input("a");
+/// let y = n.add_gate(GateKind::Not, &[a])?;
+/// n.mark_output(y, "y");
+///
+/// let fresh = DelayAssignment::uniform(&n, &DelayModel::nominal());
+/// let aged = DelayAssignment::with_factors(&n, &DelayModel::nominal(), &[1.10])?;
+/// assert!(aged.delay_ns(agemul_netlist::GateId::from_index(0))
+///     > fresh.delay_ns(agemul_netlist::GateId::from_index(0)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DelayAssignment {
+    per_gate_fs: Vec<u64>,
+}
+
+impl GateId {
+    /// Builds a gate id from a dense index.
+    ///
+    /// Intended for gluing external per-gate tables (delay factors, stress
+    /// probabilities) back onto a netlist; the id is only meaningful for the
+    /// netlist whose gate count bounds it.
+    #[inline]
+    pub fn from_index(index: usize) -> GateId {
+        GateId(index as u32)
+    }
+}
+
+impl NetId {
+    /// Builds a net id from a dense index (see [`GateId::from_index`]).
+    #[inline]
+    pub fn from_index(index: usize) -> NetId {
+        NetId(index as u32)
+    }
+}
+
+impl DelayAssignment {
+    /// Every gate instance gets its kind's nominal delay from `model`.
+    pub fn uniform(netlist: &Netlist, model: &DelayModel) -> Self {
+        let per_gate_fs = netlist
+            .gates()
+            .iter()
+            .map(|g| (model.delay_ns(g.kind()) * FS_PER_NS).round() as u64)
+            .collect();
+        DelayAssignment { per_gate_fs }
+    }
+
+    /// Per-instance delays: `model` delay of the gate's kind multiplied by
+    /// `factors[gate.index()]` (the aging degradation, ≥ 1 in practice).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::WidthMismatch`] if `factors.len()` differs
+    /// from the gate count.
+    pub fn with_factors(
+        netlist: &Netlist,
+        model: &DelayModel,
+        factors: &[f64],
+    ) -> Result<Self, NetlistError> {
+        if factors.len() != netlist.gate_count() {
+            return Err(NetlistError::WidthMismatch {
+                expected: netlist.gate_count(),
+                got: factors.len(),
+            });
+        }
+        let per_gate_fs = netlist
+            .gates()
+            .iter()
+            .zip(factors)
+            .map(|(g, &f)| {
+                assert!(
+                    f.is_finite() && f > 0.0,
+                    "delay factor must be finite and positive, got {f}"
+                );
+                (model.delay_ns(g.kind()) * f * FS_PER_NS).round() as u64
+            })
+            .collect();
+        Ok(DelayAssignment { per_gate_fs })
+    }
+
+    /// The delay of `gate` in femtoseconds.
+    #[inline]
+    pub fn delay_fs(&self, gate: GateId) -> u64 {
+        self.per_gate_fs[gate.index()]
+    }
+
+    /// The delay of `gate` in nanoseconds.
+    #[inline]
+    pub fn delay_ns(&self, gate: GateId) -> f64 {
+        self.per_gate_fs[gate.index()] as f64 / FS_PER_NS
+    }
+
+    /// Number of gates covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.per_gate_fs.len()
+    }
+
+    /// Whether the assignment covers zero gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.per_gate_fs.is_empty()
+    }
+}
+
+/// The timing outcome of applying one input pattern on top of the previous
+/// circuit state.
+///
+/// `delay_ns` is the *sensitized path delay* of the transition: the time of
+/// the last primary-output change. Patterns that change no output have zero
+/// delay — they are "free" under the variable-latency scheme.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PatternTiming {
+    /// Time of the last primary-output value change, in nanoseconds.
+    pub delay_ns: f64,
+    /// Number of primary-output value changes.
+    pub output_toggles: u64,
+    /// Number of gate-output value changes (includes glitches).
+    pub gate_toggles: u64,
+    /// Total events processed (diagnostic; ≥ `gate_toggles`).
+    pub events: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time_fs: u64,
+    seq: u64,
+    net: u32,
+    value_tag: u8,
+    /// Retraction generation: an event whose generation no longer matches
+    /// its net's current generation was cancelled by a later evaluation
+    /// (inertial-delay pulse filtering).
+    generation: u32,
+}
+
+fn tag(v: Logic) -> u8 {
+    match v {
+        Logic::Zero => 0,
+        Logic::One => 1,
+        Logic::Z => 2,
+        Logic::X => 3,
+    }
+}
+
+fn untag(t: u8) -> Logic {
+    match t {
+        0 => Logic::Zero,
+        1 => Logic::One,
+        2 => Logic::Z,
+        _ => Logic::X,
+    }
+}
+
+/// Event-driven timing simulator with transport delays and tri-state hold.
+///
+/// `EventSim` models what the paper measures with Nanosim: apply an input
+/// vector on top of the circuit's previous state and watch how long the
+/// outputs keep moving. Two behaviours matter for the bypassing
+/// multipliers:
+///
+/// * **Input-dependent delay** — only sensitized paths propagate events, so
+///   a multiplicand full of zeros finishes much earlier than the critical
+///   path, which is precisely the effect Figs. 5/6 of the paper plot.
+/// * **Tri-state hold** — a disabled `TBUF` does not propagate input
+///   transitions at all (its output *holds*). Skipped full adders therefore
+///   neither burn switching power nor contribute timing events, matching
+///   the low-power intent of the bypassing designs.
+///
+/// Cumulative per-gate toggle counters feed the dynamic power model; see
+/// [`gate_toggle_counts`](EventSim::gate_toggle_counts).
+///
+/// # Example
+///
+/// See the crate-level docs for a full-adder timing walk-through.
+#[derive(Debug)]
+pub struct EventSim<'a> {
+    netlist: &'a Netlist,
+    topology: &'a Topology,
+    delays: DelayAssignment,
+    values: Vec<Logic>,
+    /// Inertial-delay bookkeeping: at most one pending transition per net.
+    pending: Vec<Option<(u64, Logic)>>,
+    generation: Vec<u32>,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    toggles_per_gate: Vec<u64>,
+    scratch: Vec<Logic>,
+    /// Delta-cycle dedup: gates already queued for the current timestamp.
+    gate_mark: Vec<u64>,
+    epoch: u64,
+    affected: Vec<GateId>,
+    /// Waveform tracing (None = off): accumulated events and the time base
+    /// offset applied to the next step's events.
+    trace: Option<TraceState>,
+}
+
+#[derive(Debug)]
+struct TraceState {
+    events: Vec<TraceEvent>,
+    base_fs: u64,
+    gap_fs: u64,
+}
+
+/// One recorded value change, for waveform export (see
+/// [`crate::write_vcd`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Absolute trace time in femtoseconds (step times are concatenated,
+    /// separated by the configured inter-pattern gap).
+    pub time_fs: u64,
+    /// The net that changed.
+    pub net: NetId,
+    /// Its new value.
+    pub value: agemul_logic::Logic,
+}
+
+impl<'a> EventSim<'a> {
+    /// Creates a simulator with the given per-instance delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays` does not cover exactly the netlist's gates.
+    pub fn new(netlist: &'a Netlist, topology: &'a Topology, delays: DelayAssignment) -> Self {
+        assert_eq!(
+            delays.len(),
+            netlist.gate_count(),
+            "delay assignment covers {} gates, netlist has {}",
+            delays.len(),
+            netlist.gate_count()
+        );
+        let mut values = vec![Logic::X; netlist.net_count()];
+        for (idx, info) in netlist.nets.iter().enumerate() {
+            if let Some(crate::netlist::Driver::Const(v)) = info.driver {
+                values[idx] = v;
+            }
+        }
+        // Settle the all-unknown state with one functional sweep so that
+        // nets fed only by constants (which never receive events) start at
+        // their resolved values rather than sticking at X forever.
+        let mut scratch_init = Vec::with_capacity(8);
+        for gate in netlist.gates() {
+            scratch_init.clear();
+            scratch_init.extend(gate.inputs().iter().map(|i| values[i.index()]));
+            values[gate.output().index()] = gate.kind().eval(&scratch_init);
+        }
+        EventSim {
+            netlist,
+            topology,
+            delays,
+            values,
+            pending: vec![None; netlist.net_count()],
+            generation: vec![0; netlist.net_count()],
+            queue: BinaryHeap::new(),
+            seq: 0,
+            toggles_per_gate: vec![0; netlist.gate_count()],
+            scratch: Vec::with_capacity(8),
+            gate_mark: vec![0; netlist.gate_count()],
+            epoch: 0,
+            affected: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Turns on waveform tracing: every applied value change is recorded
+    /// with an absolute timestamp. Consecutive [`step`](Self::step)s are
+    /// laid out back to back, separated by `inter_pattern_gap_fs` (use the
+    /// clock period for realistic waveforms). Export with
+    /// [`crate::write_vcd`].
+    pub fn enable_tracing(&mut self, inter_pattern_gap_fs: u64) {
+        self.trace = Some(TraceState {
+            events: Vec::new(),
+            base_fs: 0,
+            gap_fs: inter_pattern_gap_fs,
+        });
+    }
+
+    /// The recorded trace, empty unless tracing is enabled.
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace.as_ref().map_or(&[], |t| t.events.as_slice())
+    }
+
+    /// Clears recorded trace events (tracing stays enabled).
+    pub fn clear_trace(&mut self) {
+        if let Some(t) = self.trace.as_mut() {
+            t.events.clear();
+        }
+    }
+
+    /// Applies `inputs` and runs to quiescence, discarding timing.
+    ///
+    /// Use this to establish the "previous vector" state before measuring a
+    /// transition with [`step`](Self::step); it also clears the per-gate
+    /// toggle counters so warm-up switching does not pollute power numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::WidthMismatch`] on a wrong input count.
+    pub fn settle(&mut self, inputs: &[Logic]) -> Result<(), NetlistError> {
+        self.step(inputs)?;
+        self.reset_toggle_counts();
+        Ok(())
+    }
+
+    /// Applies `inputs` on top of the current state, runs to quiescence, and
+    /// reports the transition's timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::WidthMismatch`] on a wrong input count.
+    pub fn step(&mut self, inputs: &[Logic]) -> Result<PatternTiming, NetlistError> {
+        if inputs.len() != self.netlist.input_count() {
+            return Err(NetlistError::WidthMismatch {
+                expected: self.netlist.input_count(),
+                got: inputs.len(),
+            });
+        }
+        debug_assert!(self.queue.is_empty());
+
+        let netlist = self.netlist;
+        for (&net, &v) in netlist.inputs().iter().zip(inputs) {
+            self.schedule(0, net, v);
+        }
+
+        let mut timing = PatternTiming::default();
+        let mut last_out_fs: u64 = 0;
+        // `topology` is a shared reference field, so copying it out lets the
+        // loop body coexist with `&mut self` calls.
+        let topology = self.topology;
+
+        // Delta-cycle processing: apply *all* value changes scheduled for a
+        // timestamp before re-evaluating any fanout gate, so simultaneous
+        // transitions (e.g. a tri-state's data and enable flipping on the
+        // same input vector) are seen atomically.
+        while let Some(&Reverse(head)) = self.queue.peek() {
+            let now_fs = head.time_fs;
+            self.epoch += 1;
+            self.affected.clear();
+            while let Some(&Reverse(ev)) = self.queue.peek() {
+                if ev.time_fs != now_fs {
+                    break;
+                }
+                let Some(Reverse(ev)) = self.queue.pop() else {
+                    break;
+                };
+                let net = NetId(ev.net);
+                // Retracted by a later evaluation (inertial filtering).
+                if ev.generation != self.generation[net.index()] {
+                    continue;
+                }
+                self.pending[net.index()] = None;
+                let value = untag(ev.value_tag);
+                if self.values[net.index()] == value {
+                    continue;
+                }
+                self.values[net.index()] = value;
+                if let Some(t) = self.trace.as_mut() {
+                    t.events.push(TraceEvent {
+                        time_fs: t.base_fs + now_fs,
+                        net,
+                        value,
+                    });
+                }
+                timing.events += 1;
+                if let Some(g) = netlist.driver_gate(net) {
+                    self.toggles_per_gate[g.index()] += 1;
+                    timing.gate_toggles += 1;
+                }
+                if topology.is_output(net) {
+                    timing.output_toggles += 1;
+                    last_out_fs = last_out_fs.max(now_fs);
+                }
+                for &g in topology.fanout(net) {
+                    if self.gate_mark[g.index()] != self.epoch {
+                        self.gate_mark[g.index()] = self.epoch;
+                        self.affected.push(g);
+                    }
+                }
+            }
+            let mut affected = std::mem::take(&mut self.affected);
+            for &g in &affected {
+                if let Some(new_out) = self.eval_gate(g) {
+                    let out_net = netlist.gate(g).output();
+                    let t = now_fs + self.delays.delay_fs(g);
+                    self.schedule(t, out_net, new_out);
+                }
+            }
+            affected.clear();
+            self.affected = affected;
+        }
+
+        timing.delay_ns = last_out_fs as f64 / FS_PER_NS;
+        if let Some(t) = self.trace.as_mut() {
+            let span = t
+                .events
+                .last()
+                .map(|e| e.time_fs.saturating_sub(t.base_fs))
+                .unwrap_or(0);
+            t.base_fs += span + t.gap_fs;
+        }
+        Ok(timing)
+    }
+
+    /// Evaluates gate `g` against current net values.
+    ///
+    /// Returns `None` when the gate is a tri-state buffer whose enable is
+    /// low: the output *holds* its present value and no event is produced.
+    fn eval_gate(&mut self, g: GateId) -> Option<Logic> {
+        let gate = self.netlist.gate(g);
+        if gate.kind() == GateKind::Tbuf {
+            let enable = self.values[gate.inputs()[1].index()].read();
+            return match enable.to_bool() {
+                Some(true) => Some(self.values[gate.inputs()[0].index()].read()),
+                Some(false) => None, // hold
+                None => Some(Logic::X),
+            };
+        }
+        self.scratch.clear();
+        for &i in gate.inputs() {
+            self.scratch.push(self.values[i.index()]);
+        }
+        Some(gate.kind().eval(&self.scratch))
+    }
+
+    /// Inertial-delay scheduling: each net has at most one pending
+    /// transition. A fresh evaluation that disagrees with the pending one
+    /// *retracts* it — input pulses shorter than the gate's propagation
+    /// delay are filtered out, as in an analog (SPICE-level) gate — and a
+    /// pulse that collapses back to the current value schedules nothing.
+    fn schedule(&mut self, time_fs: u64, net: NetId, value: Logic) {
+        let i = net.index();
+        match self.pending[i] {
+            Some((t, v)) => {
+                if v == value {
+                    // Same target, keep the earlier arrival.
+                    if time_fs >= t {
+                        return;
+                    }
+                    self.generation[i] = self.generation[i].wrapping_add(1);
+                }
+                // Different target: retract the pending transition.
+                else {
+                    self.generation[i] = self.generation[i].wrapping_add(1);
+                    if value == self.values[i] {
+                        // The pulse never develops at the output.
+                        self.pending[i] = None;
+                        return;
+                    }
+                }
+            }
+            None => {
+                if value == self.values[i] {
+                    return;
+                }
+            }
+        }
+        self.pending[i] = Some((time_fs, value));
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time_fs,
+            seq: self.seq,
+            net: net.0,
+            value_tag: tag(value),
+            generation: self.generation[i],
+        }));
+    }
+
+    /// The current settled value of `net`.
+    #[inline]
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    /// Settled primary output values in declaration order.
+    pub fn output_values(&self) -> Vec<Logic> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect()
+    }
+
+    /// Cumulative output-toggle count per gate since the last reset,
+    /// indexable by [`GateId::index`]. Glitches are included — this is
+    /// genuine switching activity, the input to dynamic power.
+    #[inline]
+    pub fn gate_toggle_counts(&self) -> &[u64] {
+        &self.toggles_per_gate
+    }
+
+    /// Clears the cumulative per-gate toggle counters.
+    pub fn reset_toggle_counts(&mut self) {
+        self.toggles_per_gate.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_logic::DelayModel;
+
+    use super::*;
+
+    /// a ─NOT─ x ─NOT─ y   (chain of two inverters)
+    fn inverter_chain() -> Netlist {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let x = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let y = n.add_gate(GateKind::Not, &[x]).unwrap();
+        n.mark_output(y, "y");
+        n
+    }
+
+    #[test]
+    fn chain_delay_is_sum_of_gate_delays() {
+        let n = inverter_chain();
+        let t = n.topology().unwrap();
+        let model = DelayModel::nominal();
+        let d = DelayAssignment::uniform(&n, &model);
+        let mut sim = EventSim::new(&n, &t, d);
+        sim.settle(&[Logic::Zero]).unwrap();
+        let timing = sim.step(&[Logic::One]).unwrap();
+        let expect = 2.0 * model.delay_ns(GateKind::Not);
+        assert!((timing.delay_ns - expect).abs() < 1e-9, "{timing:?}");
+        assert_eq!(sim.value(n.outputs()[0]), Logic::One);
+    }
+
+    #[test]
+    fn unchanged_input_produces_no_events() {
+        let n = inverter_chain();
+        let t = n.topology().unwrap();
+        let d = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let mut sim = EventSim::new(&n, &t, d);
+        sim.settle(&[Logic::One]).unwrap();
+        let timing = sim.step(&[Logic::One]).unwrap();
+        assert_eq!(timing.events, 0);
+        assert_eq!(timing.delay_ns, 0.0);
+    }
+
+    #[test]
+    fn non_sensitized_path_is_fast() {
+        // y = a AND b. With b=0, changes on a never reach the output.
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        n.mark_output(y, "y");
+        let t = n.topology().unwrap();
+        let d = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let mut sim = EventSim::new(&n, &t, d);
+        sim.settle(&[Logic::Zero, Logic::Zero]).unwrap();
+        let timing = sim.step(&[Logic::One, Logic::Zero]).unwrap();
+        assert_eq!(timing.output_toggles, 0);
+        assert_eq!(timing.delay_ns, 0.0);
+    }
+
+    #[test]
+    fn disabled_tbuf_blocks_propagation() {
+        let mut n = Netlist::new();
+        let dta = n.add_input("d");
+        let en = n.add_input("en");
+        let g = n.add_gate(GateKind::Tbuf, &[dta, en]).unwrap();
+        n.mark_output(g, "g");
+        let t = n.topology().unwrap();
+        let d = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let mut sim = EventSim::new(&n, &t, d);
+
+        // Enable, drive 0 through.
+        sim.settle(&[Logic::Zero, Logic::One]).unwrap();
+        assert_eq!(sim.value(g), Logic::Zero);
+
+        // Disable; flip data: output must hold, zero events downstream.
+        let timing = sim.step(&[Logic::One, Logic::Zero]).unwrap();
+        assert_eq!(sim.value(g), Logic::Zero, "tri-state must hold");
+        assert_eq!(timing.output_toggles, 0);
+
+        // Re-enable: the held node updates to the new data.
+        sim.step(&[Logic::One, Logic::One]).unwrap();
+        assert_eq!(sim.value(g), Logic::One);
+    }
+
+    #[test]
+    fn short_hazard_pulses_are_inertially_filtered() {
+        // y = a XOR a' (via one inverter): a rising edge makes a static-1
+        // hazard whose width (one inverter delay, 8 ps) is shorter than the
+        // XOR's 24 ps propagation delay — an analog gate never develops the
+        // pulse, and neither does the inertial simulator.
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let inv = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let y = n.add_gate(GateKind::Xor, &[a, inv]).unwrap();
+        n.mark_output(y, "y");
+        let t = n.topology().unwrap();
+        let d = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let mut sim = EventSim::new(&n, &t, d);
+        sim.settle(&[Logic::Zero]).unwrap();
+        assert_eq!(sim.value(y), Logic::One);
+        let timing = sim.step(&[Logic::One]).unwrap();
+        assert_eq!(sim.value(y), Logic::One);
+        // Only the inverter toggles; the XOR output stays clean.
+        assert_eq!(timing.output_toggles, 0, "{timing:?}");
+        assert_eq!(timing.delay_ns, 0.0, "{timing:?}");
+    }
+
+    #[test]
+    fn wide_hazard_pulses_propagate() {
+        // Same hazard but through five inverters: the skew (40 ps) now
+        // exceeds the XOR delay (24 ps), so the pulse is real and the
+        // output glitches 1→0→1.
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let mut x = a;
+        for _ in 0..5 {
+            x = n.add_gate(GateKind::Not, &[x]).unwrap();
+        }
+        let y = n.add_gate(GateKind::Xor, &[a, x]).unwrap();
+        n.mark_output(y, "y");
+        let t = n.topology().unwrap();
+        let d = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let mut sim = EventSim::new(&n, &t, d);
+        sim.settle(&[Logic::Zero]).unwrap();
+        assert_eq!(sim.value(y), Logic::One);
+        let timing = sim.step(&[Logic::One]).unwrap();
+        assert_eq!(sim.value(y), Logic::One);
+        assert_eq!(timing.output_toggles, 2, "{timing:?}");
+        assert!(timing.delay_ns > 0.0);
+    }
+
+    #[test]
+    fn aged_factors_lengthen_delay() {
+        let n = inverter_chain();
+        let t = n.topology().unwrap();
+        let model = DelayModel::nominal();
+        let fresh = DelayAssignment::uniform(&n, &model);
+        let aged = DelayAssignment::with_factors(&n, &model, &[1.2, 1.2]).unwrap();
+        let mut s1 = EventSim::new(&n, &t, fresh);
+        let mut s2 = EventSim::new(&n, &t, aged);
+        s1.settle(&[Logic::Zero]).unwrap();
+        s2.settle(&[Logic::Zero]).unwrap();
+        let t1 = s1.step(&[Logic::One]).unwrap().delay_ns;
+        let t2 = s2.step(&[Logic::One]).unwrap().delay_ns;
+        assert!((t2 / t1 - 1.2).abs() < 1e-6, "{t1} vs {t2}");
+    }
+
+    #[test]
+    fn factor_width_checked() {
+        let n = inverter_chain();
+        let err =
+            DelayAssignment::with_factors(&n, &DelayModel::nominal(), &[1.0]).unwrap_err();
+        assert!(matches!(err, NetlistError::WidthMismatch { .. }));
+    }
+
+    #[test]
+    fn toggle_counters_accumulate_and_reset() {
+        let n = inverter_chain();
+        let t = n.topology().unwrap();
+        let d = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let mut sim = EventSim::new(&n, &t, d);
+        sim.settle(&[Logic::Zero]).unwrap();
+        sim.step(&[Logic::One]).unwrap();
+        sim.step(&[Logic::Zero]).unwrap();
+        assert_eq!(sim.gate_toggle_counts(), &[2, 2]);
+        sim.reset_toggle_counts();
+        assert_eq!(sim.gate_toggle_counts(), &[0, 0]);
+    }
+
+    #[test]
+    fn mux_bypass_is_faster_than_logic_path() {
+        // out = MUX(sel; in0 = a, in1 = slow(a)) where slow = 4 inverters.
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let sel = n.add_input("sel");
+        let mut x = a;
+        for _ in 0..4 {
+            x = n.add_gate(GateKind::Not, &[x]).unwrap();
+        }
+        let y = n.add_gate(GateKind::Mux2, &[a, x, sel]).unwrap();
+        n.mark_output(y, "y");
+        let t = n.topology().unwrap();
+        let d = DelayAssignment::uniform(&n, &DelayModel::nominal());
+
+        let mut sim = EventSim::new(&n, &t, d.clone());
+        sim.settle(&[Logic::Zero, Logic::Zero]).unwrap();
+        let fast = sim.step(&[Logic::One, Logic::Zero]).unwrap().delay_ns;
+
+        let mut sim = EventSim::new(&n, &t, d);
+        sim.settle(&[Logic::Zero, Logic::One]).unwrap();
+        let slow = sim.step(&[Logic::One, Logic::One]).unwrap().delay_ns;
+        assert!(fast < slow, "bypass {fast} vs logic {slow}");
+    }
+}

@@ -1,0 +1,204 @@
+//! Zero-delay functional simulator.
+
+use agemul_logic::Logic;
+
+use crate::{NetId, Netlist, NetlistError, Topology};
+
+/// A zero-delay functional simulator: one topological sweep per pattern.
+///
+/// `FuncSim` computes the settled value of every net for a given primary
+/// input assignment. It is the reference model for correctness tests (the
+/// multipliers are checked against integer multiplication through it) and
+/// the workhorse for signal-probability collection, where tens of thousands
+/// of patterns must be evaluated cheaply.
+///
+/// Tri-state buffers are memoryless here: a disabled `TBUF` output reads as
+/// [`Logic::Z`]. In the bypassing multipliers every such floating net is
+/// masked downstream by a mux with a known select or an AND with a
+/// controlling zero, so primary outputs are always defined — a property the
+/// test suites assert heavily.
+///
+/// # Example
+///
+/// ```
+/// use agemul_logic::{GateKind, Logic};
+/// use agemul_netlist::{FuncSim, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let y = n.add_gate(GateKind::Xor, &[a, b])?;
+/// n.mark_output(y, "y");
+/// let topo = n.topology()?;
+///
+/// let mut sim = FuncSim::new(&n, &topo);
+/// sim.eval(&[Logic::One, Logic::Zero])?;
+/// assert_eq!(sim.value(y), Logic::One);
+/// # Ok::<(), agemul_netlist::NetlistError>(())
+/// ```
+#[derive(Debug)]
+pub struct FuncSim<'a> {
+    netlist: &'a Netlist,
+    values: Vec<Logic>,
+    scratch: Vec<Logic>,
+}
+
+impl<'a> FuncSim<'a> {
+    /// Creates a simulator for `netlist`.
+    ///
+    /// The `topology` argument exists to prove the caller validated the
+    /// netlist; the functional sweep itself uses builder order.
+    pub fn new(netlist: &'a Netlist, _topology: &Topology) -> Self {
+        let mut values = vec![Logic::X; netlist.net_count()];
+        for (idx, info) in netlist.nets.iter().enumerate() {
+            if let Some(crate::netlist::Driver::Const(v)) = info.driver {
+                values[idx] = v;
+            }
+        }
+        FuncSim {
+            netlist,
+            values,
+            scratch: Vec::with_capacity(8),
+        }
+    }
+
+    /// Evaluates the netlist for one input assignment.
+    ///
+    /// `inputs[i]` is applied to `netlist.inputs()[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::WidthMismatch`] if `inputs` does not match the
+    /// primary input count.
+    pub fn eval(&mut self, inputs: &[Logic]) -> Result<(), NetlistError> {
+        if inputs.len() != self.netlist.input_count() {
+            return Err(NetlistError::WidthMismatch {
+                expected: self.netlist.input_count(),
+                got: inputs.len(),
+            });
+        }
+        for (&net, &v) in self.netlist.inputs().iter().zip(inputs) {
+            self.values[net.index()] = v;
+        }
+        for gate in self.netlist.gates() {
+            self.scratch.clear();
+            self.scratch
+                .extend(gate.inputs().iter().map(|i| self.values[i.index()]));
+            self.values[gate.output().index()] = gate.kind().eval(&self.scratch);
+        }
+        Ok(())
+    }
+
+    /// The settled value of `net` after the most recent [`eval`](Self::eval).
+    #[inline]
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    /// All settled net values, indexable by [`NetId::index`].
+    #[inline]
+    pub fn values(&self) -> &[Logic] {
+        &self.values
+    }
+
+    /// The settled primary output values in declaration order.
+    pub fn output_values(&self) -> Vec<Logic> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_logic::GateKind;
+
+    use super::*;
+
+    fn xor_netlist() -> Netlist {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        n.mark_output(y, "y");
+        n
+    }
+
+    #[test]
+    fn evaluates_truth_table() {
+        let n = xor_netlist();
+        let t = n.topology().unwrap();
+        let mut sim = FuncSim::new(&n, &t);
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            sim.eval(&[Logic::from(a), Logic::from(b)]).unwrap();
+            assert_eq!(sim.output_values(), vec![Logic::from(a ^ b)]);
+        }
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let n = xor_netlist();
+        let t = n.topology().unwrap();
+        let mut sim = FuncSim::new(&n, &t);
+        let err = sim.eval(&[Logic::One]).unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::WidthMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn constants_preloaded() {
+        let mut n = Netlist::new();
+        let z = n.const_zero();
+        let o = n.const_one();
+        let a = n.add_input("a");
+        let y = n.add_gate(GateKind::And, &[o, a]).unwrap();
+        let w = n.add_gate(GateKind::Or, &[z, a]).unwrap();
+        n.mark_output(y, "y");
+        n.mark_output(w, "w");
+        let t = n.topology().unwrap();
+        let mut sim = FuncSim::new(&n, &t);
+        sim.eval(&[Logic::One]).unwrap();
+        assert_eq!(sim.value(y), Logic::One);
+        assert_eq!(sim.value(w), Logic::One);
+    }
+
+    #[test]
+    fn disabled_tbuf_floats_but_mux_masks() {
+        let mut n = Netlist::new();
+        let d = n.add_input("d");
+        let en = n.add_input("en");
+        let bypass = n.add_input("bypass");
+        let gated = n.add_gate(GateKind::Tbuf, &[d, en]).unwrap();
+        // mux: en selects between the bypass value and the gated value.
+        let y = n.add_gate(GateKind::Mux2, &[bypass, gated, en]).unwrap();
+        n.mark_output(y, "y");
+        let t = n.topology().unwrap();
+        let mut sim = FuncSim::new(&n, &t);
+
+        // Disabled: gated floats, mux picks bypass — output defined.
+        sim.eval(&[Logic::One, Logic::Zero, Logic::Zero]).unwrap();
+        assert_eq!(sim.value(gated), Logic::Z);
+        assert_eq!(sim.value(y), Logic::Zero);
+
+        // Enabled: gated drives, mux picks it.
+        sim.eval(&[Logic::One, Logic::One, Logic::Zero]).unwrap();
+        assert_eq!(sim.value(y), Logic::One);
+    }
+
+    #[test]
+    fn repeated_eval_reuses_state_safely() {
+        let n = xor_netlist();
+        let t = n.topology().unwrap();
+        let mut sim = FuncSim::new(&n, &t);
+        sim.eval(&[Logic::One, Logic::One]).unwrap();
+        sim.eval(&[Logic::Zero, Logic::One]).unwrap();
+        assert_eq!(sim.output_values(), vec![Logic::One]);
+    }
+}

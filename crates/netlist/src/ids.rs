@@ -1,0 +1,72 @@
+//! Typed identifiers for nets and gates.
+
+use std::fmt;
+
+/// Identifies a net (wire) within one [`Netlist`](crate::Netlist).
+///
+/// Ids are dense indices assigned in creation order, so they double as
+/// indices into per-net value arrays inside the simulators.
+///
+/// # Example
+///
+/// ```
+/// use agemul_netlist::Netlist;
+///
+/// let mut n = Netlist::new();
+/// let a = n.add_input("a");
+/// assert_eq!(a.index(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+/// Identifies a gate instance within one [`Netlist`](crate::Netlist).
+///
+/// Like [`NetId`], gate ids are dense creation-order indices; the aging
+/// engine uses them to attach a per-instance delay-degradation factor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub(crate) u32);
+
+impl NetId {
+    /// The dense index of this net.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl GateId {
+    /// The dense index of this gate.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NetId(3).to_string(), "n3");
+        assert_eq!(GateId(7).to_string(), "g7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NetId(1) < NetId(2));
+        assert!(GateId(0) < GateId(9));
+    }
+}

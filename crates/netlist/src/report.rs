@@ -1,0 +1,171 @@
+//! Structural statistics for generated netlists.
+
+use std::fmt;
+
+use agemul_logic::GateKind;
+
+use crate::{NetId, Netlist, Topology};
+
+/// A structural summary of a netlist: gate population by kind, logic
+/// depth, and fanout statistics.
+///
+/// # Example
+///
+/// ```
+/// use agemul_logic::GateKind;
+/// use agemul_netlist::{Netlist, NetlistReport};
+///
+/// let mut n = Netlist::new();
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let y = n.add_gate(GateKind::And, &[a, b])?;
+/// n.mark_output(y, "y");
+/// let topo = n.topology()?;
+/// let report = NetlistReport::new(&n, &topo);
+/// assert_eq!(report.gate_count(GateKind::And), 1);
+/// assert_eq!(report.depth(), 1);
+/// # Ok::<(), agemul_netlist::NetlistError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetlistReport {
+    kind_counts: Vec<(GateKind, usize)>,
+    depth: u32,
+    max_fanout: usize,
+    avg_fanout: f64,
+    nets: usize,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl NetlistReport {
+    /// Summarizes `netlist`.
+    pub fn new(netlist: &Netlist, topology: &Topology) -> Self {
+        let mut kind_counts: Vec<(GateKind, usize)> = GateKind::ALL
+            .iter()
+            .map(|&k| (k, 0usize))
+            .collect();
+        for gate in netlist.gates() {
+            if let Some(slot) = kind_counts.iter_mut().find(|(k, _)| *k == gate.kind()) {
+                slot.1 += 1;
+            }
+        }
+        let mut max_fanout = 0usize;
+        let mut total_fanout = 0usize;
+        let mut driven = 0usize;
+        for idx in 0..netlist.net_count() {
+            let f = topology.fanout(NetId::from_index(idx)).len();
+            max_fanout = max_fanout.max(f);
+            if f > 0 {
+                total_fanout += f;
+                driven += 1;
+            }
+        }
+        NetlistReport {
+            kind_counts,
+            depth: topology.max_level(),
+            max_fanout,
+            avg_fanout: if driven == 0 {
+                0.0
+            } else {
+                total_fanout as f64 / driven as f64
+            },
+            nets: netlist.net_count(),
+            inputs: netlist.input_count(),
+            outputs: netlist.output_count(),
+        }
+    }
+
+    /// Instances of the given gate kind.
+    pub fn gate_count(&self, kind: GateKind) -> usize {
+        self.kind_counts
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |(_, c)| *c)
+    }
+
+    /// Total gate instances.
+    pub fn total_gates(&self) -> usize {
+        self.kind_counts.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Deepest logic level.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The largest fanout of any net.
+    pub fn max_fanout(&self) -> usize {
+        self.max_fanout
+    }
+
+    /// Mean fanout over nets with at least one reader.
+    pub fn avg_fanout(&self) -> f64 {
+        self.avg_fanout
+    }
+
+    /// Net / input / output counts.
+    pub fn io(&self) -> (usize, usize, usize) {
+        (self.nets, self.inputs, self.outputs)
+    }
+}
+
+impl fmt::Display for NetlistReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "netlist: {} gates, {} nets, {} inputs, {} outputs, depth {}",
+            self.total_gates(),
+            self.nets,
+            self.inputs,
+            self.outputs,
+            self.depth
+        )?;
+        writeln!(
+            f,
+            "fanout: max {}, avg {:.2}",
+            self.max_fanout, self.avg_fanout
+        )?;
+        for (kind, count) in &self.kind_counts {
+            if *count > 0 {
+                writeln!(f, "  {kind:>5}: {count}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_a_small_circuit() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let y = n.add_gate(GateKind::And, &[x, a]).unwrap();
+        n.mark_output(y, "y");
+        let topo = n.topology().unwrap();
+        let r = NetlistReport::new(&n, &topo);
+        assert_eq!(r.total_gates(), 2);
+        assert_eq!(r.gate_count(GateKind::Xor), 1);
+        assert_eq!(r.gate_count(GateKind::Mux2), 0);
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.max_fanout(), 2); // `a` feeds two gates
+        let (nets, ins, outs) = r.io();
+        assert_eq!((nets, ins, outs), (4, 2, 1));
+        let text = r.to_string();
+        assert!(text.contains("2 gates"));
+        assert!(text.contains("XOR: 1"));
+    }
+
+    #[test]
+    fn empty_netlist_report() {
+        let n = Netlist::new();
+        let topo = n.topology().unwrap();
+        let r = NetlistReport::new(&n, &topo);
+        assert_eq!(r.total_gates(), 0);
+        assert_eq!(r.avg_fanout(), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Static timing analysis: the conservative longest-path bound.
+
+use crate::{DelayAssignment, Netlist, NetlistError};
+
+/// Computes the static (topological) critical-path delay in nanoseconds:
+/// the longest input→output path with every gate contributing its full
+/// propagation delay, regardless of sensitization.
+///
+/// This is the sign-off quantity a fixed-latency deployment must clock at —
+/// no event-driven measurement can ever exceed it (transition times are
+/// sums of gate delays along *sensitized* paths, which are a subset). The
+/// workspace calibration and the paper's fixed-latency baselines (AM,
+/// FLCB, FLRB) use this bound.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::WidthMismatch`] if `delays` does not cover the
+/// netlist's gates.
+///
+/// # Example
+///
+/// ```
+/// use agemul_logic::{DelayModel, GateKind};
+/// use agemul_netlist::{static_critical_path_ns, DelayAssignment, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let a = n.add_input("a");
+/// let x = n.add_gate(GateKind::Not, &[a])?;
+/// let y = n.add_gate(GateKind::Not, &[x])?;
+/// n.mark_output(y, "y");
+/// let model = DelayModel::nominal();
+/// let delays = DelayAssignment::uniform(&n, &model);
+/// let crit = static_critical_path_ns(&n, &delays)?;
+/// assert!((crit - 2.0 * model.delay_ns(GateKind::Not)).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn static_critical_path_ns(
+    netlist: &Netlist,
+    delays: &DelayAssignment,
+) -> Result<f64, NetlistError> {
+    if delays.len() != netlist.gate_count() {
+        return Err(NetlistError::WidthMismatch {
+            expected: netlist.gate_count(),
+            got: delays.len(),
+        });
+    }
+    // Gate-id order is topological by construction.
+    let mut arrival_fs: Vec<u64> = vec![0; netlist.net_count()];
+    for (idx, gate) in netlist.gates().iter().enumerate() {
+        let worst_in = gate
+            .inputs()
+            .iter()
+            .map(|i| arrival_fs[i.index()])
+            .max()
+            .unwrap_or(0);
+        arrival_fs[gate.output().index()] =
+            worst_in + delays.delay_fs(crate::GateId::from_index(idx));
+    }
+    let worst = netlist
+        .outputs()
+        .iter()
+        .map(|o| arrival_fs[o.index()])
+        .max()
+        .unwrap_or(0);
+    Ok(worst as f64 / 1.0e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_logic::{DelayModel, GateKind, Logic};
+
+    use crate::EventSim;
+
+    use super::*;
+
+    #[test]
+    fn takes_longest_branch() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let short = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let mut long = a;
+        for _ in 0..4 {
+            long = n.add_gate(GateKind::Not, &[long]).unwrap();
+        }
+        let y = n.add_gate(GateKind::And, &[short, long]).unwrap();
+        n.mark_output(y, "y");
+        let model = DelayModel::nominal();
+        let crit = static_critical_path_ns(&n, &DelayAssignment::uniform(&n, &model)).unwrap();
+        let expect = 4.0 * model.delay_ns(GateKind::Not) + model.delay_ns(GateKind::And);
+        assert!((crit - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn only_marked_outputs_count() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let y = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let _deep = n.add_gate(GateKind::Not, &[y]).unwrap();
+        n.mark_output(y, "y"); // the deeper node is not an output
+        let model = DelayModel::nominal();
+        let crit = static_critical_path_ns(&n, &DelayAssignment::uniform(&n, &model)).unwrap();
+        assert!((crit - model.delay_ns(GateKind::Not)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_every_dynamic_measurement() {
+        // Random logic: every event-driven delay must stay below the bound.
+        let mut n = Netlist::new();
+        let ins: Vec<_> = (0..6).map(|i| n.add_input(format!("i{i}"))).collect();
+        let x1 = n.add_gate(GateKind::Xor, &[ins[0], ins[1]]).unwrap();
+        let x2 = n.add_gate(GateKind::And, &[x1, ins[2]]).unwrap();
+        let x3 = n.add_gate(GateKind::Or, &[x2, ins[3]]).unwrap();
+        let x4 = n.add_gate(GateKind::Xor, &[x3, ins[4]]).unwrap();
+        let x5 = n.add_gate(GateKind::Nand, &[x4, ins[5]]).unwrap();
+        n.mark_output(x5, "y");
+        let topo = n.topology().unwrap();
+        let d = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let crit = static_critical_path_ns(&n, &d).unwrap();
+
+        let mut sim = EventSim::new(&n, &topo, d);
+        sim.settle(&vec![Logic::Zero; 6]).unwrap();
+        let mut state = 1u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let bits: Vec<Logic> = (0..6).map(|b| Logic::from((state >> (b + 7)) & 1 == 1)).collect();
+            let t = sim.step(&bits).unwrap();
+            assert!(t.delay_ns <= crit + 1e-9, "{} > {crit}", t.delay_ns);
+        }
+    }
+
+    #[test]
+    fn empty_netlist_is_zero() {
+        let n = Netlist::new();
+        let d = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        assert_eq!(static_critical_path_ns(&n, &d).unwrap(), 0.0);
+    }
+}

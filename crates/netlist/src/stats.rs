@@ -1,0 +1,222 @@
+//! Workload statistics: signal probabilities and switching activity.
+
+use agemul_logic::Logic;
+
+use crate::{FuncSim, GateId, NetId, Netlist, NetlistError, Topology};
+
+/// Per-net signal probabilities and per-gate switching activity accumulated
+/// over a workload.
+///
+/// Two downstream consumers:
+///
+/// * the **BTI aging model** needs the fraction of time each gate's
+///   transistors spend under stress, which this type approximates with the
+///   settled high-probability of each net (`α(S)` in Eq. 1 of the paper);
+/// * the **power model** needs per-gate switching activity, which the
+///   event-driven simulator accumulates (including glitches) and hands over
+///   via [`WorkloadStats::record_toggles`].
+///
+/// # Example
+///
+/// ```
+/// use agemul_logic::{GateKind, Logic};
+/// use agemul_netlist::{Netlist, WorkloadStats};
+///
+/// let mut n = Netlist::new();
+/// let a = n.add_input("a");
+/// let y = n.add_gate(GateKind::Not, &[a])?;
+/// n.mark_output(y, "y");
+/// let topo = n.topology()?;
+///
+/// let mut stats = WorkloadStats::new(&n);
+/// stats.observe_patterns(&n, &topo, [[Logic::Zero], [Logic::One], [Logic::One]])?;
+/// assert!((stats.net_high_probability(a) - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok::<(), agemul_netlist::NetlistError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct WorkloadStats {
+    patterns: u64,
+    net_high_weight: Vec<f64>,
+    gate_toggles: Vec<u64>,
+    toggle_patterns: u64,
+}
+
+impl WorkloadStats {
+    /// Creates an empty accumulator sized for `netlist`.
+    pub fn new(netlist: &Netlist) -> Self {
+        WorkloadStats {
+            patterns: 0,
+            net_high_weight: vec![0.0; netlist.net_count()],
+            gate_toggles: vec![0; netlist.gate_count()],
+            toggle_patterns: 0,
+        }
+    }
+
+    /// Functionally evaluates each pattern and accumulates settled net
+    /// values into the high-probability estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::WidthMismatch`] if any pattern width differs
+    /// from the netlist's input count.
+    pub fn observe_patterns<I, P>(
+        &mut self,
+        netlist: &Netlist,
+        topology: &Topology,
+        patterns: I,
+    ) -> Result<(), NetlistError>
+    where
+        I: IntoIterator<Item = P>,
+        P: AsRef<[Logic]>,
+    {
+        let mut sim = FuncSim::new(netlist, topology);
+        for p in patterns {
+            sim.eval(p.as_ref())?;
+            self.patterns += 1;
+            for (w, &v) in self.net_high_weight.iter_mut().zip(sim.values()) {
+                *w += v.high_weight();
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges per-gate toggle counters from an [`EventSim`] run covering
+    /// `patterns` applied input vectors.
+    ///
+    /// [`EventSim`]: crate::EventSim
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::WidthMismatch`] if `toggles` does not cover
+    /// exactly the gate population this accumulator was sized for.
+    pub fn record_toggles(&mut self, toggles: &[u64], patterns: u64) -> Result<(), NetlistError> {
+        if toggles.len() != self.gate_toggles.len() {
+            return Err(NetlistError::WidthMismatch {
+                expected: self.gate_toggles.len(),
+                got: toggles.len(),
+            });
+        }
+        for (acc, &t) in self.gate_toggles.iter_mut().zip(toggles) {
+            *acc += t;
+        }
+        self.toggle_patterns += patterns;
+        Ok(())
+    }
+
+    /// Number of patterns observed functionally.
+    #[inline]
+    pub fn pattern_count(&self) -> u64 {
+        self.patterns
+    }
+
+    /// The probability that `net` settles high under the observed workload,
+    /// or 0.5 if nothing was observed (maximum-uncertainty prior).
+    pub fn net_high_probability(&self, net: NetId) -> f64 {
+        if self.patterns == 0 {
+            return 0.5;
+        }
+        self.net_high_weight[net.index()] / self.patterns as f64
+    }
+
+    /// Average output toggles per applied pattern for `gate` (glitches
+    /// included), or 0 if no toggle data was recorded.
+    pub fn gate_activity(&self, gate: GateId) -> f64 {
+        if self.toggle_patterns == 0 {
+            return 0.0;
+        }
+        self.gate_toggles[gate.index()] as f64 / self.toggle_patterns as f64
+    }
+
+    /// Total recorded toggles across all gates.
+    pub fn total_toggles(&self) -> u64 {
+        self.gate_toggles.iter().sum()
+    }
+
+    /// Number of patterns covered by toggle recording.
+    #[inline]
+    pub fn toggle_pattern_count(&self) -> u64 {
+        self.toggle_patterns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_logic::{DelayModel, GateKind};
+
+    use crate::{DelayAssignment, EventSim};
+
+    use super::*;
+
+    fn not_netlist() -> Netlist {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let y = n.add_gate(GateKind::Not, &[a]).unwrap();
+        n.mark_output(y, "y");
+        n
+    }
+
+    #[test]
+    fn probabilities_track_patterns() {
+        let n = not_netlist();
+        let t = n.topology().unwrap();
+        let mut stats = WorkloadStats::new(&n);
+        stats
+            .observe_patterns(
+                &n,
+                &t,
+                [[Logic::One], [Logic::One], [Logic::One], [Logic::Zero]],
+            )
+            .unwrap();
+        let a = n.inputs()[0];
+        let y = n.outputs()[0];
+        assert_eq!(stats.pattern_count(), 4);
+        assert!((stats.net_high_probability(a) - 0.75).abs() < 1e-12);
+        assert!((stats.net_high_probability(y) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_use_uniform_prior() {
+        let n = not_netlist();
+        let stats = WorkloadStats::new(&n);
+        assert_eq!(stats.net_high_probability(n.inputs()[0]), 0.5);
+        assert_eq!(stats.gate_activity(GateId::from_index(0)), 0.0);
+    }
+
+    #[test]
+    fn toggle_merge_from_event_sim() {
+        let n = not_netlist();
+        let t = n.topology().unwrap();
+        let mut sim = EventSim::new(&n, &t, DelayAssignment::uniform(&n, &DelayModel::nominal()));
+        sim.settle(&[Logic::Zero]).unwrap();
+        sim.step(&[Logic::One]).unwrap();
+        sim.step(&[Logic::Zero]).unwrap();
+
+        let mut stats = WorkloadStats::new(&n);
+        stats.record_toggles(sim.gate_toggle_counts(), 2).unwrap();
+        assert_eq!(stats.total_toggles(), 2);
+        assert!((stats.gate_activity(GateId::from_index(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toggle_width_checked() {
+        let n = not_netlist();
+        let mut stats = WorkloadStats::new(&n);
+        assert!(stats.record_toggles(&[1, 2], 1).is_err());
+    }
+
+    #[test]
+    fn unknown_values_count_half() {
+        // A disabled tri-state's Z output accumulates weight 0.5.
+        let mut n = Netlist::new();
+        let d = n.add_input("d");
+        let en = n.add_input("en");
+        let g = n.add_gate(GateKind::Tbuf, &[d, en]).unwrap();
+        n.mark_output(g, "g");
+        let t = n.topology().unwrap();
+        let mut stats = WorkloadStats::new(&n);
+        stats
+            .observe_patterns(&n, &t, [[Logic::One, Logic::Zero]])
+            .unwrap();
+        assert!((stats.net_high_probability(g) - 0.5).abs() < 1e-12);
+    }
+}

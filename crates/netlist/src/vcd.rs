@@ -1,0 +1,211 @@
+//! Value-change-dump (VCD) waveform export.
+
+use std::io::{self, Write};
+
+use agemul_logic::Logic;
+
+use crate::{NetId, Netlist, TraceEvent};
+
+/// Writes a standard VCD file from a recorded simulation trace.
+///
+/// Only *named* nets (primary inputs, primary outputs, and any net the
+/// builder named) get a variable declaration — internal anonymous nets are
+/// omitted to keep waveforms readable. Events are grouped by timestamp in
+/// the order recorded by the simulator.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+///
+/// # Example
+///
+/// ```
+/// use agemul_logic::{DelayModel, GateKind, Logic};
+/// use agemul_netlist::{write_vcd, DelayAssignment, EventSim, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let a = n.add_input("a");
+/// let y = n.add_gate(GateKind::Not, &[a])?;
+/// n.mark_output(y, "y");
+/// let topo = n.topology()?;
+/// let mut sim = EventSim::new(&n, &topo, DelayAssignment::uniform(&n, &DelayModel::nominal()));
+/// sim.enable_tracing(1_000_000); // 1 ns between patterns
+/// sim.settle(&[Logic::Zero])?;
+/// sim.step(&[Logic::One])?;
+///
+/// let mut vcd = Vec::new();
+/// write_vcd(&n, sim.trace(), &mut vcd)?;
+/// let text = String::from_utf8(vcd).unwrap();
+/// assert!(text.contains("$timescale 1 fs $end"));
+/// assert!(text.contains("$var wire 1"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_vcd(
+    netlist: &Netlist,
+    events: &[TraceEvent],
+    mut out: impl Write,
+) -> io::Result<()> {
+    // Identifier codes: printable ASCII 33..=126, multi-character base-94.
+    fn id_code(mut index: usize) -> String {
+        let mut s = String::new();
+        loop {
+            s.push((33 + (index % 94)) as u8 as char);
+            index /= 94;
+            if index == 0 {
+                break;
+            }
+            index -= 1;
+        }
+        s
+    }
+
+    fn level_char(v: Logic) -> char {
+        match v {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::Z => 'z',
+            Logic::X => 'x',
+        }
+    }
+
+    // Collect named nets in id order.
+    let mut vars: Vec<(NetId, String, String)> = Vec::new();
+    for idx in 0..netlist.net_count() {
+        let net = NetId::from_index(idx);
+        if let Some(name) = netlist.net_name(net) {
+            vars.push((net, name.to_string(), id_code(vars.len())));
+        }
+    }
+    let mut code_of = vec![None::<usize>; netlist.net_count()];
+    for (slot, (net, _, _)) in vars.iter().enumerate() {
+        code_of[net.index()] = Some(slot);
+    }
+
+    writeln!(out, "$timescale 1 fs $end")?;
+    writeln!(out, "$scope module agemul $end")?;
+    for (_, name, code) in &vars {
+        writeln!(out, "$var wire 1 {code} {name} $end")?;
+    }
+    writeln!(out, "$upscope $end")?;
+    writeln!(out, "$enddefinitions $end")?;
+
+    writeln!(out, "$dumpvars")?;
+    for (_, _, code) in &vars {
+        writeln!(out, "x{code}")?;
+    }
+    writeln!(out, "$end")?;
+
+    let mut current_time: Option<u64> = None;
+    for ev in events {
+        let Some(slot) = code_of[ev.net.index()] else {
+            continue;
+        };
+        if current_time != Some(ev.time_fs) {
+            writeln!(out, "#{}", ev.time_fs)?;
+            current_time = Some(ev.time_fs);
+        }
+        writeln!(out, "{}{}", level_char(ev.value), vars[slot].2)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_logic::{DelayModel, GateKind};
+
+    use crate::{DelayAssignment, EventSim};
+
+    use super::*;
+
+    fn traced_fixture() -> (Netlist, Vec<TraceEvent>) {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        n.mark_output(y, "y");
+        let topo = n.topology().unwrap();
+        let mut sim =
+            EventSim::new(&n, &topo, DelayAssignment::uniform(&n, &DelayModel::nominal()));
+        sim.enable_tracing(500_000);
+        sim.settle(&[Logic::Zero, Logic::Zero]).unwrap();
+        sim.step(&[Logic::One, Logic::Zero]).unwrap();
+        sim.step(&[Logic::One, Logic::One]).unwrap();
+        let events = sim.trace().to_vec();
+        (n, events)
+    }
+
+    #[test]
+    fn header_and_vars_present() {
+        let (n, events) = traced_fixture();
+        let mut buf = Vec::new();
+        write_vcd(&n, &events, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("$timescale 1 fs $end"));
+        assert!(text.contains("$var wire 1 ! a $end"));
+        assert!(text.contains("$enddefinitions $end"));
+        assert!(text.contains("$dumpvars"));
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let (n, events) = traced_fixture();
+        let mut buf = Vec::new();
+        write_vcd(&n, &events, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let times: Vec<u64> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix('#'))
+            .map(|t| t.parse().unwrap())
+            .collect();
+        assert!(!times.is_empty());
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn trace_spans_multiple_steps() {
+        let (_, events) = traced_fixture();
+        // The second step's events must start after the first step's gap.
+        let max_first = events
+            .iter()
+            .map(|e| e.time_fs)
+            .filter(|&t| t < 500_000)
+            .count();
+        let later = events.iter().filter(|e| e.time_fs >= 500_000).count();
+        assert!(max_first > 0 && later > 0, "{events:?}");
+    }
+
+    #[test]
+    fn id_codes_are_printable_and_unique() {
+        let mut n = Netlist::new();
+        for i in 0..200 {
+            let x = n.add_input(format!("in{i}"));
+            n.mark_output(x, format!("o{i}"));
+        }
+        let mut buf = Vec::new();
+        write_vcd(&n, &[], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let codes: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("$var"))
+            .map(|l| l.split_whitespace().nth(3).unwrap())
+            .collect();
+        assert_eq!(codes.len(), 200);
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 200);
+    }
+
+    #[test]
+    fn unnamed_nets_are_omitted() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let mid = n.add_gate(GateKind::Not, &[a]).unwrap(); // anonymous
+        let y = n.add_gate(GateKind::Not, &[mid]).unwrap();
+        n.mark_output(y, "y");
+        let mut buf = Vec::new();
+        write_vcd(&n, &[], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().filter(|l| l.starts_with("$var")).count(), 2);
+    }
+}

@@ -1,0 +1,18 @@
+use agemul::MultiplierDesign;
+use agemul::PatternSet;
+use agemul_aging::{aging_factors, BtiModel};
+use agemul_circuits::MultiplierKind;
+use agemul_logic::Technology;
+
+fn main() {
+    let d = MultiplierDesign::new(MultiplierKind::ColumnBypass, 16).unwrap();
+    let pats = PatternSet::uniform(16, 800, 0x0A6E_0001);
+    let stats = d.workload_stats(pats.pairs()).unwrap();
+    let fresh = d.critical_delay_ns(None).unwrap();
+    for target in [1.04, 1.06, 1.08, 1.10, 1.11, 1.12] {
+        let bti = BtiModel::calibrated(Technology::ptm_32nm_hk(), target);
+        let f = aging_factors(d.circuit().netlist(), &stats, &bti, 7.0);
+        let crit = d.critical_delay_ns(Some(&f)).unwrap();
+        println!("gate target {target}: circuit growth {:+.2}%", 100.0 * (crit / fresh - 1.0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Fig. 25 — area comparison in transistors.
+
+use agemul::{area_report, Architecture};
+use agemul_circuits::MultiplierKind;
+
+use super::skips;
+use crate::{Context, Report, Result, Table};
+
+/// Fig. 25 — transistor counts of AM, FLCB, A-VLCB, FLRB, and A-VLRB at
+/// 16×16 and 32×32, normalized to the AM. The paper reports A-VLCB/A-VLRB
+/// overheads of 22.9 %/23.5 % over FLCB/FLRB at 16×16 shrinking to
+/// 12.3 %/5.7 % at 32×32 (AHL + Razor amortize in bigger arrays).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig25(ctx: &mut Context) -> Result<Report> {
+    let mut report = Report::new("fig25", "area in transistors, normalized to AM");
+    for width in [16usize, 32] {
+        let skip = skips(width)[0];
+        let am = ctx.design(MultiplierKind::Array, width)?;
+        let cb = ctx.design(MultiplierKind::ColumnBypass, width)?;
+        let rb = ctx.design(MultiplierKind::RowBypass, width)?;
+
+        let am_fl = area_report(&am, Architecture::FixedLatency, skip)?;
+        let cb_fl = area_report(&cb, Architecture::FixedLatency, skip)?;
+        let cb_avl = area_report(&cb, Architecture::AdaptiveVariableLatency, skip)?;
+        let rb_fl = area_report(&rb, Architecture::FixedLatency, skip)?;
+        let rb_avl = area_report(&rb, Architecture::AdaptiveVariableLatency, skip)?;
+
+        let base = am_fl.total_transistors() as f64;
+        let mut table = Table::new(
+            format!("{width}×{width} (Skip-{skip})"),
+            &["design", "transistors", "vs AM", "overhead vs FL"],
+        );
+        let rows: [(&str, &agemul::AreaReport, Option<&agemul::AreaReport>); 5] = [
+            ("AM", &am_fl, None),
+            ("FLCB", &cb_fl, None),
+            ("A-VLCB", &cb_avl, Some(&cb_fl)),
+            ("FLRB", &rb_fl, None),
+            ("A-VLRB", &rb_avl, Some(&rb_fl)),
+        ];
+        for (name, r, fl) in rows {
+            let total = r.total_transistors();
+            let overhead = fl
+                .map(|f| {
+                    format!(
+                        "{:+.1}%",
+                        100.0 * (total as f64 / f.total_transistors() as f64 - 1.0)
+                    )
+                })
+                .unwrap_or_else(|| "—".to_string());
+            table.row(&[
+                name.to_string(),
+                total.to_string(),
+                format!("{:.3}×", total as f64 / base),
+                overhead,
+            ]);
+        }
+        table.note("paper overheads: 16×16 A-VLCB +22.9%, A-VLRB +23.5%; 32×32 +12.3%, +5.7%");
+        report.push(table);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Scale;
+
+    use super::*;
+
+    #[test]
+    fn overhead_shrinks_at_32_bits() {
+        let mut ctx = Context::new(Scale::Quick);
+        let r = fig25(&mut ctx).unwrap();
+        let parse = |t: &crate::Table, row: usize| -> f64 {
+            t.cell(row, 3)
+                .unwrap()
+                .trim_start_matches('+')
+                .trim_end_matches('%')
+                .parse()
+                .unwrap()
+        };
+        // Row 2 = A-VLCB overhead; table 0 = 16×16, table 1 = 32×32.
+        let o16 = parse(&r.tables[0], 2);
+        let o32 = parse(&r.tables[1], 2);
+        assert!(o32 < o16, "16-bit {o16}% vs 32-bit {o32}%");
+    }
+}

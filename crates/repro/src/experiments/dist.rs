@@ -1,0 +1,189 @@
+//! Distribution experiments: Figs. 5, 6, 9, 10.
+
+use agemul::{count_zeros, PatternSet};
+use agemul_circuits::{MultiplierKind, Operand};
+
+use super::{f3, pct, percentile};
+use crate::{Context, Report, Result, Table};
+
+/// Fig. 5 — path-delay distribution of the 16×16 AM, column-, and
+/// row-bypassing multipliers under random input patterns.
+///
+/// The paper reports maximum delays of 1.32 / 1.88 / 1.82 ns and notes
+/// that >98 % of AM paths are below 0.7 ns while >93 % (CB) and >98 % (RB)
+/// are below 0.9 ns.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig5(ctx: &mut Context) -> Result<Report> {
+    let count = ctx.scale().distribution_patterns();
+    let mut report = Report::new(
+        "fig5",
+        format!("path delay distribution, 16×16, {count} random patterns"),
+    );
+
+    let mut summary = Table::new(
+        "delay summary (ns)",
+        &[
+            "multiplier",
+            "max",
+            "avg",
+            "p50",
+            "p90",
+            "p99",
+            "<0.7ns",
+            "<0.9ns",
+        ],
+    );
+    let mut histograms: Vec<(MultiplierKind, Vec<f64>)> = Vec::new();
+    for kind in MultiplierKind::PAPER {
+        let profile = ctx.profile(kind, 16, 0.0, count)?;
+        let mut delays: Vec<f64> = profile.records().iter().map(|r| r.delay_ns).collect();
+        delays.sort_by(f64::total_cmp);
+        let below = |t: f64| delays.iter().filter(|&&d| d < t).count() as f64 / delays.len() as f64;
+        summary.row(&[
+            kind.label().to_string(),
+            f3(profile.max_delay_ns()),
+            f3(profile.avg_delay_ns()),
+            f3(percentile(&delays, 50.0)),
+            f3(percentile(&delays, 90.0)),
+            f3(percentile(&delays, 99.0)),
+            pct(below(0.7)),
+            pct(below(0.9)),
+        ]);
+        histograms.push((kind, delays));
+    }
+    summary.note("paper maxima: AM 1.32, CB 1.88, RB 1.82 ns (SPICE; shapes comparable)");
+    report.push(summary);
+
+    // Shared-bin histogram, 0.1 ns bins.
+    let hi = histograms
+        .iter()
+        .flat_map(|(_, d)| d.last().copied())
+        .fold(0.0f64, f64::max);
+    let bins = (hi / 0.1).ceil() as usize + 1;
+    let mut hist = Table::new(
+        "pattern counts per 0.1 ns delay bin",
+        &["bin (ns)", "AM", "CB", "RB"],
+    );
+    for b in 0..bins {
+        let lo = 0.1 * b as f64;
+        let up = lo + 0.1;
+        let cells: Vec<String> = histograms
+            .iter()
+            .map(|(_, d)| {
+                d.iter()
+                    .filter(|&&x| x >= lo && x < up)
+                    .count()
+                    .to_string()
+            })
+            .collect();
+        hist.row(&[
+            format!("{lo:.1}–{up:.1}"),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    report.push(hist);
+    Ok(report)
+}
+
+/// Fig. 6 — delay distribution of the 16×16 column-bypassing multiplier
+/// when the multiplicand has exactly 6, 8, or 10 zeros: more zeros shift
+/// the distribution left (smaller delays).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig6(ctx: &mut Context) -> Result<Report> {
+    let count = ctx.scale().fig6_patterns();
+    let mut report = Report::new(
+        "fig6",
+        format!("16×16 CB delay vs zeros in multiplicand ({count} patterns/group)"),
+    );
+    let design = ctx.design(MultiplierKind::ColumnBypass, 16)?;
+    let mut table = Table::new(
+        "delay by multiplicand zero count (ns)",
+        &["zeros", "avg", "p50", "p90", "max"],
+    );
+    let mut averages = Vec::new();
+    for (i, zeros) in [6u32, 8, 10].into_iter().enumerate() {
+        let patterns = PatternSet::with_exact_zeros(
+            16,
+            count,
+            zeros,
+            Operand::Multiplicand,
+            0x0A6E_0600 + i as u64,
+        );
+        let profile = design.profile(patterns.pairs(), None)?;
+        let mut delays: Vec<f64> = profile.records().iter().map(|r| r.delay_ns).collect();
+        delays.sort_by(f64::total_cmp);
+        averages.push(profile.avg_delay_ns());
+        table.row(&[
+            zeros.to_string(),
+            f3(profile.avg_delay_ns()),
+            f3(percentile(&delays, 50.0)),
+            f3(percentile(&delays, 90.0)),
+            f3(profile.max_delay_ns()),
+        ]);
+    }
+    let left_shift = averages.windows(2).all(|w| w[1] < w[0]);
+    table.note(format!(
+        "distribution left-shifts as zeros increase: {}",
+        if left_shift { "yes (matches paper)" } else { "NO" }
+    ));
+    report.push(table);
+    Ok(report)
+}
+
+/// Figs. 9 & 10 — the number of zeros/ones in random multiplicators and
+/// multiplicands follows a binomial (the paper calls it normal)
+/// distribution centred at width/2.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig9_10(ctx: &mut Context) -> Result<Report> {
+    let count = ctx.scale().distribution_patterns();
+    let workload = ctx.uniform_workload(16, count);
+    let mut report = Report::new(
+        "fig9-10",
+        format!("zero/one counts in {count} random 16-bit operands"),
+    );
+    let mut table = Table::new(
+        "pattern counts by number of zeros",
+        &["zeros", "multiplicator (fig9)", "multiplicand (fig10)"],
+    );
+    let mut hist_a = [0u64; 17];
+    let mut hist_b = [0u64; 17];
+    for &(a, b) in workload.pairs() {
+        hist_a[count_zeros(a, 16) as usize] += 1;
+        hist_b[count_zeros(b, 16) as usize] += 1;
+    }
+    for z in 0..=16 {
+        table.row(&[z.to_string(), hist_b[z].to_string(), hist_a[z].to_string()]);
+    }
+    table.note("binomial(16, ½): mode at 8 zeros");
+    report.push(table);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Scale;
+
+    use super::*;
+
+    #[test]
+    fn fig9_10_histogram_sums_to_pattern_count() {
+        let mut ctx = Context::new(Scale::Quick);
+        let r = fig9_10(&mut ctx).unwrap();
+        let t = &r.tables[0];
+        let total: u64 = (0..t.row_count())
+            .map(|i| t.cell(i, 1).unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total as usize, Scale::Quick.distribution_patterns());
+    }
+}

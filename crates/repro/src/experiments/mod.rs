@@ -1,0 +1,149 @@
+//! One function per paper table/figure.
+//!
+//! | id | function | paper artifact |
+//! |----|----------|----------------|
+//! | `fig5` | [`fig5`] | path-delay distribution, 16×16 AM/CB/RB |
+//! | `fig6` | [`fig6`] | CB delay distribution vs zeros in multiplicand |
+//! | `fig7` | [`fig7`] | critical-path growth over 7 years |
+//! | `fig9-10` | [`fig9_10`] | zero/one count distributions |
+//! | `table1` | [`table1`] | one-cycle ratios, 16×16 |
+//! | `table2` | [`table2`] | one-cycle ratios, 32×32 |
+//! | `fig13` | [`fig13`] | latency vs period, 16×16, per skip |
+//! | `fig14` | [`fig14`] | latency vs period, 32×32, per skip |
+//! | `fig15` | [`fig15`] | latency vs period across skips, 16×16 |
+//! | `fig16` | [`fig16`] | error counts, 16×16 |
+//! | `fig17` | [`fig17`] | latency across skips, 32×32 |
+//! | `fig18` | [`fig18`] | error counts, 32×32 |
+//! | `fig19-22` | [`fig19_22`] | T-VL vs A-VL error counts, aged |
+//! | `fig23` | [`fig23`] | FL/T-VL/A-VL latency, aged, 16×16 |
+//! | `fig24` | [`fig24`] | FL/T-VL/A-VL latency, aged, 32×32 |
+//! | `fig25` | [`fig25`] | area in transistors |
+//! | `fig26` | [`fig26`] | latency/power/EDP over 7 years, 16×16 |
+//! | `fig27` | [`fig27`] | latency/power/EDP over 7 years, 32×32 |
+
+mod aged;
+mod area;
+mod aging_trend;
+mod dist;
+mod extras;
+mod ratios;
+mod sweeps;
+mod years;
+
+pub use aged::{fig19_22, fig23, fig24};
+pub use area::fig25;
+pub use aging_trend::fig7;
+pub use dist::{fig5, fig6, fig9_10};
+pub use extras::{ablations, extensions};
+pub use ratios::{table1, table2};
+pub use sweeps::{fig13, fig14, fig15, fig16, fig17, fig18};
+pub use years::{fig26, fig27};
+
+use crate::{Context, Report, Result};
+
+/// All experiment ids: the paper's artifacts in paper order, then the
+/// repository's own ablation and extension studies.
+pub const ALL_IDS: [&str; 20] = [
+    "fig5", "fig6", "fig7", "fig9-10", "table1", "table2", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "fig19-22", "fig23", "fig24", "fig25", "fig26", "fig27", "ablations",
+    "extensions",
+];
+
+/// Runs an experiment by id (see [`ALL_IDS`]).
+///
+/// # Errors
+///
+/// Returns an error for unknown ids or failed simulations.
+pub fn run_by_id(ctx: &mut Context, id: &str) -> Result<Report> {
+    match id {
+        "fig5" => fig5(ctx),
+        "fig6" => fig6(ctx),
+        "fig7" => fig7(ctx),
+        "fig9-10" | "fig9" | "fig10" => fig9_10(ctx),
+        "table1" => table1(ctx),
+        "table2" => table2(ctx),
+        "fig13" => fig13(ctx),
+        "fig14" => fig14(ctx),
+        "fig15" => fig15(ctx),
+        "fig16" => fig16(ctx),
+        "fig17" => fig17(ctx),
+        "fig18" => fig18(ctx),
+        "fig19-22" | "fig19" | "fig20" | "fig21" | "fig22" => fig19_22(ctx),
+        "fig23" => fig23(ctx),
+        "fig24" => fig24(ctx),
+        "fig25" => fig25(ctx),
+        "fig26" => fig26(ctx),
+        "fig27" => fig27(ctx),
+        "ablations" => ablations(ctx),
+        "extensions" => extensions(ctx),
+        other => Err(format!("unknown experiment id: {other}").into()),
+    }
+}
+
+/// The paper's skip-number scenarios per operand width.
+pub(crate) fn skips(width: usize) -> [u32; 3] {
+    if width <= 16 {
+        [7, 8, 9]
+    } else {
+        [15, 16, 17]
+    }
+}
+
+/// Cycle-period grids for the sweep figures, nanoseconds.
+pub(crate) fn period_grid(width: usize) -> Vec<f64> {
+    if width <= 16 {
+        // 0.60 .. 1.30 in 0.05 steps.
+        (0..=14).map(|i| 0.60 + 0.05 * i as f64).collect()
+    } else {
+        // 1.00 .. 2.60 in 0.10 steps.
+        (0..=16).map(|i| 1.00 + 0.10 * i as f64).collect()
+    }
+}
+
+/// Percentile (0..=100) of a pre-sorted slice.
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Formats a float with 3 decimals (the table cell convention).
+pub(crate) fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a ratio as a percentage with 2 decimals.
+pub(crate) fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_ascending() {
+        for width in [16, 32] {
+            let g = period_grid(width);
+            assert!(g.windows(2).all(|w| w[0] < w[1]));
+            assert!(g.len() > 10);
+        }
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn skip_scenarios_match_paper() {
+        assert_eq!(skips(16), [7, 8, 9]);
+        assert_eq!(skips(32), [15, 16, 17]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Tables I & II — one-cycle pattern ratios.
+
+use agemul::count_zeros;
+
+use super::{pct, skips};
+use crate::{Context, Report, Result, Table};
+
+fn ratio_table(ctx: &mut Context, width: usize) -> Result<Table> {
+    let count = 10_000; // the paper's simulation count for these tables
+    let workload = ctx.uniform_workload(width, count);
+    let mut table = Table::new(
+        format!("one-cycle pattern ratio, {width}×{width} ({count} patterns)"),
+        &["scenario", "VLCB (zeros in md)", "VLRB (zeros in mr)"],
+    );
+    for skip in skips(width) {
+        let cb = workload
+            .pairs()
+            .iter()
+            .filter(|&&(a, _)| count_zeros(a, width) >= skip)
+            .count() as f64
+            / count as f64;
+        let rb = workload
+            .pairs()
+            .iter()
+            .filter(|&&(_, b)| count_zeros(b, width) >= skip)
+            .count() as f64
+            / count as f64;
+        table.row(&[format!("Skip-{skip}"), pct(cb), pct(rb)]);
+    }
+    Ok(table)
+}
+
+/// Table I — one-cycle pattern ratios of the 16×16 variable-latency
+/// bypassing multipliers for Skip-7/8/9.
+///
+/// Paper values: 73.58 / 53.78 / 33.22 % (VLCB) and 77.39 / 59.89 /
+/// 40.20 % (VLRB) — binomial tails of the operand zero counts, so both
+/// columns converge for large samples.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn table1(ctx: &mut Context) -> Result<Report> {
+    let mut report = Report::new("table1", "one-cycle pattern ratio, 16×16");
+    let mut t = ratio_table(ctx, 16)?;
+    t.note("paper: Skip-7 73.58/77.39, Skip-8 53.78/59.89, Skip-9 33.22/40.20 (%)");
+    t.note("binomial(16,½) tails: P(zeros ≥ 7/8/9) = 77.3/59.8/40.2 %");
+    report.push(t);
+    Ok(report)
+}
+
+/// Table II — one-cycle pattern ratios of the 32×32 variable-latency
+/// bypassing multipliers for Skip-15/16/17.
+///
+/// Paper values: 66.46 / 52.68 / 38.18 % (VLCB) and 66.99 / 52.74 /
+/// 38.42 % (VLRB).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn table2(ctx: &mut Context) -> Result<Report> {
+    let mut report = Report::new("table2", "one-cycle pattern ratio, 32×32");
+    let mut t = ratio_table(ctx, 32)?;
+    t.note("paper: Skip-15 66.46/66.99, Skip-16 52.68/52.74, Skip-17 38.18/38.42 (%)");
+    report.push(t);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Scale;
+
+    use super::*;
+
+    #[test]
+    fn ratios_decrease_with_skip() {
+        let mut ctx = Context::new(Scale::Quick);
+        let r = table1(&mut ctx).unwrap();
+        let t = &r.tables[0];
+        let parse = |row: usize| -> f64 {
+            t.cell(row, 1)
+                .unwrap()
+                .trim_end_matches('%')
+                .parse()
+                .unwrap()
+        };
+        assert!(parse(0) > parse(1));
+        assert!(parse(1) > parse(2));
+    }
+
+    #[test]
+    fn table1_matches_binomial_tail() {
+        let mut ctx = Context::new(Scale::Quick);
+        let r = table1(&mut ctx).unwrap();
+        let skip7: f64 = r.tables[0]
+            .cell(0, 1)
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        // P(zeros ≥ 7) for Binomial(16, 0.5) ≈ 77.3 %; allow sampling slack.
+        assert!((skip7 - 77.3).abs() < 2.5, "skip-7 ratio {skip7}");
+    }
+}

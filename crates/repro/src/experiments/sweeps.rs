@@ -1,0 +1,197 @@
+//! Cycle-period sweep experiments at year 0: Figs. 13–18.
+
+use agemul::{run_engine, EngineConfig};
+use agemul_circuits::MultiplierKind;
+
+use super::{f3, period_grid, skips};
+use crate::{Context, Report, Result, Table};
+
+/// Figs. 13 (16×16) / 14 (32×32) — average latency of the adaptive
+/// variable-latency column-/row-bypassing multipliers versus cycle period,
+/// one table per skip scenario, against the AM/FLCB/FLRB fixed-latency
+/// constants.
+fn latency_vs_period(ctx: &mut Context, width: usize, id: &str) -> Result<Report> {
+    let count = ctx.scale().latency_patterns(width);
+    let am = ctx.critical(MultiplierKind::Array, width, 0.0)?;
+    let flcb = ctx.critical(MultiplierKind::ColumnBypass, width, 0.0)?;
+    let flrb = ctx.critical(MultiplierKind::RowBypass, width, 0.0)?;
+    let cb = ctx.profile(MultiplierKind::ColumnBypass, width, 0.0, count)?;
+    let rb = ctx.profile(MultiplierKind::RowBypass, width, 0.0, count)?;
+
+    let mut report = Report::new(
+        id,
+        format!("average latency vs cycle period, {width}×{width}, year 0 ({count} patterns)"),
+    );
+    for skip in skips(width) {
+        let mut table = Table::new(
+            format!("Skip-{skip}: average latency (ns)"),
+            &["period", "A-VLCB", "A-VLRB"],
+        );
+        let mut best = (f64::INFINITY, f64::INFINITY, 0.0f64, 0.0f64);
+        for period in period_grid(width) {
+            let mcb = run_engine(&cb, &EngineConfig::adaptive(period, skip));
+            let mrb = run_engine(&rb, &EngineConfig::adaptive(period, skip));
+            if mcb.avg_latency_ns() < best.0 {
+                best.0 = mcb.avg_latency_ns();
+                best.2 = period;
+            }
+            if mrb.avg_latency_ns() < best.1 {
+                best.1 = mrb.avg_latency_ns();
+                best.3 = period;
+            }
+            table.row(&[
+                f3(period),
+                f3(mcb.avg_latency_ns()),
+                f3(mrb.avg_latency_ns()),
+            ]);
+        }
+        table.note(format!(
+            "fixed-latency constants: AM {} / FLCB {} / FLRB {} ns",
+            f3(am),
+            f3(flcb),
+            f3(flrb)
+        ));
+        table.note(format!(
+            "best A-VLCB {} ns @ {} ns: {:.1}% below FLCB, {:+.1}% vs AM",
+            f3(best.0),
+            f3(best.2),
+            100.0 * (1.0 - best.0 / flcb),
+            100.0 * (best.0 / am - 1.0)
+        ));
+        table.note(format!(
+            "best A-VLRB {} ns @ {} ns: {:.1}% below FLRB, {:+.1}% vs AM",
+            f3(best.1),
+            f3(best.3),
+            100.0 * (1.0 - best.1 / flrb),
+            100.0 * (best.1 / am - 1.0)
+        ));
+        report.push(table);
+    }
+    Ok(report)
+}
+
+/// What a skip-comparison sweep reports per period.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SweepMetric {
+    LatencyNs,
+    ErrorsPer10kCycles,
+}
+
+/// Figs. 15/17 (latency) and 16/18 (error counts) — one table per
+/// multiplier kind with the three skip scenarios side by side.
+fn skip_comparison(
+    ctx: &mut Context,
+    width: usize,
+    metric: SweepMetric,
+    id: &str,
+    title: &str,
+) -> Result<Report> {
+    let count = ctx.scale().latency_patterns(width);
+    let mut report = Report::new(id, format!("{title}, {width}×{width} ({count} patterns)"));
+    let am = ctx.critical(MultiplierKind::Array, width, 0.0)?;
+    for kind in [MultiplierKind::ColumnBypass, MultiplierKind::RowBypass] {
+        let profile = ctx.profile(kind, width, 0.0, count)?;
+        let fl = ctx.critical(kind, width, 0.0)?;
+        let [s0, s1, s2] = skips(width);
+        let mut table = Table::new(
+            format!("A-VL{} ({})", kind.label(), title),
+            &[
+                "period",
+                &format!("Skip-{s0}"),
+                &format!("Skip-{s1}"),
+                &format!("Skip-{s2}"),
+            ],
+        );
+        for period in period_grid(width) {
+            let cells: Vec<String> = skips(width)
+                .iter()
+                .map(|&skip| {
+                    let m = run_engine(&profile, &EngineConfig::adaptive(period, skip));
+                    match metric {
+                        SweepMetric::LatencyNs => f3(m.avg_latency_ns()),
+                        SweepMetric::ErrorsPer10kCycles => {
+                            format!("{:.0}", m.errors_per_10k_cycles())
+                        }
+                    }
+                })
+                .collect();
+            table.row(&[f3(period), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+        }
+        if metric == SweepMetric::LatencyNs {
+            table.note(format!(
+                "fixed-latency constants: AM {} / FL{} {} ns",
+                f3(am),
+                kind.label(),
+                f3(fl)
+            ));
+        }
+        report.push(table);
+    }
+    Ok(report)
+}
+
+/// Fig. 13 — average latency vs cycle period, 16×16, Skip-7/8/9.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig13(ctx: &mut Context) -> Result<Report> {
+    latency_vs_period(ctx, 16, "fig13")
+}
+
+/// Fig. 14 — average latency vs cycle period, 32×32, Skip-15/16/17.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig14(ctx: &mut Context) -> Result<Report> {
+    latency_vs_period(ctx, 32, "fig14")
+}
+
+/// Fig. 15 — 16×16 average latency across skip numbers.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig15(ctx: &mut Context) -> Result<Report> {
+    skip_comparison(ctx, 16, SweepMetric::LatencyNs, "fig15", "average latency (ns)")
+}
+
+/// Fig. 16 — 16×16 Razor error count (per 10 000 cycles) across skips.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig16(ctx: &mut Context) -> Result<Report> {
+    skip_comparison(
+        ctx,
+        16,
+        SweepMetric::ErrorsPer10kCycles,
+        "fig16",
+        "errors per 10k cycles",
+    )
+}
+
+/// Fig. 17 — 32×32 average latency across skip numbers.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig17(ctx: &mut Context) -> Result<Report> {
+    skip_comparison(ctx, 32, SweepMetric::LatencyNs, "fig17", "average latency (ns)")
+}
+
+/// Fig. 18 — 32×32 Razor error count (per 10 000 cycles) across skips.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig18(ctx: &mut Context) -> Result<Report> {
+    skip_comparison(
+        ctx,
+        32,
+        SweepMetric::ErrorsPer10kCycles,
+        "fig18",
+        "errors per 10k cycles",
+    )
+}

@@ -1,0 +1,31 @@
+//! Reproduction harness for every table and figure in the paper.
+//!
+//! Each experiment in the evaluation section of *"Aging-Aware Reliable
+//! Multiplier Design With Adaptive Hold Logic"* has a function here that
+//! regenerates its rows/series from the gate-level simulation stack, plus a
+//! `repro` CLI subcommand. The mapping lives in `DESIGN.md`; measured vs
+//! paper numbers are recorded in `EXPERIMENTS.md`.
+//!
+//! Absolute nanoseconds come from a delay model calibrated to one paper
+//! anchor (16×16 AM critical path = 1.32 ns); everything else — who wins,
+//! crossover periods, improvement factors, aging slopes — is emergent.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use agemul_repro::{experiments, Context, Scale};
+//!
+//! let mut ctx = Context::new(Scale::Quick);
+//! let report = experiments::table1(&mut ctx).unwrap();
+//! println!("{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+pub mod experiments;
+mod table;
+
+pub use context::{Context, Result, Scale};
+pub use table::{Report, Table};

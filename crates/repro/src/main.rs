@@ -1,0 +1,92 @@
+//! `repro` — regenerate the paper's tables and figures from simulation.
+//!
+//! ```text
+//! repro [--quick | --paper] [--csv <dir>] [--list] <experiment>... | all
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use agemul_repro::{experiments, Context, Scale};
+
+fn usage() {
+    eprintln!("usage: repro [--quick | --paper] [--csv <dir>] [--list] <experiment>... | all");
+    eprintln!("experiments: {}", experiments::ALL_IDS.join(", "));
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Standard;
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut expect_csv_dir = false;
+    for arg in std::env::args().skip(1) {
+        if expect_csv_dir {
+            csv_dir = Some(PathBuf::from(&arg));
+            expect_csv_dir = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--paper" => scale = Scale::Paper,
+            "--csv" => expect_csv_dir = true,
+            "--list" => {
+                for id in experiments::ALL_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(experiments::ALL_IDS.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    ids.dedup();
+
+    let mut ctx = Context::new(scale);
+    let overall = Instant::now();
+    for id in &ids {
+        let start = Instant::now();
+        match experiments::run_by_id(&mut ctx, id) {
+            Ok(report) => {
+                println!("{report}");
+                println!("[{id} completed in {:.1}s]\n", start.elapsed().as_secs_f64());
+                if let Some(dir) = &csv_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("cannot create {}: {e}", dir.display());
+                        return ExitCode::FAILURE;
+                    }
+                    for table in &report.tables {
+                        let path = dir.join(format!("{}__{}.csv", report.id, table.slug()));
+                        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                            eprintln!("cannot write {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!(
+        "all {} experiment(s) done in {:.1}s (scale: {scale:?})",
+        ids.len(),
+        overall.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

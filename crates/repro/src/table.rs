@@ -1,0 +1,238 @@
+//! Minimal aligned-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// One aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use agemul_repro::Table;
+///
+/// let mut t = Table::new("demo", &["x", "y"]);
+/// t.row(&["1", "2.50"]);
+/// assert!(t.to_string().contains("2.50"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[impl AsRef<str>]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Appends a footnote line.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Borrow a cell by row/column (for tests and cross-checks).
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row)?.get(col).map(String::as_str)
+    }
+
+    /// Renders the table as RFC-4180-style CSV (quotes doubled, fields
+    /// quoted when they contain separators). Notes become trailing
+    /// `# `-prefixed comment lines.
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str("# ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A filesystem-safe slug of the title, for CSV filenames.
+    pub fn slug(&self) -> String {
+        let mut s: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        while s.contains("__") {
+            s = s.replace("__", "_");
+        }
+        s.trim_matches('_').chars().take(60).collect()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A titled bundle of tables — one experiment's full output.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment identifier ("fig13", "table1", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The tables, in print order.
+    pub tables: Vec<Table>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Appends a table.
+    pub fn push(&mut self, table: Table) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "==== {} — {} ====", self.id, self.title)?;
+        for t in &self.tables {
+            writeln!(f)?;
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("t", &["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer", "2"]);
+        t.note("hello");
+        let s = t.to_string();
+        assert!(s.contains("## t"));
+        assert!(s.contains("note: hello"));
+        assert_eq!(t.cell(1, 0), Some("longer"));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn csv_escapes_and_comments() {
+        let mut t = Table::new("odd, title", &["a", "b"]);
+        t.row(&["x,y", "plain"]);
+        t.row(&["with \"quote\"", "2"]);
+        t.note("context");
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"x,y\",plain"));
+        assert!(csv.contains("\"with \"\"quote\"\"\""));
+        assert!(csv.ends_with("# context\n"));
+        assert_eq!(t.slug(), "odd_title");
+    }
+
+    #[test]
+    fn report_bundles() {
+        let mut r = Report::new("figX", "demo");
+        r.push(Table::new("t1", &["c"]));
+        let s = r.to_string();
+        assert!(s.contains("figX"));
+        assert!(s.contains("## t1"));
+    }
+}

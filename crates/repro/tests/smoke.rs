@@ -1,0 +1,117 @@
+//! Smoke tests: every experiment runs at Quick scale and produces
+//! structurally sound reports with the paper's qualitative shape.
+
+use agemul_repro::{experiments, Context, Scale};
+
+fn cell_f64(t: &agemul_repro::Table, row: usize, col: usize) -> f64 {
+    t.cell(row, col)
+        .unwrap()
+        .trim_end_matches('%')
+        .trim_start_matches('+')
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn every_experiment_id_dispatches() {
+    // One shared context so profiles are computed once.
+    let mut ctx = Context::new(Scale::Quick);
+    for id in ["table1", "table2", "fig9-10", "fig25"] {
+        let report = experiments::run_by_id(&mut ctx, id).unwrap();
+        assert!(!report.tables.is_empty(), "{id} produced no tables");
+        for t in &report.tables {
+            assert!(t.row_count() > 0, "{id}: empty table {}", t.title());
+        }
+    }
+    assert!(experiments::run_by_id(&mut ctx, "bogus").is_err());
+}
+
+#[test]
+fn fig13_has_u_shape_and_beats_fixed_latency() {
+    let mut ctx = Context::new(Scale::Quick);
+    let report = experiments::fig13(&mut ctx).unwrap();
+    // Skip-7 table: latency at the extremes exceeds the interior minimum.
+    let t = &report.tables[0];
+    let first = cell_f64(t, 0, 1);
+    let last = cell_f64(t, t.row_count() - 1, 1);
+    let min = (0..t.row_count())
+        .map(|r| cell_f64(t, r, 1))
+        .fold(f64::INFINITY, f64::min);
+    assert!(min < first && min < last, "no U-shape: {min} vs {first}/{last}");
+    // And the minimum undercuts the FLCB constant (1.734 ns).
+    assert!(min < 1.6, "A-VLCB best {min} does not beat FLCB");
+}
+
+#[test]
+fn fig16_errors_fall_with_period() {
+    let mut ctx = Context::new(Scale::Quick);
+    let report = experiments::fig16(&mut ctx).unwrap();
+    let t = &report.tables[0]; // CB table, Skip-7 column
+    let first = cell_f64(t, 0, 1);
+    let last = cell_f64(t, t.row_count() - 1, 1);
+    assert!(first > last, "errors did not fall: {first} → {last}");
+    assert_eq!(last, 0.0, "long periods must be error-free");
+}
+
+#[test]
+fn fig19_22_adaptive_never_has_more_errors() {
+    let mut ctx = Context::new(Scale::Quick);
+    let report = experiments::fig19_22(&mut ctx).unwrap();
+    assert_eq!(report.tables.len(), 4);
+    for t in &report.tables {
+        for r in 0..t.row_count() {
+            let traditional = cell_f64(t, r, 1);
+            let adaptive = cell_f64(t, r, 2);
+            assert!(
+                adaptive <= traditional + 1e-9,
+                "{}: row {r}: {adaptive} > {traditional}",
+                t.title()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig26_adaptive_latency_is_flat_while_fixed_grows() {
+    let mut ctx = Context::new(Scale::Quick);
+    let report = experiments::fig26(&mut ctx).unwrap();
+    let latency = &report.tables[0];
+    let last = latency.row_count() - 1;
+    // Columns: year, AM, FLCB, FLRB, A-VLCB, A-VLRB (normalized).
+    let am_growth = cell_f64(latency, last, 1) / cell_f64(latency, 0, 1);
+    let avlcb_growth = cell_f64(latency, last, 4) / cell_f64(latency, 0, 4);
+    assert!(am_growth > 1.10, "AM grew only {am_growth}");
+    assert!(avlcb_growth < 1.05, "A-VLCB grew {avlcb_growth}");
+    // The adaptive design stays far below the aged fixed-latency twin and
+    // within a whisker of the aged AM (the exact AM crossover year is
+    // seed-sensitive at Quick scale).
+    assert!(cell_f64(latency, last, 4) < cell_f64(latency, last, 2));
+    assert!(cell_f64(latency, last, 4) < 1.05 * cell_f64(latency, last, 1));
+}
+
+#[test]
+fn extensions_confirm_bypassing_specificity() {
+    let mut ctx = Context::new(Scale::Quick);
+    let report = experiments::extensions(&mut ctx).unwrap();
+    let t = &report.tables[0];
+    // Rows: AM, CB, RB, WAL, BOOTH; col 4 = delay/zeros correlation.
+    let cb_corr = cell_f64(t, 1, 4);
+    let wal_corr = cell_f64(t, 3, 4);
+    assert!(cb_corr < -0.6, "CB correlation too weak: {cb_corr}");
+    assert!(wal_corr.abs() < 0.5, "Wallace correlation unexpectedly strong");
+    // Col 6 = best A-VL vs fixed: negative (gain) for CB, positive for WAL.
+    assert!(cell_f64(t, 1, 6) < 0.0);
+    assert!(cell_f64(t, 3, 6) > 0.0);
+}
+
+#[test]
+fn csv_round_trip_has_matching_columns() {
+    let mut ctx = Context::new(Scale::Quick);
+    let report = experiments::table1(&mut ctx).unwrap();
+    let csv = report.tables[0].to_csv();
+    let mut lines = csv.lines();
+    let headers = lines.next().unwrap().split(',').count();
+    for line in lines.filter(|l| !l.starts_with('#')) {
+        assert_eq!(line.split(',').count(), headers, "ragged CSV: {line}");
+    }
+}

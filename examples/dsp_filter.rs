@@ -1,0 +1,81 @@
+//! FIR-filter workload study: how much a real DSP kernel gains from the
+//! variable-latency multiplier compared with uniform-random traffic.
+//!
+//! The paper motivates multipliers with Fourier transforms, DCTs, and
+//! digital filtering. Those workloads are *not* uniform random: filter
+//! coefficients are small fixed values full of leading zeros, and audio
+//! samples cluster around silence. Both push the judged operand's zero
+//! count up — exactly what the AHL's judging block rewards with one-cycle
+//! execution.
+//!
+//! ```sh
+//! cargo run --release --example dsp_filter
+//! ```
+
+use agemul_suite::prelude::*;
+
+/// A 9-tap low-pass FIR (Q15-flavoured small coefficients).
+const TAPS: [u64; 9] = [21, 98, 367, 905, 1300, 905, 367, 98, 21];
+
+/// Synthesizes a decaying multi-tone "audio" sample stream (deterministic,
+/// no RNG): mid-scale sine-ish values with quiet passages.
+fn samples(count: usize) -> Vec<u64> {
+    (0..count)
+        .map(|i| {
+            let t = i as f64;
+            let loud = ((t / 40.0).sin() * 0.5 + 0.5) * ((t / 251.0).cos().powi(2));
+            let tone = (t / 3.1).sin() * 0.45 + (t / 7.7).sin() * 0.25;
+            let v = (loud * tone * 32767.0).abs();
+            v as u64 & 0xFFFF
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = MultiplierDesign::new(MultiplierKind::ColumnBypass, 16)?;
+    let critical = design.critical_delay_ns(None)?;
+
+    // The FIR inner loop: every multiply is coefficient × sample. The
+    // column-bypassing multiplier judges the multiplicand, so feed the
+    // coefficient (zero-rich) as operand `a`.
+    let signal = samples(2_000);
+    let mut fir_pairs = Vec::new();
+    for window in signal.windows(TAPS.len()) {
+        for (tap, &x) in TAPS.iter().zip(window) {
+            fir_pairs.push((*tap, x));
+        }
+    }
+    fir_pairs.truncate(10_000);
+    let fir = PatternSet::explicit(16, fir_pairs);
+    let uniform = PatternSet::uniform(16, fir.len(), 7);
+
+    println!("workload comparison on the 16×16 A-VLCB (Skip-7)\n");
+    println!("workload   period   avg latency   one-cycle   errors/10k   vs fixed ({critical:.3} ns)");
+    for (name, patterns) in [("FIR", &fir), ("uniform", &uniform)] {
+        let profile = design.profile(patterns.pairs(), None)?;
+        // Pick the best period per workload, as a deployment would.
+        let mut best: Option<(f64, RunMetrics)> = None;
+        for step in 0..=14 {
+            let period = 0.60 + 0.05 * f64::from(step);
+            let m = run_engine(&profile, &EngineConfig::adaptive(period, 7));
+            if best.is_none() || m.avg_latency_ns() < best.as_ref().unwrap().1.avg_latency_ns() {
+                best = Some((period, m));
+            }
+        }
+        let (period, m) = best.expect("sweep is non-empty");
+        println!(
+            "{name:8}   {period:.2} ns    {:7.3} ns     {:5.1}%       {:6.0}      {:+.1}%",
+            m.avg_latency_ns(),
+            100.0 * m.one_cycle_ratio(),
+            m.errors_per_10k_cycles(),
+            100.0 * (m.avg_latency_ns() / critical - 1.0),
+        );
+    }
+
+    println!(
+        "\nzero-rich FIR coefficients make almost every multiply a one-cycle\n\
+         pattern, so the DSP kernel gains far more than random traffic —\n\
+         the workload-dependence the paper's Fig. 6 hints at."
+    );
+    Ok(())
+}

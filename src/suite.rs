@@ -1,0 +1,66 @@
+//! Umbrella crate for the `agemul` workspace.
+//!
+//! `agemul-suite` re-exports every workspace crate under one roof so the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`) can exercise the full stack — gate library, netlist
+//! simulators, multiplier generators, BTI aging, power models, and the
+//! aging-aware variable-latency architecture itself.
+//!
+//! Library users should depend on the individual crates (most likely
+//! [`agemul`], the architecture crate) rather than on this umbrella.
+//!
+//! # Example
+//!
+//! ```
+//! use agemul_suite::prelude::*;
+//!
+//! let design = MultiplierDesign::new(MultiplierKind::ColumnBypass, 8)?;
+//! let profile = design.profile(PatternSet::uniform(8, 64, 1).pairs(), None)?;
+//! let metrics = run_engine(&profile, &EngineConfig::adaptive(0.9, 4));
+//! assert!(metrics.avg_latency_ns() > 0.0);
+//! # Ok::<(), agemul::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use agemul;
+pub use agemul_aging;
+pub use agemul_circuits;
+pub use agemul_logic;
+pub use agemul_netlist;
+pub use agemul_power;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use agemul::{
+        area_report, calibrated_delay_model, count_zeros, cycle_accurate_run, energy_report,
+        run_engine, run_fixed_latency, Ahl, AhlConfig, Architecture, AreaReport, CoreError,
+        CycleDecision, EnergyInputs, EngineConfig, GateLevelAhl, JudgingBlock, MultiplierDesign,
+        PatternProfile, PatternSet, RazorBank, RazorConfig, RunMetrics,
+    };
+    pub use agemul_aging::{aging_factors, BtiModel, VariationModel};
+    pub use agemul_circuits::{
+        carry_select_adder, kogge_stone_adder, ripple_carry_adder, MultiplierCircuit,
+        MultiplierKind, Operand, VariableLatencyRca,
+    };
+    pub use agemul_logic::{DelayModel, GateKind, Logic, Technology};
+    pub use agemul_netlist::{
+        static_critical_path_ns, write_vcd, write_verilog, Bus, DelayAssignment, EventSim,
+        FuncSim, Netlist, NetlistReport,
+    };
+    pub use agemul_power::PowerModel;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_links_the_whole_stack() {
+        use crate::prelude::*;
+        let _ = DelayModel::nominal();
+        let _ = PowerModel::ptm_32nm_hk();
+        let _ = BtiModel::calibrated(Technology::ptm_32nm_hk(), 1.13);
+        assert_eq!(MultiplierKind::PAPER.len(), 3);
+        assert_eq!(MultiplierKind::ALL.len(), 5);
+    }
+}
