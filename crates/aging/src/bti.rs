@@ -160,8 +160,7 @@ impl BtiModel {
     /// Threshold drift expressed as a fraction of the zero-time overdrive —
     /// handy for the power model's leakage/current scaling.
     pub fn overdrive_loss(&self, years: f64, p_high: f64) -> f64 {
-        let dv = 0.5
-            * (self.delta_vth_v(years, p_high) + self.delta_vth_v(years, 1.0 - p_high));
+        let dv = 0.5 * (self.delta_vth_v(years, p_high) + self.delta_vth_v(years, 1.0 - p_high));
         (dv / self.tech.overdrive_v()).clamp(0.0, 0.9)
     }
 }

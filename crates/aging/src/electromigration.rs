@@ -81,12 +81,7 @@ impl EmModel {
     /// Per-gate electromigration delay factors for a netlist, driven by the
     /// workload's recorded switching activity. Composes multiplicatively
     /// with [`crate::aging_factors`].
-    pub fn wire_factors(
-        &self,
-        netlist: &Netlist,
-        stats: &WorkloadStats,
-        years: f64,
-    ) -> Vec<f64> {
+    pub fn wire_factors(&self, netlist: &Netlist, stats: &WorkloadStats, years: f64) -> Vec<f64> {
         (0..netlist.gate_count())
             .map(|i| {
                 let activity = stats.gate_activity(agemul_netlist::GateId::from_index(i));

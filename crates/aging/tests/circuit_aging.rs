@@ -48,11 +48,9 @@ fn static_critical_path_ages_within_gate_bounds() {
     let factors = aging_factors(m.netlist(), &stats, &model, 7.0);
 
     let delays = DelayModel::nominal();
-    let fresh = static_critical_path_ns(
-        m.netlist(),
-        &DelayAssignment::uniform(m.netlist(), &delays),
-    )
-    .unwrap();
+    let fresh =
+        static_critical_path_ns(m.netlist(), &DelayAssignment::uniform(m.netlist(), &delays))
+            .unwrap();
     let aged = static_critical_path_ns(
         m.netlist(),
         &DelayAssignment::with_factors(m.netlist(), &delays, &factors).unwrap(),

@@ -60,10 +60,9 @@ fn bench_aging_indicator(c: &mut Criterion) {
             ..EngineConfig::adaptive(0.80, 7)
         };
         let m = run_engine(&fixture.profile, &cfg);
-        g.bench_function(
-            format!("{label}_lat{:.3}ns", m.avg_latency_ns()),
-            |b| b.iter(|| run_engine(&fixture.profile, &cfg)),
-        );
+        g.bench_function(format!("{label}_lat{:.3}ns", m.avg_latency_ns()), |b| {
+            b.iter(|| run_engine(&fixture.profile, &cfg))
+        });
     }
     g.finish();
 }
@@ -91,10 +90,9 @@ fn bench_razor_penalty(c: &mut Criterion) {
             ..EngineConfig::adaptive(0.70, 7)
         };
         let m = run_engine(&fixture.profile, &cfg);
-        g.bench_function(
-            format!("window{window}_undetected{}", m.undetected),
-            |b| b.iter(|| run_engine(&fixture.profile, &cfg)),
-        );
+        g.bench_function(format!("window{window}_undetected{}", m.undetected), |b| {
+            b.iter(|| run_engine(&fixture.profile, &cfg))
+        });
     }
     g.finish();
 }

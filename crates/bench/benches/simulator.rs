@@ -24,7 +24,9 @@ fn bench_generation(c: &mut Criterion) {
 fn bench_topology_and_sta(c: &mut Criterion) {
     let m = MultiplierCircuit::generate(MultiplierKind::ColumnBypass, 16).unwrap();
     let delays = DelayAssignment::uniform(m.netlist(), &DelayModel::nominal());
-    c.bench_function("topology/CB16", |b| b.iter(|| m.netlist().topology().unwrap()));
+    c.bench_function("topology/CB16", |b| {
+        b.iter(|| m.netlist().topology().unwrap())
+    });
     c.bench_function("sta/CB16", |b| {
         b.iter(|| static_critical_path_ns(m.netlist(), &delays).unwrap())
     });

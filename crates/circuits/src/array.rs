@@ -20,6 +20,9 @@ pub(crate) fn build(width: usize) -> Result<MultiplierParts, CircuitError> {
     let pp = partial_products(&mut n, &a, &b)?;
     let mut st = CsaState::from_row0(&mut n, &pp);
 
+    // Rows index pp, sums, and carries in lockstep; an iterator chain
+    // here would obscure the array geometry.
+    #[allow(clippy::needless_range_loop)]
     for j in 1..width {
         st.retire_product_bit();
         let mut sums = Vec::with_capacity(width);
@@ -58,10 +61,9 @@ pub(crate) fn finish_ripple_row(
     for k in 0..width {
         let x = st.sum_from_above(n, k);
         let y = match carry_masks {
-            Some(masks) => n.add_gate(
-                agemul_logic::GateKind::And,
-                &[st.carries[k], masks.net(k)],
-            )?,
+            Some(masks) => {
+                n.add_gate(agemul_logic::GateKind::And, &[st.carries[k], masks.net(k)])?
+            }
             None => st.carries[k],
         };
         let bits = full_adder(n, x, y, ripple)?;

@@ -279,8 +279,7 @@ mod tests {
         // Booth trades AND-matrix area for encoder/selector logic; at 16
         // bits the gate counts should be in the same ballpark, with Booth
         // no larger than ~1.3× Wallace.
-        let ratio =
-            booth.netlist().gate_count() as f64 / wallace.netlist().gate_count() as f64;
+        let ratio = booth.netlist().gate_count() as f64 / wallace.netlist().gate_count() as f64;
         assert!(ratio < 1.3, "booth/wallace gate ratio {ratio}");
     }
 }

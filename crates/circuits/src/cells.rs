@@ -27,11 +27,7 @@ pub(crate) fn full_adder(
 }
 
 /// Builds a gate-level half adder: `sum = x ⊕ y`, `carry = x·y`.
-pub(crate) fn half_adder(
-    n: &mut Netlist,
-    x: NetId,
-    y: NetId,
-) -> Result<AdderBits, NetlistError> {
+pub(crate) fn half_adder(n: &mut Netlist, x: NetId, y: NetId) -> Result<AdderBits, NetlistError> {
     let sum = n.add_gate(GateKind::Xor, &[x, y])?;
     let carry = n.add_gate(GateKind::And, &[x, y])?;
     Ok(AdderBits { sum, carry })

@@ -151,10 +151,8 @@ mod tests {
         rc.mark_output(cout, "cout");
 
         let model = DelayModel::nominal();
-        let ks_crit =
-            static_critical_path_ns(&ks, &DelayAssignment::uniform(&ks, &model)).unwrap();
-        let rc_crit =
-            static_critical_path_ns(&rc, &DelayAssignment::uniform(&rc, &model)).unwrap();
+        let ks_crit = static_critical_path_ns(&ks, &DelayAssignment::uniform(&ks, &model)).unwrap();
+        let rc_crit = static_critical_path_ns(&rc, &DelayAssignment::uniform(&rc, &model)).unwrap();
         assert!(ks_crit < 0.4 * rc_crit, "KS {ks_crit} vs RCA {rc_crit}");
     }
 

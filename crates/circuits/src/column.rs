@@ -30,6 +30,9 @@ pub(crate) fn build(width: usize) -> Result<MultiplierParts, CircuitError> {
     let pp = partial_products(&mut n, &a, &b)?;
     let mut st = CsaState::from_row0(&mut n, &pp);
 
+    // Rows index pp, sums, and carries in lockstep; an iterator chain
+    // here would obscure the array geometry.
+    #[allow(clippy::needless_range_loop)]
     for j in 1..width {
         st.retire_product_bit();
         let mut sums = Vec::with_capacity(width);
@@ -127,7 +130,7 @@ mod tests {
 
         let worst_case = |a: u64, b: u64| -> f64 {
             let mut sim = EventSim::new(m.netlist(), &topo, delays.clone());
-            sim.settle(&vec![Logic::Zero; 16]).unwrap();
+            sim.settle(&[Logic::Zero; 16]).unwrap();
             sim.step(&m.encode_inputs(a, b).unwrap()).unwrap().delay_ns
         };
 

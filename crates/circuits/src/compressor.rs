@@ -109,11 +109,7 @@ mod tests {
     /// against software arithmetic, exhaustively over input assignments.
     fn check_columns(placements: &[(usize, usize)], width: usize) {
         // placements: (input_index, weight)
-        let input_count = placements
-            .iter()
-            .map(|&(i, _)| i + 1)
-            .max()
-            .unwrap_or(0);
+        let input_count = placements.iter().map(|&(i, _)| i + 1).max().unwrap_or(0);
         let mut n = Netlist::new();
         let inputs: Vec<NetId> = (0..input_count)
             .map(|i| n.add_input(format!("x{i}")))

@@ -150,9 +150,8 @@ mod tests {
     fn depth_sits_between_ripple_and_prefix() {
         let width = 32;
         let model = DelayModel::nominal();
-        let crit = |n: &Netlist| {
-            static_critical_path_ns(n, &DelayAssignment::uniform(n, &model)).unwrap()
-        };
+        let crit =
+            |n: &Netlist| static_critical_path_ns(n, &DelayAssignment::uniform(n, &model)).unwrap();
 
         let (csel, ..) = build(width, 4);
 

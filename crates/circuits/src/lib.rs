@@ -55,8 +55,8 @@ mod vl_rca;
 mod wallace;
 
 pub use cla::kogge_stone_adder;
-pub use csela::carry_select_adder;
 pub use compressor::BitColumns;
+pub use csela::carry_select_adder;
 pub use error::CircuitError;
 pub use multiplier::{MultiplierCircuit, MultiplierKind, Operand};
 pub use popcount::{greater_equal_const, popcount, zeros_at_least};

@@ -78,9 +78,9 @@ impl MultiplierKind {
     /// pattern.
     pub fn judged_operand(self) -> Operand {
         match self {
-            MultiplierKind::Array
-            | MultiplierKind::ColumnBypass
-            | MultiplierKind::Wallace => Operand::Multiplicand,
+            MultiplierKind::Array | MultiplierKind::ColumnBypass | MultiplierKind::Wallace => {
+                Operand::Multiplicand
+            }
             MultiplierKind::RowBypass | MultiplierKind::Booth => Operand::Multiplicator,
         }
     }

@@ -198,11 +198,7 @@ mod tests {
             let mut sim = FuncSim::new(&n, &topo);
             for v in 0..32u128 {
                 sim.eval(&bits.encode(v).unwrap()).unwrap();
-                assert_eq!(
-                    sim.value(ge).to_bool(),
-                    Some(v >= k as u128),
-                    "v={v} k={k}"
-                );
+                assert_eq!(sim.value(ge).to_bool(), Some(v >= k as u128), "v={v} k={k}");
             }
         }
     }

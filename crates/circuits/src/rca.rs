@@ -89,11 +89,7 @@ mod tests {
                 sim.eval(&inputs).unwrap();
                 let total = x + y;
                 assert_eq!(sum.decode(sim.values()), Some(total & 0xF));
-                assert_eq!(
-                    sim.value(cout).to_bool(),
-                    Some(total > 0xF),
-                    "{x} + {y}"
-                );
+                assert_eq!(sim.value(cout).to_bool(), Some(total > 0xF), "{x} + {y}");
             }
         }
     }

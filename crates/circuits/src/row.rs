@@ -41,6 +41,9 @@ pub(crate) fn build(width: usize) -> Result<MultiplierParts, CircuitError> {
     // not structurally zero.
     let mut leftovers: Vec<Option<NetId>> = vec![None; width];
 
+    // Rows index pp, sums, and carries in lockstep; an iterator chain
+    // here would obscure the array geometry.
+    #[allow(clippy::needless_range_loop)]
     for j in 1..width {
         let enable = b.net(j);
         // Leftover carry for the bypassed case (skipped when the incoming
@@ -198,7 +201,7 @@ mod tests {
 
         let worst_case = |a: u64, b: u64| -> f64 {
             let mut sim = EventSim::new(m.netlist(), &topo, delays.clone());
-            sim.settle(&vec![Logic::Zero; 16]).unwrap();
+            sim.settle(&[Logic::Zero; 16]).unwrap();
             sim.step(&m.encode_inputs(a, b).unwrap()).unwrap().delay_ns
         };
 

@@ -1,22 +1,25 @@
 //! Exhaustive and cross-architecture functional verification.
 
 use agemul_logic::{DelayModel, Logic};
-use agemul_netlist::{DelayAssignment, EventSim, FuncSim};
+use agemul_netlist::{BatchSim, DelayAssignment, EventSim, FuncSim};
 
 use agemul_circuits::{MultiplierCircuit, MultiplierKind};
 
-/// All three architectures, exhaustively, at 6 bits (3 × 4096 products).
+/// All architectures, exhaustively, at 6 bits (5 × 4096 products) — one
+/// 64-lane batch sweep per multiplicand value.
 #[test]
 fn all_kinds_exhaustive_6bit() {
     for kind in MultiplierKind::ALL {
         let m = MultiplierCircuit::generate(kind, 6).unwrap();
         let topo = m.netlist().topology().unwrap();
-        let mut sim = FuncSim::new(m.netlist(), &topo);
+        let mut sim = BatchSim::new(m.netlist(), &topo);
         for a in 0..64u64 {
+            let patterns: Vec<Vec<Logic>> =
+                (0..64u64).map(|b| m.encode_inputs(a, b).unwrap()).collect();
+            sim.eval_batch(&patterns).unwrap();
             for b in 0..64u64 {
-                sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
                 assert_eq!(
-                    m.product().decode(sim.values()),
+                    m.product().decode_with(|net| sim.value(net, b as usize)),
                     Some(u128::from(a * b)),
                     "{kind:?}: {a} × {b}"
                 );
@@ -122,7 +125,11 @@ fn width_range_spot_checks() {
             let m = MultiplierCircuit::generate(kind, width).unwrap();
             let topo = m.netlist().topology().unwrap();
             let mut sim = FuncSim::new(m.netlist(), &topo);
-            let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
             let a = 0xA5A5_A5A5_A5A5_A5A5u64 & mask;
             let b = 0x5A5A_5A5A_5A5A_5A5Au64 & mask;
             sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
@@ -142,14 +149,19 @@ fn outputs_always_defined_exhaustive_5bit() {
     for kind in [MultiplierKind::ColumnBypass, MultiplierKind::RowBypass] {
         let m = MultiplierCircuit::generate(kind, 5).unwrap();
         let topo = m.netlist().topology().unwrap();
-        let mut sim = FuncSim::new(m.netlist(), &topo);
+        let mut sim = BatchSim::new(m.netlist(), &topo);
         for a in 0..32u64 {
-            for b in 0..32u64 {
-                sim.eval(&m.encode_inputs(a, b).unwrap()).unwrap();
-                for &net in m.product().nets() {
-                    assert_ne!(sim.value(net), Logic::X, "{kind:?} {a}×{b}");
-                    assert_ne!(sim.value(net), Logic::Z, "{kind:?} {a}×{b}");
-                }
+            let patterns: Vec<Vec<Logic>> =
+                (0..32u64).map(|b| m.encode_inputs(a, b).unwrap()).collect();
+            sim.eval_batch(&patterns).unwrap();
+            for &net in m.product().nets() {
+                // Every product bit must be a known 0/1 on every lane.
+                let word = sim.word(net);
+                assert_eq!(
+                    word.known() & sim.valid_mask(),
+                    sim.valid_mask(),
+                    "{kind:?} a={a}: X/Z product bit on net {net:?}"
+                );
             }
         }
     }

@@ -197,7 +197,11 @@ impl fmt::Display for Ahl {
             f,
             "AHL({}, {}, {})",
             self.first,
-            if self.adaptive { "adaptive" } else { "traditional" },
+            if self.adaptive {
+                "adaptive"
+            } else {
+                "traditional"
+            },
             if self.aged { "aged" } else { "fresh" }
         )
     }

@@ -201,8 +201,12 @@ mod tests {
     #[test]
     fn transistor_count_is_positive_and_grows_with_width() {
         let area = AreaModel::standard_cell();
-        let small = GateLevelAhl::generate(16, 7).unwrap().transistor_count(&area);
-        let large = GateLevelAhl::generate(32, 15).unwrap().transistor_count(&area);
+        let small = GateLevelAhl::generate(16, 7)
+            .unwrap()
+            .transistor_count(&area);
+        let large = GateLevelAhl::generate(32, 15)
+            .unwrap()
+            .transistor_count(&area);
         assert!(small > 0);
         assert!(large > small);
     }

@@ -4,9 +4,7 @@ use std::sync::OnceLock;
 
 use agemul_circuits::{MultiplierCircuit, MultiplierKind};
 use agemul_logic::{DelayModel, Logic};
-use agemul_netlist::{
-    static_critical_path_ns, DelayAssignment, EventSim, Netlist, Topology,
-};
+use agemul_netlist::{static_critical_path_ns, DelayAssignment, EventSim, Netlist, Topology};
 
 /// The paper's reported critical-path delay of the 16×16 array multiplier
 /// (Fig. 5): 1.32 ns. The workspace delay model is scaled so our simulated
@@ -81,9 +79,13 @@ pub fn measure_critical_delay(
     // Deterministic LCG tail: worst cases sometimes hide in odd corners.
     let mut state = 0x5DEE_CE66_D1CE_4E5Du64;
     for _ in 0..samples {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let a = (state >> 8) & mask;
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let b = (state >> 8) & mask;
         sequence.push((a, b));
     }
@@ -120,8 +122,8 @@ pub fn calibrated_delay_model() -> &'static DelayModel {
         let m = MultiplierCircuit::generate(MultiplierKind::Array, 16)
             .expect("16 is a supported width");
         let delays = DelayAssignment::uniform(m.netlist(), &nominal);
-        let measured = static_critical_path_ns(m.netlist(), &delays)
-            .expect("assignment covers the netlist");
+        let measured =
+            static_critical_path_ns(m.netlist(), &delays).expect("assignment covers the netlist");
         nominal.calibrated(PAPER_AM16_CRITICAL_NS, measured)
     })
 }

@@ -2,12 +2,9 @@
 
 use agemul_circuits::{MultiplierCircuit, MultiplierKind, Operand};
 use agemul_logic::{DelayModel, Logic};
-use agemul_netlist::{DelayAssignment, EventSim, Topology, WorkloadStats};
+use agemul_netlist::{BatchSim, DelayAssignment, EventSim, Topology, WorkloadStats};
 
-use crate::{
-    calibrated_delay_model, count_zeros, CoreError, PatternProfile,
-    PatternRecord,
-};
+use crate::{calibrated_delay_model, count_zeros, CoreError, PatternProfile, PatternRecord};
 
 /// A generated multiplier plus everything needed to simulate it: validated
 /// topology and the workspace-calibrated delay table.
@@ -103,9 +100,7 @@ impl MultiplierDesign {
     pub fn delay_assignment(&self, factors: Option<&[f64]>) -> Result<DelayAssignment, CoreError> {
         Ok(match factors {
             None => DelayAssignment::uniform(self.circuit.netlist(), &self.delay_model),
-            Some(f) => {
-                DelayAssignment::with_factors(self.circuit.netlist(), &self.delay_model, f)?
-            }
+            Some(f) => DelayAssignment::with_factors(self.circuit.netlist(), &self.delay_model, f)?,
         })
     }
 
@@ -130,7 +125,9 @@ impl MultiplierDesign {
 
     /// Profiles a workload: one event-driven timing simulation recording
     /// each operation's sensitized delay and judged zero count, plus mean
-    /// switching activity.
+    /// switching activity. A bit-parallel functional pass first checks
+    /// every product against `a × b` (see
+    /// [`verify_functional`](Self::verify_functional)).
     ///
     /// `factors` optionally ages every gate (see
     /// [`delay_assignment`](Self::delay_assignment)). The simulation starts
@@ -140,13 +137,18 @@ impl MultiplierDesign {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Circuit`] if an operand overflows the width, or
-    /// [`CoreError::Netlist`] on a malformed factor vector.
+    /// Returns [`CoreError::Circuit`] if an operand overflows the width,
+    /// [`CoreError::Netlist`] on a malformed factor vector, or
+    /// [`CoreError::FunctionalMismatch`] if the circuit miscomputes a
+    /// product (see [`verify_functional`](Self::verify_functional)).
     pub fn profile(
         &self,
         pairs: &[(u64, u64)],
         factors: Option<&[f64]>,
     ) -> Result<PatternProfile, CoreError> {
+        // Functional-correctness pass: one bit-parallel sweep per 64 pairs
+        // guards the timing numbers below against a miscompiled circuit.
+        self.verify_functional(pairs)?;
         let delays = self.delay_assignment(factors)?;
         let mut sim = EventSim::new(self.circuit.netlist(), &self.topology, delays);
         let width = self.width();
@@ -181,11 +183,63 @@ impl MultiplierDesign {
         ))
     }
 
+    /// Checks that the gate-level circuit computes `a × b` for every pair,
+    /// using one bit-parallel [`BatchSim`] sweep per 64 pairs (~64× cheaper
+    /// than a scalar functional simulation of the same workload).
+    ///
+    /// With the `parallel` feature the pairs are additionally fanned out
+    /// across threads in contiguous chunks; the first failing pair in
+    /// workload order is still the one reported.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Circuit`] if an operand overflows the width, or
+    /// [`CoreError::FunctionalMismatch`] naming the first offending pair.
+    pub fn verify_functional(&self, pairs: &[(u64, u64)]) -> Result<(), CoreError> {
+        #[cfg(feature = "parallel")]
+        {
+            let threads = agemul_par::thread_count(pairs.len().div_ceil(BatchSim::LANES));
+            if threads > 1 {
+                let per = pairs.len().div_ceil(threads);
+                let chunks: Vec<&[(u64, u64)]> = pairs.chunks(per.max(1)).collect();
+                return agemul_par::par_map(&chunks, |chunk| self.verify_pairs_serial(chunk))
+                    .into_iter()
+                    .collect();
+            }
+        }
+        self.verify_pairs_serial(pairs)
+    }
+
+    fn verify_pairs_serial(&self, pairs: &[(u64, u64)]) -> Result<(), CoreError> {
+        let mut sim = BatchSim::new(self.circuit.netlist(), &self.topology);
+        let product = self.circuit.product();
+        for chunk in pairs.chunks(BatchSim::LANES) {
+            let patterns: Result<Vec<Vec<Logic>>, CoreError> = chunk
+                .iter()
+                .map(|&(a, b)| self.circuit.encode_inputs(a, b).map_err(CoreError::from))
+                .collect();
+            sim.eval_batch(&patterns?)?;
+            for (lane, &(a, b)) in chunk.iter().enumerate() {
+                let got = product.decode_with(|net| sim.value(net, lane));
+                if got != Some(u128::from(a) * u128::from(b)) {
+                    return Err(CoreError::FunctionalMismatch { a, b, got });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Collects workload statistics (signal probabilities for the aging
     /// model and switching activity for the power model) over `pairs`.
     ///
-    /// Signal probabilities come from a cheap functional sweep; toggle
-    /// counts from an event-driven run with nominal delays.
+    /// Signal probabilities come from a bit-parallel functional sweep (64
+    /// patterns per pass); toggle counts from an event-driven run with
+    /// nominal delays. With the `parallel` feature the functional sweep is
+    /// fanned out over pattern chunks and merged in workload order — the
+    /// accumulated statistics are bit-identical to the serial path. The
+    /// event-driven half stays serial by design: its tri-state hold
+    /// semantics make every step depend on the previous pattern's settled
+    /// state.
     ///
     /// # Errors
     ///
@@ -197,7 +251,7 @@ impl MultiplierDesign {
             .map(|&(a, b)| self.circuit.encode_inputs(a, b).map_err(CoreError::from))
             .collect();
         let encoded = encoded?;
-        stats.observe_patterns(self.circuit.netlist(), &self.topology, encoded.iter())?;
+        self.observe_probabilities(&mut stats, &encoded)?;
 
         let delays = self.delay_assignment(None)?;
         let mut sim = EventSim::new(self.circuit.netlist(), &self.topology, delays);
@@ -207,6 +261,36 @@ impl MultiplierDesign {
         }
         stats.record_toggles(sim.gate_toggle_counts(), pairs.len() as u64)?;
         Ok(stats)
+    }
+
+    /// Accumulates signal probabilities for `encoded` into `stats` —
+    /// chunked across threads under the `parallel` feature, serial
+    /// otherwise. Identical results either way: partial accumulators are
+    /// merged in chunk order and the weights sum exactly (multiples of 0.5).
+    fn observe_probabilities(
+        &self,
+        stats: &mut WorkloadStats,
+        encoded: &[Vec<Logic>],
+    ) -> Result<(), CoreError> {
+        #[cfg(feature = "parallel")]
+        {
+            let threads = agemul_par::thread_count(encoded.len() / 256);
+            if threads > 1 {
+                let per = encoded.len().div_ceil(threads);
+                let chunks: Vec<&[Vec<Logic>]> = encoded.chunks(per.max(1)).collect();
+                let parts = agemul_par::par_map(&chunks, |chunk| {
+                    let mut part = WorkloadStats::new(self.circuit.netlist());
+                    part.observe_patterns(self.circuit.netlist(), &self.topology, chunk.iter())
+                        .map(|()| part)
+                });
+                for part in parts {
+                    stats.merge(&part?)?;
+                }
+                return Ok(());
+            }
+        }
+        stats.observe_patterns(self.circuit.netlist(), &self.topology, encoded.iter())?;
+        Ok(())
     }
 }
 
@@ -234,9 +318,7 @@ mod tests {
     #[test]
     fn row_bypass_judges_multiplicator() {
         let d = MultiplierDesign::new(MultiplierKind::RowBypass, 8).unwrap();
-        let p = d
-            .profile(&[(0xFF, 0x01), (0x01, 0xFF)], None)
-            .unwrap();
+        let p = d.profile(&[(0xFF, 0x01), (0x01, 0xFF)], None).unwrap();
         assert_eq!(p.records()[0].zeros, 7); // zeros of b = 0x01
         assert_eq!(p.records()[1].zeros, 0); // zeros of b = 0xFF
     }
@@ -259,6 +341,27 @@ mod tests {
         let factors = vec![1.13; d.circuit().netlist().gate_count()];
         let aged = d.critical_delay_ns(Some(&factors)).unwrap();
         assert!((aged / fresh - 1.13).abs() < 0.01, "{fresh} → {aged}");
+    }
+
+    #[test]
+    fn verify_functional_accepts_all_kinds() {
+        for kind in MultiplierKind::ALL {
+            let d = MultiplierDesign::new(kind, 8).unwrap();
+            let patterns = PatternSet::uniform(8, 200, 5);
+            d.verify_functional(patterns.pairs()).unwrap();
+            // Corner operands in one partial batch.
+            d.verify_functional(&[(0, 0), (0xFF, 0xFF), (0xFF, 1), (1, 0xFF), (0, 0xFF)])
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn verify_functional_rejects_overflowing_operands() {
+        let d = MultiplierDesign::new(MultiplierKind::Array, 4).unwrap();
+        assert!(matches!(
+            d.verify_functional(&[(0x10, 1)]),
+            Err(crate::CoreError::Circuit(_))
+        ));
     }
 
     #[test]

@@ -81,13 +81,12 @@ pub fn energy_report(design: &MultiplierDesign, inputs: EnergyInputs<'_>) -> Ene
         .power
         .dynamic_energy_per_op_fj(design.circuit().netlist(), inputs.stats);
 
-    let per_edge = inputs.power.flop_energy_fj(
-        agemul_logic::FlopKind::Dff,
-        inputs.area.input_flop_count,
-    ) + inputs.power.flop_energy_fj(
-        inputs.area.output_flop_kind,
-        inputs.area.output_flop_count,
-    );
+    let per_edge = inputs
+        .power
+        .flop_energy_fj(agemul_logic::FlopKind::Dff, inputs.area.input_flop_count)
+        + inputs
+            .power
+            .flop_energy_fj(inputs.area.output_flop_kind, inputs.area.output_flop_count);
     let sequential_fj = per_edge * inputs.avg_cycles_per_op;
 
     let leakage_fj = inputs.power.leakage_energy_fj(

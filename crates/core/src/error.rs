@@ -29,6 +29,19 @@ pub enum CoreError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The gate-level circuit computed a wrong product for an operand pair
+    /// (caught by [`MultiplierDesign::verify_functional`]).
+    ///
+    /// [`MultiplierDesign::verify_functional`]: crate::MultiplierDesign::verify_functional
+    FunctionalMismatch {
+        /// Multiplicand.
+        a: u64,
+        /// Multiplicator.
+        b: u64,
+        /// The decoded product bus, or `None` if a product bit never
+        /// settled to a binary value.
+        got: Option<u128>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +50,14 @@ impl fmt::Display for CoreError {
             CoreError::Circuit(e) => write!(f, "circuit generation failed: {e}"),
             CoreError::Netlist(e) => write!(f, "netlist operation failed: {e}"),
             CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::FunctionalMismatch { a, b, got } => match got {
+                Some(p) => write!(
+                    f,
+                    "circuit computed {a} x {b} = {p}, expected {}",
+                    u128::from(*a) * u128::from(*b)
+                ),
+                None => write!(f, "product of {a} x {b} never settled to a binary value"),
+            },
         }
     }
 }
@@ -47,6 +68,7 @@ impl Error for CoreError {
             CoreError::Circuit(e) => Some(e),
             CoreError::Netlist(e) => Some(e),
             CoreError::InvalidConfig { .. } => None,
+            CoreError::FunctionalMismatch { .. } => None,
         }
     }
 }

@@ -73,7 +73,7 @@ mod validate;
 
 pub use ahl::{Ahl, AhlConfig, CycleDecision};
 pub use ahl_netlist::GateLevelAhl;
-pub use area::{area_report, AreaReport, Architecture};
+pub use area::{area_report, Architecture, AreaReport};
 pub use calibrate::{calibrated_delay_model, measure_critical_delay, PAPER_AM16_CRITICAL_NS};
 pub use design::MultiplierDesign;
 pub use energy::{energy_report, EnergyInputs};

@@ -101,12 +101,7 @@ impl PatternSet {
     ///
     /// Panics if `width` is outside `1..=64` or `flip_probability` is not
     /// within `[0, 1]`.
-    pub fn correlated(
-        width: usize,
-        count: usize,
-        flip_probability: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn correlated(width: usize, count: usize, flip_probability: f64, seed: u64) -> Self {
         assert!(
             (1..=64).contains(&width),
             "width must be in 1..=64, got {width}"
@@ -227,9 +222,12 @@ mod tests {
     #[test]
     fn zero_positions_vary() {
         let p = PatternSet::with_exact_zeros(16, 100, 8, Operand::Multiplicand, 11);
-        let distinct: std::collections::HashSet<u64> =
-            p.pairs().iter().map(|&(a, _)| a).collect();
-        assert!(distinct.len() > 10, "only {} distinct values", distinct.len());
+        let distinct: std::collections::HashSet<u64> = p.pairs().iter().map(|&(a, _)| a).collect();
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct values",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -59,11 +59,7 @@ impl PatternProfile {
     ///
     /// Switching activity is unknown for external data, so
     /// [`avg_gate_toggles`](Self::avg_gate_toggles) reports zero.
-    pub fn from_records(
-        kind: MultiplierKind,
-        width: usize,
-        records: Vec<PatternRecord>,
-    ) -> Self {
+    pub fn from_records(kind: MultiplierKind, width: usize, records: Vec<PatternRecord>) -> Self {
         Self::new(kind, width, records, 0.0)
     }
 

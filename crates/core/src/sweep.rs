@@ -33,22 +33,29 @@ impl PeriodSweep {
     /// println!("best {:.3} ns at {best_period:.2} ns", best.avg_latency_ns());
     /// # Ok::<(), agemul::CoreError>(())
     /// ```
+    /// With the `parallel` feature, the periods are fanned out across
+    /// threads (each replay is an independent pure function of the profile)
+    /// and stitched back in period order, so the resulting metrics are
+    /// bit-identical to the serial sweep.
     pub fn run(profile: &PatternProfile, config: &EngineConfig, periods_ns: &[f64]) -> Self {
         assert!(!periods_ns.is_empty(), "sweep needs at least one period");
-        let points = periods_ns
-            .iter()
-            .map(|&p| {
-                assert!(
-                    p.is_finite() && p > 0.0,
-                    "period must be finite and positive, got {p}"
-                );
-                let cfg = EngineConfig {
-                    cycle_ns: p,
-                    ..*config
-                };
-                (p, run_engine(profile, &cfg))
-            })
-            .collect();
+        for &p in periods_ns {
+            assert!(
+                p.is_finite() && p > 0.0,
+                "period must be finite and positive, got {p}"
+            );
+        }
+        let replay = |&p: &f64| {
+            let cfg = EngineConfig {
+                cycle_ns: p,
+                ..*config
+            };
+            (p, run_engine(profile, &cfg))
+        };
+        #[cfg(feature = "parallel")]
+        let points = agemul_par::par_map(periods_ns, replay);
+        #[cfg(not(feature = "parallel"))]
+        let points = periods_ns.iter().map(replay).collect();
         PeriodSweep { points }
     }
 
@@ -130,6 +137,28 @@ mod tests {
         // An infinite budget picks the shortest period outright.
         let (p_any, _) = s.shortest_period_within_errors(1.0).unwrap();
         assert!((p_any - 0.4).abs() < 1e-12);
+    }
+
+    /// The sweep must equal a hand-rolled serial replay loop exactly —
+    /// with the `parallel` feature enabled this is the bit-identity
+    /// guarantee for the threaded fan-out.
+    #[test]
+    fn sweep_is_bit_identical_to_serial_replay() {
+        let design = MultiplierDesign::new(MultiplierKind::RowBypass, 8).unwrap();
+        let profile = design
+            .profile(PatternSet::uniform(8, 250, 9).pairs(), None)
+            .unwrap();
+        let config = EngineConfig::adaptive(0.8, 4);
+        let periods: Vec<f64> = (5..=12).map(|i| 0.1 * f64::from(i)).collect();
+
+        let sweep = PeriodSweep::run(&profile, &config, &periods);
+        for (&p, point) in periods.iter().zip(sweep.points()) {
+            let cfg = EngineConfig {
+                cycle_ns: p,
+                ..config
+            };
+            assert_eq!(point, &(p, run_engine(&profile, &cfg)));
+        }
     }
 
     #[test]

@@ -165,8 +165,7 @@ mod tests {
             };
             let profile = design.profile(patterns.pairs(), Some(&factors)).unwrap();
             let replayed = run_engine(&profile, &config);
-            let live =
-                cycle_accurate_run(&design, &patterns, Some(&factors), &config).unwrap();
+            let live = cycle_accurate_run(&design, &patterns, Some(&factors), &config).unwrap();
             assert_eq!(live, replayed, "adaptive={adaptive}");
         }
     }

@@ -159,10 +159,7 @@ impl GateKind {
     /// the power model to weight toggles.
     #[inline]
     pub fn is_complex(self) -> bool {
-        matches!(
-            self,
-            GateKind::Xor | GateKind::Xnor | GateKind::Mux2
-        )
+        matches!(self, GateKind::Xor | GateKind::Xnor | GateKind::Mux2)
     }
 }
 
@@ -227,10 +224,7 @@ mod tests {
     fn mux_selects() {
         for in0 in [false, true] {
             for in1 in [false, true] {
-                assert_eq!(
-                    GateKind::Mux2.eval(&[b(in0), b(in1), Logic::Zero]),
-                    b(in0)
-                );
+                assert_eq!(GateKind::Mux2.eval(&[b(in0), b(in1), Logic::Zero]), b(in0));
                 assert_eq!(GateKind::Mux2.eval(&[b(in0), b(in1), Logic::One]), b(in1));
             }
         }

@@ -42,9 +42,11 @@ mod delay;
 mod gate;
 mod tech;
 mod value;
+mod word;
 
 pub use area::{AreaModel, FlopKind};
 pub use delay::DelayModel;
 pub use gate::GateKind;
 pub use tech::Technology;
 pub use value::Logic;
+pub use word::{lane_mask, LogicWord};

@@ -50,6 +50,12 @@ pub enum NetlistError {
         /// Provided width.
         got: usize,
     },
+    /// A batch simulation call was given an unusable pattern count (zero,
+    /// or more than the 64 available lanes).
+    BatchSize {
+        /// The number of patterns supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -69,6 +75,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::WidthMismatch { expected, got } => {
                 write!(f, "expected {expected} signals, got {got}")
+            }
+            NetlistError::BatchSize { got } => {
+                write!(f, "batch needs 1..=64 patterns, got {got}")
             }
         }
     }
@@ -94,6 +103,7 @@ mod tests {
                 expected: 4,
                 got: 3,
             },
+            NetlistError::BatchSize { got: 65 },
         ];
         for e in cases {
             let msg = e.to_string();

@@ -668,8 +668,7 @@ mod tests {
     #[test]
     fn factor_width_checked() {
         let n = inverter_chain();
-        let err =
-            DelayAssignment::with_factors(&n, &DelayModel::nominal(), &[1.0]).unwrap_err();
+        let err = DelayAssignment::with_factors(&n, &DelayModel::nominal(), &[1.0]).unwrap_err();
         assert!(matches!(err, NetlistError::WidthMismatch { .. }));
     }
 

@@ -2,6 +2,7 @@
 
 use agemul_logic::Logic;
 
+use crate::plan::GatePlan;
 use crate::{NetId, Netlist, NetlistError, Topology};
 
 /// A zero-delay functional simulator: one topological sweep per pattern.
@@ -39,6 +40,7 @@ use crate::{NetId, Netlist, NetlistError, Topology};
 #[derive(Debug)]
 pub struct FuncSim<'a> {
     netlist: &'a Netlist,
+    plan: GatePlan,
     values: Vec<Logic>,
     scratch: Vec<Logic>,
 }
@@ -47,7 +49,9 @@ impl<'a> FuncSim<'a> {
     /// Creates a simulator for `netlist`.
     ///
     /// The `topology` argument exists to prove the caller validated the
-    /// netlist; the functional sweep itself uses builder order.
+    /// netlist; the functional sweep itself uses builder order. Gate input
+    /// indices are flattened into a [`GatePlan`] here, once, so the
+    /// per-pattern sweep does no `Gate`/`NetId` indirection.
     pub fn new(netlist: &'a Netlist, _topology: &Topology) -> Self {
         let mut values = vec![Logic::X; netlist.net_count()];
         for (idx, info) in netlist.nets.iter().enumerate() {
@@ -55,10 +59,13 @@ impl<'a> FuncSim<'a> {
                 values[idx] = v;
             }
         }
+        let plan = GatePlan::new(netlist);
+        let scratch = Vec::with_capacity(plan.max_arity().max(1));
         FuncSim {
             netlist,
+            plan,
             values,
-            scratch: Vec::with_capacity(8),
+            scratch,
         }
     }
 
@@ -80,11 +87,15 @@ impl<'a> FuncSim<'a> {
         for (&net, &v) in self.netlist.inputs().iter().zip(inputs) {
             self.values[net.index()] = v;
         }
-        for gate in self.netlist.gates() {
+        for g in 0..self.plan.gate_count() {
             self.scratch.clear();
-            self.scratch
-                .extend(gate.inputs().iter().map(|i| self.values[i.index()]));
-            self.values[gate.output().index()] = gate.kind().eval(&self.scratch);
+            self.scratch.extend(
+                self.plan
+                    .inputs_of(g)
+                    .iter()
+                    .map(|&i| self.values[i as usize]),
+            );
+            self.values[self.plan.output(g)] = self.plan.kind(g).eval(&self.scratch);
         }
         Ok(())
     }
@@ -108,6 +119,27 @@ impl<'a> FuncSim<'a> {
             .iter()
             .map(|&o| self.values[o.index()])
             .collect()
+    }
+
+    /// Writes the settled primary output values into `out` (declaration
+    /// order) without allocating — the per-pattern companion of
+    /// [`output_values`](Self::output_values) for profiling loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::WidthMismatch`] if `out.len()` is not the
+    /// primary output count.
+    pub fn write_outputs(&self, out: &mut [Logic]) -> Result<(), NetlistError> {
+        if out.len() != self.netlist.output_count() {
+            return Err(NetlistError::WidthMismatch {
+                expected: self.netlist.output_count(),
+                got: out.len(),
+            });
+        }
+        for (slot, &o) in out.iter_mut().zip(self.netlist.outputs()) {
+            *slot = self.values[o.index()];
+        }
+        Ok(())
     }
 }
 
@@ -190,6 +222,26 @@ mod tests {
         // Enabled: gated drives, mux picks it.
         sim.eval(&[Logic::One, Logic::One, Logic::Zero]).unwrap();
         assert_eq!(sim.value(y), Logic::One);
+    }
+
+    #[test]
+    fn write_outputs_matches_output_values() {
+        let n = xor_netlist();
+        let t = n.topology().unwrap();
+        let mut sim = FuncSim::new(&n, &t);
+        sim.eval(&[Logic::One, Logic::Zero]).unwrap();
+        let mut buf = [Logic::X; 1];
+        sim.write_outputs(&mut buf).unwrap();
+        assert_eq!(buf.to_vec(), sim.output_values());
+
+        let mut wrong = [Logic::X; 3];
+        assert_eq!(
+            sim.write_outputs(&mut wrong).unwrap_err(),
+            NetlistError::WidthMismatch {
+                expected: 1,
+                got: 3
+            }
+        );
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   cycle detection, topological levelization, and fanout lists.
 //! * [`FuncSim`] — a zero-delay functional simulator (topological sweep),
 //!   used for correctness checking and for collecting signal probabilities.
+//! * [`BatchSim`] — the bit-parallel batch counterpart of [`FuncSim`]: 64
+//!   patterns per sweep packed into `LogicWord` lane words, lane-for-lane
+//!   equivalent to the scalar simulator (including `X`/`Z` semantics).
 //! * [`EventSim`] — an event-driven *two-vector* timing simulator with
 //!   per-gate-instance delays and tri-state **hold** semantics. Applying a
 //!   new input vector on top of the previous one yields the input-dependent
@@ -53,12 +56,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch_sim;
 mod bus;
 mod error;
 mod event_sim;
 mod func_sim;
 mod ids;
 mod netlist;
+mod plan;
 mod report;
 mod sta;
 mod stats;
@@ -66,6 +71,7 @@ mod topology;
 mod vcd;
 mod verilog;
 
+pub use batch_sim::BatchSim;
 pub use bus::Bus;
 pub use error::NetlistError;
 pub use event_sim::{DelayAssignment, EventSim, PatternTiming, TraceEvent};

@@ -40,10 +40,8 @@ pub struct NetlistReport {
 impl NetlistReport {
     /// Summarizes `netlist`.
     pub fn new(netlist: &Netlist, topology: &Topology) -> Self {
-        let mut kind_counts: Vec<(GateKind, usize)> = GateKind::ALL
-            .iter()
-            .map(|&k| (k, 0usize))
-            .collect();
+        let mut kind_counts: Vec<(GateKind, usize)> =
+            GateKind::ALL.iter().map(|&k| (k, 0usize)).collect();
         for gate in netlist.gates() {
             if let Some(slot) = kind_counts.iter_mut().find(|(k, _)| *k == gate.kind()) {
                 slot.1 += 1;

@@ -118,11 +118,13 @@ mod tests {
         let crit = static_critical_path_ns(&n, &d).unwrap();
 
         let mut sim = EventSim::new(&n, &topo, d);
-        sim.settle(&vec![Logic::Zero; 6]).unwrap();
+        sim.settle(&[Logic::Zero; 6]).unwrap();
         let mut state = 1u64;
         for _ in 0..200 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let bits: Vec<Logic> = (0..6).map(|b| Logic::from((state >> (b + 7)) & 1 == 1)).collect();
+            let bits: Vec<Logic> = (0..6)
+                .map(|b| Logic::from((state >> (b + 7)) & 1 == 1))
+                .collect();
             let t = sim.step(&bits).unwrap();
             assert!(t.delay_ns <= crit + 1e-9, "{} > {crit}", t.delay_ns);
         }

@@ -2,7 +2,7 @@
 
 use agemul_logic::Logic;
 
-use crate::{FuncSim, GateId, NetId, Netlist, NetlistError, Topology};
+use crate::{BatchSim, GateId, NetId, Netlist, NetlistError, Topology};
 
 /// Per-net signal probabilities and per-gate switching activity accumulated
 /// over a workload.
@@ -55,6 +55,12 @@ impl WorkloadStats {
     /// Functionally evaluates each pattern and accumulates settled net
     /// values into the high-probability estimate.
     ///
+    /// Internally the patterns run through [`BatchSim`] in chunks of up to
+    /// 64: one bit-parallel sweep per chunk instead of one scalar sweep per
+    /// pattern, with per-net weights recovered by popcount. The accumulated
+    /// weights are *identical* to the scalar path — `high_weight` values
+    /// are multiples of 0.5, which f64 sums exactly.
+    ///
     /// # Errors
     ///
     /// Returns [`NetlistError::WidthMismatch`] if any pattern width differs
@@ -69,13 +75,60 @@ impl WorkloadStats {
         I: IntoIterator<Item = P>,
         P: AsRef<[Logic]>,
     {
-        let mut sim = FuncSim::new(netlist, topology);
+        let mut sim = BatchSim::new(netlist, topology);
+        let mut chunk: Vec<P> = Vec::with_capacity(BatchSim::LANES);
         for p in patterns {
-            sim.eval(p.as_ref())?;
-            self.patterns += 1;
-            for (w, &v) in self.net_high_weight.iter_mut().zip(sim.values()) {
-                *w += v.high_weight();
+            chunk.push(p);
+            if chunk.len() == BatchSim::LANES {
+                self.observe_chunk(&mut sim, &chunk)?;
+                chunk.clear();
             }
+        }
+        if !chunk.is_empty() {
+            self.observe_chunk(&mut sim, &chunk)?;
+        }
+        Ok(())
+    }
+
+    fn observe_chunk<P: AsRef<[Logic]>>(
+        &mut self,
+        sim: &mut BatchSim<'_>,
+        chunk: &[P],
+    ) -> Result<(), NetlistError> {
+        let lanes = sim.eval_batch(chunk)?;
+        self.patterns += lanes as u64;
+        for (w, word) in self.net_high_weight.iter_mut().zip(sim.words()) {
+            *w += word.high_weight_sum(lanes);
+        }
+        Ok(())
+    }
+
+    /// Folds another accumulator over the same netlist into this one —
+    /// the reduction step when pattern chunks are observed on parallel
+    /// workers. Addition order is fixed by the caller's fold order, and
+    /// the weights are multiples of 0.5, so merging chunk accumulators
+    /// yields bit-identical sums to serial observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::WidthMismatch`] if `other` was sized for a
+    /// different netlist.
+    pub fn merge(&mut self, other: &WorkloadStats) -> Result<(), NetlistError> {
+        if other.net_high_weight.len() != self.net_high_weight.len()
+            || other.gate_toggles.len() != self.gate_toggles.len()
+        {
+            return Err(NetlistError::WidthMismatch {
+                expected: self.net_high_weight.len(),
+                got: other.net_high_weight.len(),
+            });
+        }
+        self.patterns += other.patterns;
+        self.toggle_patterns += other.toggle_patterns;
+        for (w, &o) in self.net_high_weight.iter_mut().zip(&other.net_high_weight) {
+            *w += o;
+        }
+        for (t, &o) in self.gate_toggles.iter_mut().zip(&other.gate_toggles) {
+            *t += o;
         }
         Ok(())
     }
@@ -202,6 +255,67 @@ mod tests {
         let n = not_netlist();
         let mut stats = WorkloadStats::new(&n);
         assert!(stats.record_toggles(&[1, 2], 1).is_err());
+    }
+
+    #[test]
+    fn batched_observation_crosses_chunk_boundaries() {
+        // 150 patterns = 2 full 64-lane batches + a 22-lane remainder.
+        let n = not_netlist();
+        let t = n.topology().unwrap();
+        let patterns: Vec<[Logic; 1]> = (0..150).map(|i| [Logic::from(i % 3 == 0)]).collect();
+
+        let mut stats = WorkloadStats::new(&n);
+        stats.observe_patterns(&n, &t, patterns.iter()).unwrap();
+        assert_eq!(stats.pattern_count(), 150);
+
+        let highs = patterns.iter().filter(|p| p[0] == Logic::One).count();
+        let a = n.inputs()[0];
+        assert!((stats.net_high_probability(a) - highs as f64 / 150.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_equals_serial_observation() {
+        let n = not_netlist();
+        let t = n.topology().unwrap();
+        let patterns: Vec<[Logic; 1]> = (0..100)
+            .map(|i| {
+                [if i % 7 == 0 {
+                    Logic::X
+                } else {
+                    Logic::from(i % 2 == 0)
+                }]
+            })
+            .collect();
+
+        let mut serial = WorkloadStats::new(&n);
+        serial.observe_patterns(&n, &t, patterns.iter()).unwrap();
+
+        let mut merged = WorkloadStats::new(&n);
+        for chunk in patterns.chunks(33) {
+            let mut part = WorkloadStats::new(&n);
+            part.observe_patterns(&n, &t, chunk.iter()).unwrap();
+            merged.merge(&part).unwrap();
+        }
+
+        assert_eq!(merged.pattern_count(), serial.pattern_count());
+        for idx in 0..n.net_count() {
+            let net = NetId::from_index(idx);
+            // Bit-identical, not approximately equal.
+            assert_eq!(
+                merged.net_high_probability(net).to_bits(),
+                serial.net_high_probability(net).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_netlists() {
+        let n = not_netlist();
+        let mut other = Netlist::new();
+        other.add_input("a");
+        let mut stats = WorkloadStats::new(&n);
+        let foreign = WorkloadStats::new(&other);
+        assert!(stats.merge(&foreign).is_err());
     }
 
     #[test]

@@ -40,11 +40,7 @@ use crate::{NetId, Netlist, TraceEvent};
 /// assert!(text.contains("$var wire 1"));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn write_vcd(
-    netlist: &Netlist,
-    events: &[TraceEvent],
-    mut out: impl Write,
-) -> io::Result<()> {
+pub fn write_vcd(netlist: &Netlist, events: &[TraceEvent], mut out: impl Write) -> io::Result<()> {
     // Identifier codes: printable ASCII 33..=126, multi-character base-94.
     fn id_code(mut index: usize) -> String {
         let mut s = String::new();
@@ -124,8 +120,11 @@ mod tests {
         let y = n.add_gate(GateKind::Xor, &[a, b]).unwrap();
         n.mark_output(y, "y");
         let topo = n.topology().unwrap();
-        let mut sim =
-            EventSim::new(&n, &topo, DelayAssignment::uniform(&n, &DelayModel::nominal()));
+        let mut sim = EventSim::new(
+            &n,
+            &topo,
+            DelayAssignment::uniform(&n, &DelayModel::nominal()),
+        );
         sim.enable_tracing(500_000);
         sim.settle(&[Logic::Zero, Logic::Zero]).unwrap();
         sim.step(&[Logic::One, Logic::Zero]).unwrap();

@@ -1,0 +1,180 @@
+//! Property tests: `BatchSim` is lane-for-lane equivalent to `FuncSim`.
+//!
+//! Random well-formed DAG netlists covering every `GateKind` — including
+//! tri-state buffers that float to `Z` and muxes masking unknown branches —
+//! are driven with random batches of up to 64 four-valued patterns, and
+//! every net of every lane is compared against a scalar `FuncSim` run of
+//! the same pattern.
+
+use agemul_logic::{GateKind, Logic};
+use agemul_netlist::{BatchSim, FuncSim, NetId, Netlist, NetlistError};
+use proptest::prelude::*;
+
+/// Recipe for one random gate (same scheme as `random_circuits.rs`): kind
+/// selector and input picks modulo the nets available at build time.
+#[derive(Clone, Debug)]
+struct GateRecipe {
+    kind_sel: u8,
+    picks: [u16; 3],
+}
+
+fn arb_gate() -> impl Strategy<Value = GateRecipe> {
+    (any::<u8>(), any::<u16>(), any::<u16>(), any::<u16>()).prop_map(|(k, a, b, c)| GateRecipe {
+        kind_sel: k,
+        picks: [a, b, c],
+    })
+}
+
+fn arb_logic() -> impl Strategy<Value = Logic> {
+    prop_oneof![
+        Just(Logic::Zero),
+        Just(Logic::One),
+        Just(Logic::Z),
+        Just(Logic::X),
+    ]
+}
+
+fn build(recipes: &[GateRecipe], inputs: usize) -> Netlist {
+    let mut n = Netlist::new();
+    let mut nets: Vec<NetId> = (0..inputs).map(|i| n.add_input(format!("i{i}"))).collect();
+    nets.push(n.const_zero());
+    nets.push(n.const_one());
+    for r in recipes {
+        let pick = |p: u16| nets[p as usize % nets.len()];
+        let kind = match r.kind_sel % 10 {
+            0 => GateKind::Buf,
+            1 => GateKind::Not,
+            2 => GateKind::And,
+            3 => GateKind::Or,
+            4 => GateKind::Nand,
+            5 => GateKind::Nor,
+            6 => GateKind::Xor,
+            7 => GateKind::Xnor,
+            8 => GateKind::Mux2,
+            _ => GateKind::Tbuf,
+        };
+        let ins: Vec<NetId> = match kind.fixed_arity() {
+            Some(1) => vec![pick(r.picks[0])],
+            Some(3) => vec![pick(r.picks[0]), pick(r.picks[1]), pick(r.picks[2])],
+            _ => vec![pick(r.picks[0]), pick(r.picks[1])],
+        };
+        let out = n.add_gate(kind, &ins).expect("recipe inputs are valid");
+        nets.push(out);
+    }
+    for (i, &o) in nets.iter().rev().take(4).enumerate() {
+        n.mark_output(o, format!("o{i}"));
+    }
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every net of every lane matches the scalar simulator — the
+    /// headline equivalence guarantee, over fully four-valued inputs.
+    #[test]
+    fn batch_matches_scalar_on_every_net_and_lane(
+        recipes in proptest::collection::vec(arb_gate(), 1..60),
+        patterns in proptest::collection::vec(
+            proptest::collection::vec(arb_logic(), 6),
+            1..65,
+        ),
+    ) {
+        let patterns = &patterns[..patterns.len().min(64)];
+        let inputs = 6;
+        let n = build(&recipes, inputs);
+        let topo = n.topology().unwrap();
+
+        let mut batch = BatchSim::new(&n, &topo);
+        prop_assert_eq!(batch.eval_batch(patterns).unwrap(), patterns.len());
+
+        let mut scalar = FuncSim::new(&n, &topo);
+        for (lane, p) in patterns.iter().enumerate() {
+            scalar.eval(p).unwrap();
+            for (idx, &expected) in scalar.values().iter().enumerate() {
+                let got = batch.words()[idx].get(lane);
+                prop_assert_eq!(
+                    got, expected,
+                    "net {} lane {} pattern {:?}", idx, lane, p
+                );
+            }
+        }
+    }
+
+    /// The batched signal-probability accumulator agrees exactly with the
+    /// scalar `high_weight` sum (weights are multiples of 0.5, so this is
+    /// an exact f64 comparison, not approximate).
+    #[test]
+    fn batch_high_weight_is_exact(
+        recipes in proptest::collection::vec(arb_gate(), 1..40),
+        patterns in proptest::collection::vec(
+            proptest::collection::vec(arb_logic(), 6),
+            1..65,
+        ),
+    ) {
+        let patterns = &patterns[..patterns.len().min(64)];
+        let inputs = 6;
+        let n = build(&recipes, inputs);
+        let topo = n.topology().unwrap();
+
+        let mut batch = BatchSim::new(&n, &topo);
+        batch.eval_batch(patterns).unwrap();
+
+        let mut scalar = FuncSim::new(&n, &topo);
+        let mut expected = vec![0.0f64; n.net_count()];
+        for p in patterns {
+            scalar.eval(p).unwrap();
+            for (idx, v) in scalar.values().iter().enumerate() {
+                expected[idx] += v.high_weight();
+            }
+        }
+        for (idx, &e) in expected.iter().enumerate() {
+            prop_assert_eq!(
+                batch.words()[idx].high_weight_sum(batch.lanes()),
+                e,
+                "net {}", idx
+            );
+        }
+    }
+
+    /// `BatchSim::write_outputs` agrees with `FuncSim::write_outputs`
+    /// (both non-allocating paths) on every lane.
+    #[test]
+    fn batched_outputs_match_scalar_outputs(
+        recipes in proptest::collection::vec(arb_gate(), 1..40),
+        patterns in proptest::collection::vec(
+            proptest::collection::vec(arb_logic(), 6),
+            1..33,
+        ),
+    ) {
+        let inputs = 6;
+        let n = build(&recipes, inputs);
+        let topo = n.topology().unwrap();
+
+        let mut batch = BatchSim::new(&n, &topo);
+        batch.eval_batch(&patterns).unwrap();
+
+        let mut scalar = FuncSim::new(&n, &topo);
+        let mut got = vec![Logic::X; n.output_count()];
+        let mut expected = vec![Logic::X; n.output_count()];
+        for (lane, p) in patterns.iter().enumerate() {
+            scalar.eval(p).unwrap();
+            scalar.write_outputs(&mut expected).unwrap();
+            batch.write_outputs(lane, &mut got).unwrap();
+            prop_assert_eq!(&got, &expected, "lane {}", lane);
+        }
+    }
+
+    /// Oversized batches are rejected, never truncated silently.
+    #[test]
+    fn oversized_batches_error(extra in 1usize..16) {
+        let n = build(&[GateRecipe { kind_sel: 6, picks: [0, 1, 2] }], 6);
+        let topo = n.topology().unwrap();
+        let mut batch = BatchSim::new(&n, &topo);
+        let patterns = vec![vec![Logic::Zero; 6]; 64 + extra];
+        prop_assert_eq!(
+            batch.eval_batch(&patterns).unwrap_err(),
+            NetlistError::BatchSize { got: 64 + extra }
+        );
+    }
+}

@@ -5,9 +5,7 @@
 //! hold for *every* circuit, not just the multipliers.
 
 use agemul_logic::{DelayModel, GateKind, Logic};
-use agemul_netlist::{
-    static_critical_path_ns, DelayAssignment, EventSim, FuncSim, NetId, Netlist,
-};
+use agemul_netlist::{static_critical_path_ns, DelayAssignment, EventSim, FuncSim, NetId, Netlist};
 use proptest::prelude::*;
 
 /// Recipe for one random gate: kind selector and input picks (modulo the
@@ -64,7 +62,9 @@ fn build(recipes: &[GateRecipe], inputs: usize) -> (Netlist, Vec<NetId>) {
 }
 
 fn input_vector(bits: u64, count: usize) -> Vec<Logic> {
-    (0..count).map(|i| Logic::from((bits >> i) & 1 == 1)).collect()
+    (0..count)
+        .map(|i| Logic::from((bits >> i) & 1 == 1))
+        .collect()
 }
 
 proptest! {

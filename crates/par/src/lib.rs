@@ -1,0 +1,142 @@
+//! Deterministic fork-join helpers for the workspace's embarrassingly
+//! parallel loops (rayon stand-in).
+//!
+//! The build container cannot fetch rayon, so the `parallel` cargo feature
+//! is backed by this tiny crate instead: `std::thread::scope` fork-join
+//! over contiguous chunks, with results stitched back **in input order**.
+//! That ordering guarantee is what lets callers promise bit-identical
+//! results between serial and parallel runs — the parallel path changes
+//! *where* work executes, never the order in which results are combined.
+//!
+//! Only order-independent workloads belong here. In `agemul` that means
+//! period sweeps (each period replays an immutable profile), functional
+//! batch-simulation chunks (stateless per pattern), and whole repro figures
+//! (each gets its own context). The event-driven timing simulator is
+//! deliberately *not* fanned out per-chunk: its tri-state hold semantics
+//! make every pattern depend on simulator history.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use: the machine's available parallelism,
+/// clamped to the job count (at least 1).
+pub fn thread_count(jobs: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(jobs).max(1)
+}
+
+/// Maps `f` over `items` on scoped worker threads, returning results in
+/// input order.
+///
+/// Contiguous chunks of `items` are assigned to threads; panics in `f`
+/// propagate to the caller (the scope re-raises them). With one item, one
+/// hardware thread, or an empty input, this degrades to a plain serial
+/// map — same results, no thread spawn.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = thread_count(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Ceil-divided contiguous chunks; chunk i starts at i * chunk_len, so
+    // concatenating per-chunk outputs reproduces input order exactly.
+    let chunk_len = items.len().div_ceil(threads);
+    let mut results: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Maps `f` over owned `items` on scoped worker threads, returning results
+/// in input order.
+///
+/// Like [`par_map`] but consumes the items, for workloads whose tasks are
+/// built per-call (e.g. one repro figure id + fresh context per task).
+pub fn par_map_owned<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = thread_count(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(chunk_len.min(items.len()));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+
+    let mut results: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(|| chunk.into_iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 3);
+        assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn owned_variant_preserves_order() {
+        let items: Vec<String> = (0..57).map(|i| format!("job{i}")).collect();
+        let out = par_map_owned(items.clone(), |s| s.len());
+        assert_eq!(out, items.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[9u8], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn matches_serial_map_exactly() {
+        let items: Vec<f64> = (0..321).map(|i| f64::from(i) * 0.37).collect();
+        let serial: Vec<f64> = items.iter().map(|x| x.sin() * x.cos()).collect();
+        let parallel = par_map(&items, |x| x.sin() * x.cos());
+        // Bit-identical, not approximately equal: same code on same input.
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        assert_eq!(thread_count(0), 1);
+        assert_eq!(thread_count(1), 1);
+        assert!(thread_count(64) >= 1);
+    }
+}

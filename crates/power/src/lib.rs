@@ -179,12 +179,7 @@ impl PowerModel {
 
     /// Leakage energy accrued over one operation of `latency_ns`,
     /// femtojoules.
-    pub fn leakage_energy_fj(
-        &self,
-        transistors: u64,
-        delta_vth_v: f64,
-        latency_ns: f64,
-    ) -> f64 {
+    pub fn leakage_energy_fj(&self, transistors: u64, delta_vth_v: f64, latency_ns: f64) -> f64 {
         // µW · ns = fJ.
         self.leakage_power_uw(transistors, delta_vth_v) * latency_ns
     }
@@ -223,9 +218,7 @@ mod tests {
     #[test]
     fn razor_flops_cost_more_than_plain() {
         let pm = PowerModel::ptm_32nm_hk();
-        assert!(
-            pm.flop_energy_fj(FlopKind::RazorFf, 32) > pm.flop_energy_fj(FlopKind::Dff, 32)
-        );
+        assert!(pm.flop_energy_fj(FlopKind::RazorFf, 32) > pm.flop_energy_fj(FlopKind::Dff, 32));
     }
 
     #[test]
@@ -239,8 +232,11 @@ mod tests {
         let pm = PowerModel::ptm_32nm_hk();
 
         let run = |pats: &[Logic]| {
-            let mut sim =
-                EventSim::new(&n, &topo, DelayAssignment::uniform(&n, &DelayModel::nominal()));
+            let mut sim = EventSim::new(
+                &n,
+                &topo,
+                DelayAssignment::uniform(&n, &DelayModel::nominal()),
+            );
             sim.settle(&[Logic::Zero]).unwrap();
             for &p in pats {
                 sim.step(&[p]).unwrap();

@@ -86,11 +86,7 @@ fn breakdown_composes_into_sane_power() {
         dynamic_fj: pm.dynamic_energy_per_op_fj(m.netlist(), &stats),
         sequential_fj: pm.flop_energy_fj(FlopKind::Dff, 32)
             + pm.flop_energy_fj(FlopKind::RazorFf, 32),
-        leakage_fj: pm.leakage_energy_fj(
-            m.netlist().transistor_count(pm.area_model()),
-            0.0,
-            1.2,
-        ),
+        leakage_fj: pm.leakage_energy_fj(m.netlist().transistor_count(pm.area_model()), 0.0, 1.2),
     };
     let power_uw = e.average_power_uw(1.2);
     // Sixteen-bit multiplier at ~GHz rates: order 100 µW–10 mW. Sanity
@@ -123,9 +119,7 @@ fn bypassing_reduces_per_gate_switching_under_sparse_selects() {
             sim.step(&m.encode_inputs(a, b).unwrap()).unwrap();
         }
         let mut stats = WorkloadStats::new(m.netlist());
-        stats
-            .record_toggles(sim.gate_toggle_counts(), 150)
-            .unwrap();
+        stats.record_toggles(sim.gate_toggle_counts(), 150).unwrap();
         pm.dynamic_energy_per_op_fj(m.netlist(), &stats)
     };
 

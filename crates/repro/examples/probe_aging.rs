@@ -13,6 +13,9 @@ fn main() {
         let bti = BtiModel::calibrated(Technology::ptm_32nm_hk(), target);
         let f = aging_factors(d.circuit().netlist(), &stats, &bti, 7.0);
         let crit = d.critical_delay_ns(Some(&f)).unwrap();
-        println!("gate target {target}: circuit growth {:+.2}%", 100.0 * (crit / fresh - 1.0));
+        println!(
+            "gate target {target}: circuit growth {:+.2}%",
+            100.0 * (crit / fresh - 1.0)
+        );
     }
 }

@@ -1,4 +1,6 @@
-use agemul::{area_report, energy_report, Architecture, EnergyInputs, MultiplierDesign, PatternSet};
+use agemul::{
+    area_report, energy_report, Architecture, EnergyInputs, MultiplierDesign, PatternSet,
+};
 use agemul_circuits::MultiplierKind;
 use agemul_power::PowerModel;
 
@@ -10,11 +12,24 @@ fn main() {
         let stats = d.workload_stats(pats.pairs()).unwrap();
         let profile = d.profile(pats.pairs(), None).unwrap();
         let area = area_report(&d, Architecture::FixedLatency, 7).unwrap();
-        let e = energy_report(&d, EnergyInputs {
-            power: &pm, stats: &stats, area: &area,
-            avg_cycles_per_op: 1.0, avg_latency_ns: 1.5, delta_vth_v: 0.0,
-        });
-        println!("{:3}: toggles/op {:7.1} dyn {:8.1} seq {:6.1} leak {:6.1} fJ",
-            kind.label(), profile.avg_gate_toggles(), e.dynamic_fj, e.sequential_fj, e.leakage_fj);
+        let e = energy_report(
+            &d,
+            EnergyInputs {
+                power: &pm,
+                stats: &stats,
+                area: &area,
+                avg_cycles_per_op: 1.0,
+                avg_latency_ns: 1.5,
+                delta_vth_v: 0.0,
+            },
+        );
+        println!(
+            "{:3}: toggles/op {:7.1} dyn {:8.1} seq {:6.1} leak {:6.1} fJ",
+            kind.label(),
+            profile.avg_gate_toggles(),
+            e.dynamic_fj,
+            e.sequential_fj,
+            e.leakage_fj
+        );
     }
 }

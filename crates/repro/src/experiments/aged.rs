@@ -41,8 +41,7 @@ pub fn fig19_22(ctx: &mut Context) -> Result<Report> {
         for period in period_grid(width) {
             let t = run_engine(&profile, &EngineConfig::traditional(period, skip));
             let a = run_engine(&profile, &EngineConfig::adaptive(period, skip));
-            adaptive_never_worse &=
-                a.errors_per_10k_cycles() <= t.errors_per_10k_cycles() + 1e-9;
+            adaptive_never_worse &= a.errors_per_10k_cycles() <= t.errors_per_10k_cycles() + 1e-9;
             table.row(&[
                 f3(period),
                 format!("{:.0}", t.errors_per_10k_cycles()),
@@ -51,7 +50,11 @@ pub fn fig19_22(ctx: &mut Context) -> Result<Report> {
         }
         table.note(format!(
             "adaptive ≤ traditional at every period: {}",
-            if adaptive_never_worse { "yes (matches paper)" } else { "NO" }
+            if adaptive_never_worse {
+                "yes (matches paper)"
+            } else {
+                "NO"
+            }
         ));
         report.push(table);
     }
@@ -70,9 +73,7 @@ fn aged_latency(ctx: &mut Context, width: usize, id: &str) -> Result<Report> {
 
     let mut report = Report::new(
         id,
-        format!(
-            "average latency, {AGED_YEARS:.0}-year aged, {width}×{width} ({count} patterns)"
-        ),
+        format!("average latency, {AGED_YEARS:.0}-year aged, {width}×{width} ({count} patterns)"),
     );
     for skip in skips(width) {
         let mut table = Table::new(

@@ -72,12 +72,7 @@ pub fn fig5(ctx: &mut Context) -> Result<Report> {
         let up = lo + 0.1;
         let cells: Vec<String> = histograms
             .iter()
-            .map(|(_, d)| {
-                d.iter()
-                    .filter(|&&x| x >= lo && x < up)
-                    .count()
-                    .to_string()
-            })
+            .map(|(_, d)| d.iter().filter(|&&x| x >= lo && x < up).count().to_string())
             .collect();
         hist.row(&[
             format!("{lo:.1}–{up:.1}"),
@@ -132,7 +127,11 @@ pub fn fig6(ctx: &mut Context) -> Result<Report> {
     let left_shift = averages.windows(2).all(|w| w[1] < w[0]);
     table.note(format!(
         "distribution left-shifts as zeros increase: {}",
-        if left_shift { "yes (matches paper)" } else { "NO" }
+        if left_shift {
+            "yes (matches paper)"
+        } else {
+            "NO"
+        }
     ));
     report.push(table);
     Ok(report)

@@ -1,8 +1,6 @@
 //! Beyond the paper: design-choice ablations and extension architectures.
 
-use agemul::{
-    run_engine, AhlConfig, EngineConfig, MultiplierDesign, PatternSet, RazorConfig,
-};
+use agemul::{run_engine, AhlConfig, EngineConfig, MultiplierDesign, PatternSet, RazorConfig};
 use agemul_circuits::MultiplierKind;
 
 use super::{f3, pct, period_grid, skips};
@@ -46,14 +44,41 @@ pub fn ablations(ctx: &mut Context) -> Result<Report> {
         &["config", "errors/10k", "avg latency (ns)", "aged mode"],
     );
     let configs: [(&str, AhlConfig); 5] = [
-        ("threshold 5%", AhlConfig { error_threshold: 5, ..AhlConfig::paper() }),
+        (
+            "threshold 5%",
+            AhlConfig {
+                error_threshold: 5,
+                ..AhlConfig::paper()
+            },
+        ),
         ("threshold 10% (paper)", AhlConfig::paper()),
-        ("threshold 20%", AhlConfig { error_threshold: 20, ..AhlConfig::paper() }),
-        ("threshold 40%", AhlConfig { error_threshold: 40, ..AhlConfig::paper() }),
-        ("10%, non-latching", AhlConfig { sticky: false, ..AhlConfig::paper() }),
+        (
+            "threshold 20%",
+            AhlConfig {
+                error_threshold: 20,
+                ..AhlConfig::paper()
+            },
+        ),
+        (
+            "threshold 40%",
+            AhlConfig {
+                error_threshold: 40,
+                ..AhlConfig::paper()
+            },
+        ),
+        (
+            "10%, non-latching",
+            AhlConfig {
+                sticky: false,
+                ..AhlConfig::paper()
+            },
+        ),
     ];
     for (label, ahl) in configs {
-        let cfg = EngineConfig { ahl, ..EngineConfig::adaptive(1.00, 7) };
+        let cfg = EngineConfig {
+            ahl,
+            ..EngineConfig::adaptive(1.00, 7)
+        };
         let m = run_engine(&aged, &cfg);
         ahl_table.row(&[
             label.to_string(),
@@ -77,7 +102,10 @@ pub fn ablations(ctx: &mut Context) -> Result<Report> {
         };
         let m = run_engine(&fresh, &cfg);
         razor_table.row(&[
-            format!("penalty {penalty} cycles{}", if penalty == 3 { " (paper)" } else { "" }),
+            format!(
+                "penalty {penalty} cycles{}",
+                if penalty == 3 { " (paper)" } else { "" }
+            ),
             format!("{:.0}", m.errors_per_10k_cycles()),
             m.undetected.to_string(),
             f3(m.avg_latency_ns()),
@@ -85,7 +113,9 @@ pub fn ablations(ctx: &mut Context) -> Result<Report> {
     }
     for window in [1.0f64, 0.5, 0.1] {
         let cfg = EngineConfig {
-            razor: RazorConfig { window_factor: window },
+            razor: RazorConfig {
+                window_factor: window,
+            },
             ..EngineConfig::adaptive(0.70, 7)
         };
         let m = run_engine(&fresh, &cfg);
@@ -115,7 +145,8 @@ pub fn ablations(ctx: &mut Context) -> Result<Report> {
             format!("{:+.1}%", 100.0 * (stat / dynamic - 1.0)),
         ]);
     }
-    timing_table.note("clocking at the observed max instead of the bound risks unsensitized-path escapes");
+    timing_table
+        .note("clocking at the observed max instead of the bound risks unsensitized-path escapes");
     report.push(timing_table);
 
     Ok(report)
@@ -208,8 +239,8 @@ pub fn extensions(ctx: &mut Context) -> Result<Report> {
         ],
     );
     for sigma in [0.0f64, 0.05, 0.10] {
-        let factors = agemul_aging::VariationModel::new(sigma)
-            .factors(design.circuit().netlist(), 0x5EED);
+        let factors =
+            agemul_aging::VariationModel::new(sigma).factors(design.circuit().netlist(), 0x5EED);
         let crit = design.critical_delay_ns(Some(&factors))?;
         let profile = design.profile(patterns.pairs(), Some(&factors))?;
         let m = run_engine(&profile, &EngineConfig::adaptive(0.95, 7));

@@ -22,8 +22,8 @@
 //! | `fig27` | [`fig27`] | latency/power/EDP over 7 years, 32×32 |
 
 mod aged;
-mod area;
 mod aging_trend;
+mod area;
 mod dist;
 mod extras;
 mod ratios;
@@ -31,8 +31,8 @@ mod sweeps;
 mod years;
 
 pub use aged::{fig19_22, fig23, fig24};
-pub use area::fig25;
 pub use aging_trend::fig7;
+pub use area::fig25;
 pub use dist::{fig5, fig6, fig9_10};
 pub use extras::{ablations, extensions};
 pub use ratios::{table1, table2};
@@ -44,8 +44,25 @@ use crate::{Context, Report, Result};
 /// All experiment ids: the paper's artifacts in paper order, then the
 /// repository's own ablation and extension studies.
 pub const ALL_IDS: [&str; 20] = [
-    "fig5", "fig6", "fig7", "fig9-10", "table1", "table2", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "fig19-22", "fig23", "fig24", "fig25", "fig26", "fig27", "ablations",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig9-10",
+    "table1",
+    "table2",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19-22",
+    "fig23",
+    "fig24",
+    "fig25",
+    "fig26",
+    "fig27",
+    "ablations",
     "extensions",
 ];
 

@@ -115,7 +115,12 @@ fn skip_comparison(
                     }
                 })
                 .collect();
-            table.row(&[f3(period), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+            table.row(&[
+                f3(period),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
         }
         if metric == SweepMetric::LatencyNs {
             table.note(format!(
@@ -154,7 +159,13 @@ pub fn fig14(ctx: &mut Context) -> Result<Report> {
 ///
 /// Propagates simulation failures.
 pub fn fig15(ctx: &mut Context) -> Result<Report> {
-    skip_comparison(ctx, 16, SweepMetric::LatencyNs, "fig15", "average latency (ns)")
+    skip_comparison(
+        ctx,
+        16,
+        SweepMetric::LatencyNs,
+        "fig15",
+        "average latency (ns)",
+    )
 }
 
 /// Fig. 16 — 16×16 Razor error count (per 10 000 cycles) across skips.
@@ -178,7 +189,13 @@ pub fn fig16(ctx: &mut Context) -> Result<Report> {
 ///
 /// Propagates simulation failures.
 pub fn fig17(ctx: &mut Context) -> Result<Report> {
-    skip_comparison(ctx, 32, SweepMetric::LatencyNs, "fig17", "average latency (ns)")
+    skip_comparison(
+        ctx,
+        32,
+        SweepMetric::LatencyNs,
+        "fig17",
+        "average latency (ns)",
+    )
 }
 
 /// Fig. 18 — 32×32 Razor error count (per 10 000 cycles) across skips.

@@ -1,8 +1,6 @@
 //! Figs. 26/27 — latency, power, and EDP over a seven-year horizon.
 
-use agemul::{
-    area_report, energy_report, run_engine, Architecture, EnergyInputs, EngineConfig,
-};
+use agemul::{area_report, energy_report, run_engine, Architecture, EnergyInputs, EngineConfig};
 use agemul_circuits::MultiplierKind;
 use agemul_power::PowerModel;
 
@@ -138,7 +136,11 @@ fn seven_year_study(
     );
     for s in &series {
         let growth = s.latency_ns[7] / s.latency_ns[0] - 1.0;
-        latency.note(format!("{} latency growth over 7y: {:+.2}%", s.name, 100.0 * growth));
+        latency.note(format!(
+            "{} latency growth over 7y: {:+.2}%",
+            s.name,
+            100.0 * growth
+        ));
     }
     let vl_errors: u64 = series[3].errors + series[4].errors;
     latency.note(format!(
@@ -151,11 +153,7 @@ fn seven_year_study(
         &|s, i| s.power_uw[i],
         am0_power,
     ));
-    let mut edp = build(
-        "normalized EDP (AM year 0 = 1)",
-        &|s, i| s.edp[i],
-        am0_edp,
-    );
+    let mut edp = build("normalized EDP (AM year 0 = 1)", &|s, i| s.edp[i], am0_edp);
     let avg = |s: &Series| s.edp.iter().sum::<f64>() / s.edp.len() as f64;
     let am_avg = avg(&series[0]);
     edp.note(format!(

@@ -15,6 +15,40 @@ fn usage() {
     eprintln!("experiments: {}", experiments::ALL_IDS.join(", "));
 }
 
+/// Prints one experiment's report (and optional CSV dump); returns `false`
+/// if the experiment failed or a CSV could not be written.
+fn emit(
+    id: &str,
+    outcome: agemul_repro::Result<agemul_repro::Report>,
+    secs: f64,
+    csv_dir: Option<&std::path::Path>,
+) -> bool {
+    match outcome {
+        Ok(report) => {
+            println!("{report}");
+            println!("[{id} completed in {secs:.1}s]\n");
+            if let Some(dir) = csv_dir {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    return false;
+                }
+                for table in &report.tables {
+                    let path = dir.join(format!("{}__{}.csv", report.id, table.slug()));
+                    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+        Err(e) => {
+            eprintln!("experiment {id} failed: {e}");
+            false
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut scale = Scale::Standard;
     let mut ids: Vec<String> = Vec::new();
@@ -55,30 +89,41 @@ fn main() -> ExitCode {
     }
     ids.dedup();
 
-    let mut ctx = Context::new(scale);
     let overall = Instant::now();
-    for id in &ids {
-        let start = Instant::now();
-        match experiments::run_by_id(&mut ctx, id) {
-            Ok(report) => {
-                println!("{report}");
-                println!("[{id} completed in {:.1}s]\n", start.elapsed().as_secs_f64());
-                if let Some(dir) = &csv_dir {
-                    if let Err(e) = std::fs::create_dir_all(dir) {
-                        eprintln!("cannot create {}: {e}", dir.display());
-                        return ExitCode::FAILURE;
-                    }
-                    for table in &report.tables {
-                        let path = dir.join(format!("{}__{}.csv", report.id, table.slug()));
-                        if let Err(e) = std::fs::write(&path, table.to_csv()) {
-                            eprintln!("cannot write {}: {e}", path.display());
-                            return ExitCode::FAILURE;
-                        }
-                    }
-                }
+
+    // With the `parallel` feature each experiment runs on its own thread
+    // with a private Context (the caches are not shareable across threads),
+    // and reports are emitted in request order afterwards. Workloads are
+    // seed-derived, so every number matches the serial run; the trade is
+    // recomputing artifacts a shared cache would have reused. The serial
+    // build keeps the original behaviour of streaming each report as soon
+    // as its experiment completes.
+    #[cfg(feature = "parallel")]
+    {
+        let outcomes = agemul_par::par_map(&ids, |id| {
+            let start = Instant::now();
+            let mut ctx = Context::new(scale);
+            let result = experiments::run_by_id(&mut ctx, id);
+            (result, start.elapsed().as_secs_f64())
+        });
+        for (id, (outcome, secs)) in ids.iter().zip(outcomes) {
+            if !emit(id, outcome, secs, csv_dir.as_deref()) {
+                return ExitCode::FAILURE;
             }
-            Err(e) => {
-                eprintln!("experiment {id} failed: {e}");
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let mut ctx = Context::new(scale);
+        for id in &ids {
+            let start = Instant::now();
+            let outcome = experiments::run_by_id(&mut ctx, id);
+            if !emit(
+                id,
+                outcome,
+                start.elapsed().as_secs_f64(),
+                csv_dir.as_deref(),
+            ) {
                 return ExitCode::FAILURE;
             }
         }

@@ -37,7 +37,10 @@ fn fig13_has_u_shape_and_beats_fixed_latency() {
     let min = (0..t.row_count())
         .map(|r| cell_f64(t, r, 1))
         .fold(f64::INFINITY, f64::min);
-    assert!(min < first && min < last, "no U-shape: {min} vs {first}/{last}");
+    assert!(
+        min < first && min < last,
+        "no U-shape: {min} vs {first}/{last}"
+    );
     // And the minimum undercuts the FLCB constant (1.734 ns).
     assert!(min < 1.6, "A-VLCB best {min} does not beat FLCB");
 }
@@ -98,7 +101,10 @@ fn extensions_confirm_bypassing_specificity() {
     let cb_corr = cell_f64(t, 1, 4);
     let wal_corr = cell_f64(t, 3, 4);
     assert!(cb_corr < -0.6, "CB correlation too weak: {cb_corr}");
-    assert!(wal_corr.abs() < 0.5, "Wallace correlation unexpectedly strong");
+    assert!(
+        wal_corr.abs() < 0.5,
+        "Wallace correlation unexpectedly strong"
+    );
     // Col 6 = best A-VL vs fixed: negative (gain) for CB, positive for WAL.
     assert!(cell_f64(t, 1, 6) < 0.0);
     assert!(cell_f64(t, 3, 6) > 0.0);

@@ -50,7 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let uniform = PatternSet::uniform(16, fir.len(), 7);
 
     println!("workload comparison on the 16×16 A-VLCB (Skip-7)\n");
-    println!("workload   period   avg latency   one-cycle   errors/10k   vs fixed ({critical:.3} ns)");
+    println!(
+        "workload   period   avg latency   one-cycle   errors/10k   vs fixed ({critical:.3} ns)"
+    );
     for (name, patterns) in [("FIR", &fir), ("uniform", &uniform)] {
         let profile = design.profile(patterns.pairs(), None)?;
         // Pick the best period per workload, as a deployment would.

@@ -8,8 +8,8 @@
 
 use std::fs;
 
-use agemul_suite::prelude::*;
 use agemul_netlist::{write_vcd, write_verilog, NetlistReport};
+use agemul_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = MultiplierCircuit::generate(MultiplierKind::ColumnBypass, 8)?;

@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if fixed_ok { "  yes    " } else { " *FAIL*  " },
             m.avg_latency_ns(),
             m.errors_per_10k_cycles(),
-            if m.aged_mode_entered { "engaged" } else { "—" },
+            if m.aged_mode_entered {
+                "engaged"
+            } else {
+                "—"
+            },
         );
     }
 

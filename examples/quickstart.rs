@@ -59,8 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bti = BtiModel::calibrated(Technology::ptm_32nm_hk(), 1.132);
     let factors = aging_factors(design.circuit().netlist(), &stats, &bti, 7.0);
     let aged_profile = design.profile(patterns.pairs(), Some(&factors))?;
-    let aged_fixed =
-        run_fixed_latency(aged_profile.len() as u64, design.critical_delay_ns(Some(&factors))?);
+    let aged_fixed = run_fixed_latency(
+        aged_profile.len() as u64,
+        design.critical_delay_ns(Some(&factors))?,
+    );
     let aged_adaptive = run_engine(&aged_profile, &EngineConfig::adaptive(0.95, 7));
     println!(
         "\nafter 7 years: fixed {:.3} ns (+{:.1}%), adaptive {:.3} ns (+{:.1}%), \

@@ -1,0 +1,24 @@
+# Developer entry points. `just verify` is the pre-merge gate; it is also
+# available as `scripts/verify.sh` for environments without `just`.
+
+# Format check + clippy (all features, warnings fatal) + full test suite.
+verify: fmt-check clippy test
+
+fmt-check:
+	cargo fmt --all -- --check
+
+clippy:
+	cargo clippy --workspace --all-targets --all-features -- -D warnings
+
+# Tier-1 gate: release build + full test suite.
+test:
+	cargo build --release --workspace
+	cargo test -q --workspace
+
+# Tests again with the parallel fan-out compiled in.
+test-parallel:
+	cargo test -q -p agemul -p agemul-repro --features parallel
+
+# Scalar-vs-batch simulator benches; see BENCH_sim.json for the record.
+bench-sim:
+	cargo bench -p agemul-bench --bench batch_sim

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Pre-merge gate, mirroring `just verify`: format check, clippy with all
+# features and fatal warnings, then the tier-1 build + test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets --all-features -- -D warnings
+cargo build --release --workspace
+cargo test -q --workspace

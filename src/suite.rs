@@ -46,8 +46,8 @@ pub mod prelude {
     };
     pub use agemul_logic::{DelayModel, GateKind, Logic, Technology};
     pub use agemul_netlist::{
-        static_critical_path_ns, write_vcd, write_verilog, Bus, DelayAssignment, EventSim,
-        FuncSim, Netlist, NetlistReport,
+        static_critical_path_ns, write_vcd, write_verilog, Bus, DelayAssignment, EventSim, FuncSim,
+        Netlist, NetlistReport,
     };
     pub use agemul_power::PowerModel;
 }

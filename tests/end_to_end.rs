@@ -62,10 +62,7 @@ fn architectures_agree_with_integer_multiplication() {
         for &(a, b) in patterns.pairs() {
             sim.step(&design.circuit().encode_inputs(a, b).unwrap())
                 .unwrap();
-            let got = design
-                .circuit()
-                .product()
-                .decode_with(|net| sim.value(net));
+            let got = design.circuit().product().decode_with(|net| sim.value(net));
             assert_eq!(got, Some(u128::from(a) * u128::from(b)), "{kind:?} {a}×{b}");
         }
     }

@@ -23,11 +23,12 @@ fn long_event_sequence_holds_all_invariants() {
             .step(&design.circuit().encode_inputs(a, b).unwrap())
             .unwrap();
         reported_toggles += t.gate_toggles;
-        assert!(t.delay_ns <= bound + 1e-9, "op {i}: {} > {bound}", t.delay_ns);
-        let got = design
-            .circuit()
-            .product()
-            .decode_with(|net| sim.value(net));
+        assert!(
+            t.delay_ns <= bound + 1e-9,
+            "op {i}: {} > {bound}",
+            t.delay_ns
+        );
+        let got = design.circuit().product().decode_with(|net| sim.value(net));
         assert_eq!(got, Some(u128::from(a) * u128::from(b)), "op {i}: {a}×{b}");
     }
     let counted: u64 = sim.gate_toggle_counts().iter().sum();
@@ -54,10 +55,7 @@ fn mixed_replay_and_burst_traffic() {
             .step(&design.circuit().encode_inputs(a, b).unwrap())
             .unwrap();
         assert_eq!(redo.events, 0, "{a}×{b} re-execution not quiescent");
-        let got = design
-            .circuit()
-            .product()
-            .decode_with(|net| sim.value(net));
+        let got = design.circuit().product().decode_with(|net| sim.value(net));
         assert_eq!(got, Some(u128::from(a) * u128::from(b)));
     }
 }
