@@ -1,0 +1,54 @@
+//! Fault-campaign throughput: lane-masked preparation and replay.
+//!
+//! Two costs matter for campaign scaling: `Campaign::prepare` (gate-level
+//! simulation — one batch sweep per 64 logic faults, one event-driven
+//! profile per delay fault) and `Campaign::run` (pure engine replay, spent
+//! once per point of a skip × window sweep). Build with
+//! `--features parallel` to fan preparation across threads.
+//!
+//! Run with `cargo bench -p agemul-bench --bench faults`; set
+//! `CRITERION_JSON=<file>` to append machine-readable results (see
+//! `BENCH_sim.json` at the workspace root).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use agemul::EngineConfig;
+use agemul_bench::Fixture;
+use agemul_faults::{Campaign, FaultSpec};
+
+fn bench_campaign(c: &mut Criterion) {
+    let fixture = Fixture::column_bypass_16(256);
+    let pairs = fixture.patterns.pairs();
+    let mut g = c.benchmark_group("faults");
+
+    // 32 logic faults: half a lane-masked batch chunk + the baseline.
+    let logic: Vec<FaultSpec> = FaultSpec::sample(&fixture.design, pairs.len(), 64, 0xFA17)
+        .into_iter()
+        .filter(FaultSpec::is_logic)
+        .take(32)
+        .collect();
+    g.bench_function("prepare_32_logic_faults_256ops", |b| {
+        b.iter(|| Campaign::prepare(&fixture.design, pairs, &logic).unwrap())
+    });
+
+    // 4 delay faults: four private event-driven profiles + the baseline.
+    let delay: Vec<FaultSpec> = FaultSpec::sample(&fixture.design, pairs.len(), 16, 0xFA17)
+        .into_iter()
+        .filter(|f| !f.is_logic())
+        .collect();
+    g.bench_function("prepare_4_delay_faults_256ops", |b| {
+        b.iter(|| Campaign::prepare(&fixture.design, pairs, &delay).unwrap())
+    });
+
+    // Replay cost of one sweep point over a mixed prepared campaign.
+    let mixed = FaultSpec::sample(&fixture.design, pairs.len(), 24, 0xFA17);
+    let campaign = Campaign::prepare(&fixture.design, pairs, &mixed).unwrap();
+    g.bench_function("run_24_fault_replay", |b| {
+        let cfg = EngineConfig::adaptive(0.95, 7);
+        b.iter(|| campaign.run(&cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

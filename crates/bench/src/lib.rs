@@ -13,6 +13,8 @@
 //! * `ablations` — design-choice sweeps called out in `DESIGN.md`: skip
 //!   number, aging-indicator threshold and stickiness, Razor penalty and
 //!   detection window, and adaptive-vs-traditional hold logic.
+//! * `faults` — fault-campaign throughput: lane-masked logic-fault
+//!   preparation, per-delay-fault profiling, and sweep-point replay.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -133,6 +133,18 @@ impl Ahl {
 
     /// Records the completion of one operation and whether the Razor bank
     /// flagged it, advancing the aging-indicator window.
+    ///
+    /// # Window semantics
+    ///
+    /// The operation being recorded is counted into the *current* window
+    /// before the boundary check, so the trip decision at operation
+    /// `window_ops` uses exactly the errors of operations
+    /// `1..=window_ops` — an error on the window's last operation still
+    /// participates in that window's decision. The threshold comparison is
+    /// inclusive (`errors >= error_threshold` trips), and the mode only
+    /// ever changes at a window boundary: mid-window queries observe the
+    /// mode decided at the end of the previous window no matter how many
+    /// errors the current window has accumulated so far.
     pub fn record(&mut self, razor_error: bool) {
         self.ops_in_window += 1;
         if razor_error {
@@ -286,6 +298,91 @@ mod tests {
         assert_eq!(ahl.decide(15), CycleDecision::TwoCycles);
         assert_eq!(ahl.decide(16), CycleDecision::OneCycle);
         assert_eq!(ahl.active_block().skip(), 16);
+    }
+
+    /// Errors 91–100 of a 100-op window (threshold 10) trip the indicator
+    /// at op 100 — the decision uses the window the errors occurred in,
+    /// including an error on the very last op, and engages exactly at the
+    /// boundary (not one op later).
+    #[test]
+    fn errors_at_window_tail_trip_in_their_own_window() {
+        let mut ahl = Ahl::adaptive(7, AhlConfig::paper());
+        for op in 1..=100u32 {
+            assert!(!ahl.is_aged_mode(), "must not trip before the boundary");
+            ahl.record((91..=100).contains(&op));
+        }
+        assert!(ahl.is_aged_mode(), "10 tail errors must trip at op 100");
+        assert_eq!(ahl.mode_transitions(), 1);
+    }
+
+    /// `errors == error_threshold` trips; `errors == error_threshold - 1`
+    /// does not — the comparison is inclusive and exact.
+    #[test]
+    fn exactly_at_threshold_trips() {
+        for (errors, expect) in [(9u32, false), (10, true)] {
+            let mut ahl = Ahl::adaptive(7, AhlConfig::paper());
+            for op in 0..100 {
+                ahl.record(op < errors);
+            }
+            assert_eq!(ahl.is_aged_mode(), expect, "{errors} errors");
+        }
+    }
+
+    /// Mid-window, the mode reflects the previous window's decision even
+    /// when the current window has already accumulated threshold errors:
+    /// the indicator only changes at boundaries.
+    #[test]
+    fn mid_window_query_reflects_previous_boundary() {
+        let mut ahl = Ahl::adaptive(7, AhlConfig::paper());
+        for _ in 0..50 {
+            ahl.record(true); // 50 errors, but the window is only half done
+        }
+        assert!(!ahl.is_aged_mode(), "mode must not change mid-window");
+        assert_eq!(ahl.decide(7), CycleDecision::OneCycle);
+        for _ in 0..50 {
+            ahl.record(false);
+        }
+        assert!(ahl.is_aged_mode(), "boundary at op 100 applies the trip");
+        assert_eq!(ahl.decide(7), CycleDecision::TwoCycles);
+    }
+
+    /// Non-sticky oscillation ablation: under alternating error pressure
+    /// the transition counter grows monotonically, by exactly one per
+    /// window boundary that flips the mode.
+    #[test]
+    fn non_sticky_transitions_grow_monotonically_under_alternation() {
+        let cfg = AhlConfig {
+            sticky: false,
+            ..AhlConfig::paper()
+        };
+        let mut ahl = Ahl::adaptive(7, cfg);
+        let mut last = ahl.mode_transitions();
+        for window in 0..10 {
+            let noisy = window % 2 == 0;
+            for _ in 0..100 {
+                ahl.record(noisy);
+            }
+            let now = ahl.mode_transitions();
+            assert!(now >= last, "transition counter must be monotone");
+            assert_eq!(now, last + 1, "alternating pressure flips every window");
+            assert_eq!(ahl.is_aged_mode(), noisy);
+            last = now;
+        }
+        assert_eq!(ahl.mode_transitions(), 10);
+    }
+
+    /// `Ahl::traditional` never transitions, whatever the pressure shape.
+    #[test]
+    fn traditional_records_zero_transitions() {
+        let mut ahl = Ahl::traditional(7);
+        for window in 0..10 {
+            let noisy = window % 2 == 0;
+            for _ in 0..100 {
+                ahl.record(noisy);
+            }
+            assert!(!ahl.is_aged_mode());
+            assert_eq!(ahl.mode_transitions(), 0);
+        }
     }
 
     #[test]

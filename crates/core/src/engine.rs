@@ -87,6 +87,36 @@ impl EngineConfig {
 ///
 /// See the crate-level docs.
 pub fn run_engine(profile: &PatternProfile, config: &EngineConfig) -> RunMetrics {
+    run_engine_traced(profile, config).0
+}
+
+/// Adaptation observability collected alongside [`RunMetrics`] by
+/// [`run_engine_traced`] — what the fault campaigns measure about *how* the
+/// AHL reacted, not just the aggregate cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineTrace {
+    /// 1-based operation index at which the aging indicator first engaged
+    /// the stricter judging block, or `None` if it never did. The distance
+    /// from the first error to this op is the adaptation latency.
+    pub aged_at_op: Option<u64>,
+    /// Total aged-mode transitions over the run (see
+    /// [`Ahl::mode_transitions`]); > 1 only with a non-sticky indicator.
+    pub mode_transitions: u64,
+}
+
+/// [`run_engine`] with an [`EngineTrace`] alongside the metrics.
+///
+/// Identical replay semantics — `run_engine` is this function with the
+/// trace discarded — so metrics from the two entry points are always
+/// bit-identical.
+///
+/// # Panics
+///
+/// Panics if `config.cycle_ns` is not finite and positive.
+pub fn run_engine_traced(
+    profile: &PatternProfile,
+    config: &EngineConfig,
+) -> (RunMetrics, EngineTrace) {
     assert!(
         config.cycle_ns.is_finite() && config.cycle_ns > 0.0,
         "cycle period must be finite and positive, got {}",
@@ -109,6 +139,7 @@ pub fn run_engine(profile: &PatternProfile, config: &EngineConfig) -> RunMetrics
         cycle_ns: config.cycle_ns,
         aged_mode_entered: false,
     };
+    let mut trace = EngineTrace::default();
 
     for record in profile.records() {
         metrics.operations += 1;
@@ -148,8 +179,12 @@ pub fn run_engine(profile: &PatternProfile, config: &EngineConfig) -> RunMetrics
             }
         }
         metrics.aged_mode_entered |= ahl.is_aged_mode();
+        if trace.aged_at_op.is_none() && ahl.is_aged_mode() {
+            trace.aged_at_op = Some(metrics.operations);
+        }
     }
-    metrics
+    trace.mode_transitions = ahl.mode_transitions();
+    (metrics, trace)
 }
 
 /// Metrics of a fixed-latency deployment: every operation takes one cycle
@@ -280,6 +315,29 @@ mod tests {
         assert_eq!(m.undetected, 1);
         assert_eq!(m.errors, 0);
         assert_eq!(m.cycles, 1);
+    }
+
+    /// `run_engine_traced` pins down the adaptation latency: with constant
+    /// error pressure from op 1, aged mode engages exactly at the first
+    /// window boundary, and the plain entry point returns bit-identical
+    /// metrics.
+    #[test]
+    fn traced_run_reports_adaptation_op_and_matches_plain_run() {
+        let records: Vec<PatternRecord> = (0..250).map(|_| rec(7, 1.1)).collect();
+        let p = profile(records);
+        let cfg = EngineConfig::adaptive(0.9, 7);
+
+        let (metrics, trace) = run_engine_traced(&p, &cfg);
+        assert_eq!(trace.aged_at_op, Some(u64::from(cfg.ahl.window_ops)));
+        assert_eq!(trace.mode_transitions, 1);
+        assert_eq!(metrics, run_engine(&p, &cfg));
+
+        // A clean workload never adapts.
+        let calm = profile((0..250).map(|_| rec(10, 0.5)).collect());
+        let (calm_metrics, calm_trace) = run_engine_traced(&calm, &cfg);
+        assert_eq!(calm_trace.aged_at_op, None);
+        assert_eq!(calm_trace.mode_transitions, 0);
+        assert!(!calm_metrics.aged_mode_entered);
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub use area::{area_report, Architecture, AreaReport};
 pub use calibrate::{calibrated_delay_model, measure_critical_delay, PAPER_AM16_CRITICAL_NS};
 pub use design::MultiplierDesign;
 pub use energy::{energy_report, EnergyInputs};
-pub use engine::{run_engine, run_fixed_latency, EngineConfig};
+pub use engine::{run_engine, run_engine_traced, run_fixed_latency, EngineConfig, EngineTrace};
 pub use error::CoreError;
 pub use judging::{count_zeros, JudgingBlock};
 pub use metrics::RunMetrics;

@@ -98,6 +98,22 @@ impl RazorBank {
     /// Classifies one operation whose slowest output transition arrived
     /// `delay_ns` after the launch edge, under a `cycle_ns` clock.
     ///
+    /// # Boundary convention
+    ///
+    /// Edges are treated as **met** — both comparisons are inclusive:
+    ///
+    /// * `delay == cycle` → [`DetectOutcome::Ok`]: a transition arriving
+    ///   exactly at the clock edge latches correctly (zero setup margin is
+    ///   modeled as sufficient).
+    /// * `delay == cycle * (1 + window_factor)` → [`DetectOutcome::Error`]:
+    ///   a transition exactly at the shadow-window edge is still caught.
+    ///
+    /// Campaign classification (masked / detected / silent) depends on
+    /// these edges being stable, so they are regression-tested exactly —
+    /// including the degenerate `window_factor == 0` bank, whose `Error`
+    /// band is the single point `delay == cycle` met by the `Ok` rule
+    /// first, making every late transition `Undetected`.
+    ///
     /// # Panics
     ///
     /// Panics if `cycle_ns` is not finite and positive or `delay_ns` is
@@ -132,6 +148,48 @@ mod tests {
         assert_eq!(bank.check(1.0 + 1e-9, 1.0), DetectOutcome::Error);
         assert_eq!(bank.check(2.0, 1.0), DetectOutcome::Error); // window edge
         assert_eq!(bank.check(2.0 + 1e-9, 1.0), DetectOutcome::Undetected);
+    }
+
+    /// The documented edges-as-met convention, checked with *exact* f64
+    /// values (no epsilon): `delay == period` is Ok and
+    /// `delay == period * (1 + window_factor)` is Error, for several
+    /// periods and window factors, so campaign classification can rely on
+    /// the boundaries never drifting.
+    #[test]
+    fn boundary_edges_classify_as_met() {
+        for cycle in [0.5, 1.0, 2.75] {
+            for wf in [0.25, 0.5, 1.0] {
+                let bank = RazorBank::new(8, RazorConfig { window_factor: wf });
+                assert_eq!(
+                    bank.check(cycle, cycle),
+                    DetectOutcome::Ok,
+                    "delay == period must be met (cycle {cycle}, wf {wf})"
+                );
+                let window_edge = cycle * (1.0 + wf);
+                assert_eq!(
+                    bank.check(window_edge, cycle),
+                    DetectOutcome::Error,
+                    "delay == window edge must be detected (cycle {cycle}, wf {wf})"
+                );
+                assert_eq!(
+                    bank.check(window_edge + window_edge * f64::EPSILON, cycle),
+                    DetectOutcome::Undetected,
+                    "one ulp past the window edge is silent (cycle {cycle}, wf {wf})"
+                );
+            }
+        }
+    }
+
+    /// A zero-width shadow window degenerates consistently: the window edge
+    /// coincides with the clock edge and is claimed by `Ok`, so every late
+    /// transition is `Undetected` — the Error band is empty, never negative.
+    #[test]
+    fn zero_window_factor_never_reports_error() {
+        let bank = RazorBank::new(8, RazorConfig { window_factor: 0.0 });
+        assert_eq!(bank.check(1.0, 1.0), DetectOutcome::Ok);
+        for delay in [1.0 + 1e-12, 1.1, 5.0] {
+            assert_eq!(bank.check(delay, 1.0), DetectOutcome::Undetected);
+        }
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Campaign preparation (the simulations) and replay (the classification).
+
+use std::collections::VecDeque;
+
+use agemul::{
+    count_zeros, run_engine_traced, EngineConfig, MultiplierDesign, PatternProfile, PatternRecord,
+};
+use agemul_circuits::Operand;
+use agemul_netlist::{BatchSim, EventSim, FaultKind, FaultOverlay, GateId};
+
+use crate::report::{CampaignReport, FaultClass, FaultOutcome};
+use crate::{FaultError, FaultSpec};
+
+/// A prepared fault campaign: the fault-free baseline profile plus one
+/// piece of simulation evidence per injected fault.
+///
+/// Preparation ([`Campaign::prepare`]) does all the expensive,
+/// engine-config-independent work once:
+///
+/// * the **baseline** timing profile of the fault-free design over the
+///   workload (one event-driven simulation);
+/// * **logic faults** (stuck-at, transient) evaluated functionally in
+///   lane-masked [`BatchSim`] chunks — up to 64 faulty variants per
+///   bit-parallel sweep — counting operations whose product deviates from
+///   `a × b`;
+/// * **delay faults** profiled with a private event-driven simulation
+///   under the inflated gate delay.
+///
+/// [`Campaign::run`] then replays that evidence through the
+/// variable-latency engine under any [`EngineConfig`] — sweeping skip
+/// numbers or Razor windows costs no further gate-level simulation.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    baseline: PatternProfile,
+    entries: Vec<(FaultSpec, Evidence)>,
+}
+
+/// Config-independent simulation evidence for one fault.
+#[derive(Clone, Debug)]
+enum Evidence {
+    /// Functional evaluation of a stuck-at/transient fault.
+    Logic {
+        corrupted_ops: u64,
+        first_corrupted_op: Option<u64>,
+    },
+    /// Event-driven timing profile under an inflated gate delay.
+    Delay { profile: PatternProfile },
+}
+
+/// One unit of preparation work, sized for fan-out.
+enum Task {
+    /// Up to 64 logic faults sharing one lane-masked batch sweep.
+    Chunk(Vec<FaultSpec>),
+    /// One delay fault's private timing profile.
+    Delay(GateId, f64),
+}
+
+/// The result of one [`Task`].
+enum TaskOut {
+    Chunk(Vec<(u64, Option<u64>)>),
+    Delay(PatternProfile),
+}
+
+impl Campaign {
+    /// Prepares a campaign: baseline profile plus per-fault evidence.
+    ///
+    /// With the `parallel` feature the per-fault simulations (logic chunks
+    /// and delay profiles) fan out across threads; results are reassembled
+    /// in fault order, so the prepared campaign — and every report derived
+    /// from it — is bit-identical to [`prepare_serial`](Self::prepare_serial).
+    ///
+    /// An empty `faults` slice yields a campaign whose baseline is exactly
+    /// `design.profile(pairs, None)` and whose reports carry no outcomes —
+    /// the zero-fault identity the property tests pin down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidSpec`] for out-of-range fault sites or
+    /// non-finite/non-positive delay factors, and propagates simulation
+    /// failures.
+    pub fn prepare(
+        design: &MultiplierDesign,
+        pairs: &[(u64, u64)],
+        faults: &[FaultSpec],
+    ) -> Result<Self, FaultError> {
+        Self::prepare_impl(design, pairs, faults, true)
+    }
+
+    /// [`prepare`](Self::prepare) forced down the serial path — the
+    /// reference implementation the parallel fan-out must match
+    /// bit-for-bit (regression-tested under the `parallel` feature).
+    pub fn prepare_serial(
+        design: &MultiplierDesign,
+        pairs: &[(u64, u64)],
+        faults: &[FaultSpec],
+    ) -> Result<Self, FaultError> {
+        Self::prepare_impl(design, pairs, faults, false)
+    }
+
+    fn prepare_impl(
+        design: &MultiplierDesign,
+        pairs: &[(u64, u64)],
+        faults: &[FaultSpec],
+        parallel: bool,
+    ) -> Result<Self, FaultError> {
+        validate(design, faults)?;
+        let baseline = design.profile(pairs, None)?;
+
+        let logic: Vec<FaultSpec> = faults.iter().filter(|f| f.is_logic()).copied().collect();
+        let mut tasks: Vec<Task> = logic
+            .chunks(BatchSim::LANES)
+            .map(|c| Task::Chunk(c.to_vec()))
+            .collect();
+        for f in faults {
+            if let FaultSpec::Delay { gate, factor } = *f {
+                tasks.push(Task::Delay(gate, factor));
+            }
+        }
+
+        let outs = run_tasks(design, pairs, &tasks, parallel)?;
+        let mut logic_out: VecDeque<(u64, Option<u64>)> = VecDeque::new();
+        let mut delay_out: VecDeque<PatternProfile> = VecDeque::new();
+        for out in outs {
+            match out {
+                TaskOut::Chunk(rows) => logic_out.extend(rows),
+                TaskOut::Delay(profile) => delay_out.push_back(profile),
+            }
+        }
+
+        let entries = faults
+            .iter()
+            .map(|&spec| {
+                let evidence = if spec.is_logic() {
+                    let (corrupted_ops, first_corrupted_op) = logic_out
+                        .pop_front()
+                        .expect("one logic result per logic fault");
+                    Evidence::Logic {
+                        corrupted_ops,
+                        first_corrupted_op,
+                    }
+                } else {
+                    Evidence::Delay {
+                        profile: delay_out.pop_front().expect("one profile per delay fault"),
+                    }
+                };
+                (spec, evidence)
+            })
+            .collect();
+        Ok(Campaign { baseline, entries })
+    }
+
+    /// The fault-free baseline profile the campaign classifies against.
+    #[inline]
+    pub fn baseline(&self) -> &PatternProfile {
+        &self.baseline
+    }
+
+    /// Number of prepared faults.
+    #[inline]
+    pub fn fault_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Replays the prepared evidence under `config` and classifies every
+    /// fault (see [`FaultClass`] for the taxonomy):
+    ///
+    /// * logic faults are **silent** if they corrupted at least one
+    ///   product (a stable-but-wrong value never trips Razor, which only
+    ///   watches transition timing) and **masked** otherwise;
+    /// * delay faults are classified by their engine replay against the
+    ///   baseline replay: new undetected violations → **silent**, else new
+    ///   Razor errors → **detected**, else **masked**. Detected faults
+    ///   report the AHL's adaptation op and the latency overhead the
+    ///   re-executions and re-tuned prediction cost.
+    ///
+    /// Replay is cheap (no gate-level simulation), so sweeping skip
+    /// thresholds and Razor windows over one prepared campaign is the
+    /// intended usage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.cycle_ns` is not finite and positive (same
+    /// contract as [`run_engine_traced`]).
+    pub fn run(&self, config: &EngineConfig) -> CampaignReport {
+        let (base, _) = run_engine_traced(&self.baseline, config);
+        let base_latency = base.avg_latency_ns();
+        let outcomes = self
+            .entries
+            .iter()
+            .map(|(spec, evidence)| match evidence {
+                Evidence::Logic {
+                    corrupted_ops,
+                    first_corrupted_op,
+                } => FaultOutcome {
+                    label: spec.label(),
+                    class: if *corrupted_ops > 0 {
+                        FaultClass::Silent
+                    } else {
+                        FaultClass::Masked
+                    },
+                    corrupted_ops: *corrupted_ops,
+                    first_corrupted_op: *first_corrupted_op,
+                    excess_errors: 0,
+                    excess_undetected: 0,
+                    aged_at_op: None,
+                    latency_overhead_pct: 0.0,
+                },
+                Evidence::Delay { profile } => {
+                    let (m, trace) = run_engine_traced(profile, config);
+                    let excess_errors = m.errors.saturating_sub(base.errors);
+                    let excess_undetected = m.undetected.saturating_sub(base.undetected);
+                    let class = if excess_undetected > 0 {
+                        FaultClass::Silent
+                    } else if excess_errors > 0 {
+                        FaultClass::Detected
+                    } else {
+                        FaultClass::Masked
+                    };
+                    let latency_overhead_pct = if base_latency > 0.0 {
+                        100.0 * (m.avg_latency_ns() / base_latency - 1.0)
+                    } else {
+                        0.0
+                    };
+                    FaultOutcome {
+                        label: spec.label(),
+                        class,
+                        corrupted_ops: 0,
+                        first_corrupted_op: None,
+                        excess_errors,
+                        excess_undetected,
+                        aged_at_op: trace.aged_at_op,
+                        latency_overhead_pct,
+                    }
+                }
+            })
+            .collect();
+        CampaignReport {
+            kind: self.baseline.kind().label().to_string(),
+            width: self.baseline.width(),
+            operations: self.baseline.len() as u64,
+            cycle_ns: config.cycle_ns,
+            skip: config.skip,
+            window_factor: config.razor.window_factor,
+            adaptive: config.adaptive,
+            baseline_errors: base.errors,
+            baseline_avg_latency_ns: base_latency,
+            outcomes,
+        }
+    }
+}
+
+/// Rejects fault sites outside the design and malformed delay factors
+/// before any simulation is spent.
+fn validate(design: &MultiplierDesign, faults: &[FaultSpec]) -> Result<(), FaultError> {
+    let nets = design.circuit().netlist().net_count();
+    let gates = design.circuit().netlist().gate_count();
+    for f in faults {
+        match *f {
+            FaultSpec::StuckAt0 { net }
+            | FaultSpec::StuckAt1 { net }
+            | FaultSpec::Transient { net, .. } => {
+                if net.index() >= nets {
+                    return Err(FaultError::InvalidSpec {
+                        label: f.label(),
+                        reason: format!("net {} out of range ({nets} nets)", net.index()),
+                    });
+                }
+            }
+            FaultSpec::Delay { gate, factor } => {
+                if gate.index() >= gates {
+                    return Err(FaultError::InvalidSpec {
+                        label: f.label(),
+                        reason: format!("gate {} out of range ({gates} gates)", gate.index()),
+                    });
+                }
+                if !(factor.is_finite() && factor > 0.0) {
+                    return Err(FaultError::InvalidSpec {
+                        label: f.label(),
+                        reason: format!("delay factor must be finite and positive, got {factor}"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the preparation tasks — threaded under the `parallel` feature when
+/// `parallel` is set and worthwhile, serial otherwise. Outputs are in task
+/// order either way.
+fn run_tasks(
+    design: &MultiplierDesign,
+    pairs: &[(u64, u64)],
+    tasks: &[Task],
+    parallel: bool,
+) -> Result<Vec<TaskOut>, FaultError> {
+    let eval = |task: &Task| -> Result<TaskOut, FaultError> {
+        match task {
+            Task::Chunk(chunk) => Ok(TaskOut::Chunk(eval_logic_chunk(design, pairs, chunk)?)),
+            Task::Delay(gate, factor) => Ok(TaskOut::Delay(profile_delay_fault(
+                design, pairs, *gate, *factor,
+            )?)),
+        }
+    };
+    #[cfg(feature = "parallel")]
+    {
+        if parallel && agemul_par::thread_count(tasks.len()) > 1 {
+            return agemul_par::par_map(tasks, eval).into_iter().collect();
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = parallel;
+    tasks.iter().map(eval).collect()
+}
+
+/// Functionally evaluates up to 64 logic faults at once: fault `i` rides
+/// lane `i` of a lane-masked batch sweep, and every operation whose lane
+/// product deviates from `a × b` counts as corrupted for that fault.
+///
+/// Stuck-at faults live in a persistent overlay; on operations where a
+/// transient fires, a clone of that overlay additionally carries the
+/// one-shot flips.
+fn eval_logic_chunk(
+    design: &MultiplierDesign,
+    pairs: &[(u64, u64)],
+    chunk: &[FaultSpec],
+) -> Result<Vec<(u64, Option<u64>)>, FaultError> {
+    debug_assert!(chunk.len() <= BatchSim::LANES);
+    let circuit = design.circuit();
+    let netlist = circuit.netlist();
+    let mut base = FaultOverlay::new(netlist);
+    for (lane, f) in chunk.iter().enumerate() {
+        let mask = 1u64 << lane;
+        match *f {
+            FaultSpec::StuckAt0 { net } => base.add(net, FaultKind::StuckAt0, mask)?,
+            FaultSpec::StuckAt1 { net } => base.add(net, FaultKind::StuckAt1, mask)?,
+            FaultSpec::Transient { .. } => {}
+            FaultSpec::Delay { .. } => unreachable!("delay faults are not logic-chunk members"),
+        }
+    }
+
+    let mut sim = BatchSim::new(netlist, design.topology());
+    let product = circuit.product();
+    let mut corrupted = vec![0u64; chunk.len()];
+    let mut first: Vec<Option<u64>> = vec![None; chunk.len()];
+    for (op, &(a, b)) in pairs.iter().enumerate() {
+        let pattern = circuit.encode_inputs(a, b)?;
+        let patterns = vec![pattern.as_slice(); chunk.len()];
+        let fires_now = |f: &FaultSpec| matches!(f, FaultSpec::Transient { op: t, .. } if *t == op);
+        if chunk.iter().any(fires_now) {
+            let mut with_transients = base.clone();
+            for (lane, f) in chunk.iter().enumerate() {
+                if let FaultSpec::Transient { net, op: t } = *f {
+                    if t == op {
+                        with_transients.add(net, FaultKind::Flip, 1u64 << lane)?;
+                    }
+                }
+            }
+            sim.eval_batch_with_overlay(&patterns, &with_transients)?;
+        } else {
+            sim.eval_batch_with_overlay(&patterns, &base)?;
+        }
+        let expected = u128::from(a) * u128::from(b);
+        for (lane, count) in corrupted.iter_mut().enumerate() {
+            if product.decode_with(|net| sim.value(net, lane)) != Some(expected) {
+                *count += 1;
+                if first[lane].is_none() {
+                    first[lane] = Some(op as u64);
+                }
+            }
+        }
+    }
+    Ok(corrupted.into_iter().zip(first).collect())
+}
+
+/// Profiles the workload under one inflated gate delay — the same
+/// event-driven two-vector measurement as the fault-free
+/// [`MultiplierDesign::profile`], minus the functional pass (the fault is
+/// timing-only, so every product stays correct by construction).
+fn profile_delay_fault(
+    design: &MultiplierDesign,
+    pairs: &[(u64, u64)],
+    gate: GateId,
+    factor: f64,
+) -> Result<PatternProfile, FaultError> {
+    let mut delays = design.delay_assignment(None)?;
+    delays.inflate(gate, factor);
+    let circuit = design.circuit();
+    let mut sim = EventSim::new(circuit.netlist(), design.topology(), delays);
+    sim.settle(&circuit.encode_inputs(0, 0)?)?;
+    let width = design.width();
+    let judged = design.kind().judged_operand();
+    let mut records = Vec::with_capacity(pairs.len());
+    for &(a, b) in pairs {
+        let timing = sim.step(&circuit.encode_inputs(a, b)?)?;
+        let judged_value = match judged {
+            Operand::Multiplicand => a,
+            Operand::Multiplicator => b,
+        };
+        records.push(PatternRecord {
+            a,
+            b,
+            zeros: count_zeros(judged_value, width),
+            delay_ns: timing.delay_ns,
+        });
+    }
+    Ok(PatternProfile::from_records(design.kind(), width, records))
+}

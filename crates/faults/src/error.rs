@@ -1,0 +1,65 @@
+//! Campaign error type.
+
+use agemul::CoreError;
+use agemul_circuits::CircuitError;
+use agemul_netlist::NetlistError;
+
+/// Errors raised while preparing or running a fault campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultError {
+    /// A design-level operation (profiling, delay assignment) failed.
+    Core(CoreError),
+    /// A netlist-level operation (overlay, simulation) failed.
+    Netlist(NetlistError),
+    /// Operand encoding failed.
+    Circuit(CircuitError),
+    /// A fault specification is malformed for the target design.
+    InvalidSpec {
+        /// The offending fault's display label.
+        label: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::Core(e) => write!(f, "design operation failed: {e}"),
+            FaultError::Netlist(e) => write!(f, "netlist operation failed: {e}"),
+            FaultError::Circuit(e) => write!(f, "operand encoding failed: {e}"),
+            FaultError::InvalidSpec { label, reason } => {
+                write!(f, "invalid fault spec {label}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FaultError::Core(e) => Some(e),
+            FaultError::Netlist(e) => Some(e),
+            FaultError::Circuit(e) => Some(e),
+            FaultError::InvalidSpec { .. } => None,
+        }
+    }
+}
+
+impl From<CoreError> for FaultError {
+    fn from(e: CoreError) -> Self {
+        FaultError::Core(e)
+    }
+}
+
+impl From<NetlistError> for FaultError {
+    fn from(e: NetlistError) -> Self {
+        FaultError::Netlist(e)
+    }
+}
+
+impl From<CircuitError> for FaultError {
+    fn from(e: CircuitError) -> Self {
+        FaultError::Circuit(e)
+    }
+}

@@ -202,6 +202,42 @@ impl LogicWord {
         }
     }
 
+    /// Forces every lane in `mask` to [`Logic::Zero`] — the word-level form
+    /// of a stuck-at-0 fault. Lanes outside `mask` are untouched.
+    #[inline]
+    pub fn force_zero(self, mask: u64) -> LogicWord {
+        LogicWord {
+            value: self.value & !mask,
+            known: self.known | mask,
+            z: self.z & !mask,
+        }
+    }
+
+    /// Forces every lane in `mask` to [`Logic::One`] — the word-level form
+    /// of a stuck-at-1 fault. Lanes outside `mask` are untouched.
+    #[inline]
+    pub fn force_one(self, mask: u64) -> LogicWord {
+        LogicWord {
+            value: self.value | mask,
+            known: self.known | mask,
+            z: self.z & !mask,
+        }
+    }
+
+    /// Inverts every *defined* lane in `mask` — the word-level form of a
+    /// transient bit-flip. Undefined lanes in `mask` (`X` or `Z`) collapse
+    /// to `X`: flipping an unknown yields an unknown, and a floating lane
+    /// is read (Z → X) before the flip, mirroring [`Logic::read`]. Lanes
+    /// outside `mask` are untouched.
+    #[inline]
+    pub fn flip(self, mask: u64) -> LogicWord {
+        LogicWord {
+            value: self.value ^ (mask & self.known),
+            known: self.known,
+            z: self.z & !mask,
+        }
+    }
+
     /// Sum of per-lane [`Logic::high_weight`] over the `lanes` lowest lanes
     /// (known `One` counts 1, undefined counts ½) — the batched form of
     /// signal-probability accumulation.
@@ -562,6 +598,48 @@ mod tests {
         assert_eq!(lane_mask(1), 1);
         assert_eq!(lane_mask(63), (1u64 << 63) - 1);
         assert_eq!(lane_mask(64), !0);
+    }
+
+    /// `force_zero`/`force_one`/`flip` agree lane-for-lane with the scalar
+    /// coercion semantics and preserve the plane invariants.
+    #[test]
+    fn fault_coercions_match_scalar_semantics() {
+        let levels = [Logic::Zero, Logic::One, Logic::X, Logic::Z];
+        let w = LogicWord::from_lanes(&levels);
+        // Mask covers lanes 0 and 2 (a defined and an undefined lane) plus
+        // lane 3 (Z); lane 1 must be untouched by every coercion.
+        let mask = 0b1101u64;
+
+        let fz = w.force_zero(mask);
+        assert_eq!(
+            [fz.get(0), fz.get(1), fz.get(2), fz.get(3)],
+            [Logic::Zero, Logic::One, Logic::Zero, Logic::Zero]
+        );
+
+        let fo = w.force_one(mask);
+        assert_eq!(
+            [fo.get(0), fo.get(1), fo.get(2), fo.get(3)],
+            [Logic::One, Logic::One, Logic::One, Logic::One]
+        );
+
+        let fl = w.flip(mask);
+        assert_eq!(
+            [fl.get(0), fl.get(1), fl.get(2), fl.get(3)],
+            [Logic::One, Logic::One, Logic::X, Logic::X]
+        );
+
+        for coerced in [fz, fo, fl] {
+            assert_eq!(coerced.ones() & !coerced.known(), 0, "value ⊆ known");
+            assert_eq!(coerced.z_lanes() & coerced.known(), 0, "z ∩ known = ∅");
+        }
+    }
+
+    #[test]
+    fn fault_coercions_with_empty_mask_are_identity() {
+        let w = LogicWord::from_lanes(&[Logic::One, Logic::Z, Logic::X, Logic::Zero]);
+        assert_eq!(w.force_zero(0), w);
+        assert_eq!(w.force_one(0), w);
+        assert_eq!(w.flip(0), w);
     }
 
     #[test]

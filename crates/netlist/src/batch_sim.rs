@@ -70,6 +70,11 @@ pub struct BatchSim<'a> {
     words: Vec<LogicWord>,
     scratch: Vec<LogicWord>,
     lanes: usize,
+    /// Constant nets and their splatted words, preloaded once; used to undo
+    /// fault coercion left behind by
+    /// [`eval_batch_with_overlay`](Self::eval_batch_with_overlay).
+    consts: Vec<(u32, LogicWord)>,
+    consts_dirty: bool,
 }
 
 impl<'a> BatchSim<'a> {
@@ -83,9 +88,11 @@ impl<'a> BatchSim<'a> {
     /// order via a flattened [`GatePlan`].
     pub fn new(netlist: &'a Netlist, _topology: &Topology) -> Self {
         let mut words = vec![LogicWord::ALL_X; netlist.net_count()];
+        let mut consts = Vec::new();
         for (idx, w) in words.iter_mut().enumerate() {
             if let Some(level) = netlist.const_level(NetId(idx as u32)) {
                 *w = LogicWord::splat(level);
+                consts.push((idx as u32, *w));
             }
         }
         let plan = GatePlan::new(netlist);
@@ -96,6 +103,8 @@ impl<'a> BatchSim<'a> {
             words,
             scratch,
             lanes: 0,
+            consts,
+            consts_dirty: false,
         }
     }
 
@@ -130,6 +139,13 @@ impl<'a> BatchSim<'a> {
             }
         }
 
+        if self.consts_dirty {
+            for &(idx, w) in &self.consts {
+                self.words[idx as usize] = w;
+            }
+            self.consts_dirty = false;
+        }
+
         // Pack column-wise: per input net, gather that input's column
         // across all patterns into one word.
         for (j, &net) in self.netlist.inputs().iter().enumerate() {
@@ -150,6 +166,73 @@ impl<'a> BatchSim<'a> {
                     .map(|&i| self.words[i as usize]),
             );
             self.words[self.plan.output(g)] = self.plan.kind(g).eval_wide(&self.scratch);
+        }
+
+        self.lanes = patterns.len();
+        Ok(self.lanes)
+    }
+
+    /// Evaluates up to 64 input assignments with a
+    /// [`FaultOverlay`](crate::FaultOverlay) coercing net words as they
+    /// settle; returns the number of valid lanes.
+    ///
+    /// Because the overlay's masks are per-lane, each lane can carry a
+    /// *different* faulty variant of the circuit: lane `i` observes only
+    /// the faults whose lane mask includes bit `i`. Replicating one input
+    /// pattern across all lanes therefore simulates up to 64 fault
+    /// candidates in a single sweep — the core trick of the fault
+    /// campaigns. An empty overlay yields bit-identical words to
+    /// [`eval_batch`](Self::eval_batch), which remains the fault-free fast
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`eval_batch`](Self::eval_batch).
+    pub fn eval_batch_with_overlay<P: AsRef<[Logic]>>(
+        &mut self,
+        patterns: &[P],
+        overlay: &crate::FaultOverlay,
+    ) -> Result<usize, NetlistError> {
+        if patterns.is_empty() || patterns.len() > Self::LANES {
+            return Err(NetlistError::BatchSize {
+                got: patterns.len(),
+            });
+        }
+        let input_count = self.netlist.input_count();
+        for p in patterns {
+            if p.as_ref().len() != input_count {
+                return Err(NetlistError::WidthMismatch {
+                    expected: input_count,
+                    got: p.as_ref().len(),
+                });
+            }
+        }
+
+        // Constants are preloaded in `new`; re-coerce the faulted ones and
+        // let the next plain `eval_batch` restore them.
+        for &(idx, w) in &self.consts {
+            self.words[idx as usize] = overlay.apply_word(idx as usize, w);
+        }
+        self.consts_dirty = !overlay.is_empty();
+
+        for (j, &net) in self.netlist.inputs().iter().enumerate() {
+            let mut w = LogicWord::ALL_X;
+            for (lane, p) in patterns.iter().enumerate() {
+                w.set(lane, p.as_ref()[j]);
+            }
+            self.words[net.index()] = overlay.apply_word(net.index(), w);
+        }
+
+        for g in 0..self.plan.gate_count() {
+            self.scratch.clear();
+            self.scratch.extend(
+                self.plan
+                    .inputs_of(g)
+                    .iter()
+                    .map(|&i| self.words[i as usize]),
+            );
+            let out = self.plan.output(g);
+            self.words[out] = overlay.apply_word(out, self.plan.kind(g).eval_wide(&self.scratch));
         }
 
         self.lanes = patterns.len();
@@ -336,6 +419,59 @@ mod tests {
         assert_eq!(out[0], Logic::One);
         batch.write_outputs(1, &mut out).unwrap();
         assert_eq!(out[0], Logic::One); // mux picks the bypass value
+    }
+
+    #[test]
+    fn lane_masked_overlay_runs_distinct_variants_per_lane() {
+        use crate::{FaultKind, FaultOverlay};
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.add_gate(GateKind::And, &[a, b]).unwrap();
+        n.mark_output(y, "y");
+        let topo = n.topology().unwrap();
+        let mut batch = BatchSim::new(&n, &topo);
+
+        // One pattern (a=1, b=1) replicated over four lanes; each lane a
+        // different fault candidate: lane 0 fault-free, lane 1 sa0 on a,
+        // lane 2 sa0 on b, lane 3 flip on y.
+        let mut o = FaultOverlay::new(&n);
+        o.add(a, FaultKind::StuckAt0, 0b0010).unwrap();
+        o.add(b, FaultKind::StuckAt0, 0b0100).unwrap();
+        o.add(y, FaultKind::Flip, 0b1000).unwrap();
+        let pattern = [Logic::One, Logic::One];
+        let patterns = [pattern; 4];
+        assert_eq!(batch.eval_batch_with_overlay(&patterns, &o).unwrap(), 4);
+        assert_eq!(batch.value(y, 0), Logic::One);
+        assert_eq!(batch.value(y, 1), Logic::Zero);
+        assert_eq!(batch.value(y, 2), Logic::Zero);
+        assert_eq!(batch.value(y, 3), Logic::Zero);
+
+        // A plain batch afterwards is unaffected by the overlay run.
+        batch.eval_batch(&patterns).unwrap();
+        for lane in 0..4 {
+            assert_eq!(batch.value(y, lane), Logic::One);
+        }
+    }
+
+    #[test]
+    fn overlay_on_const_net_is_restored_for_plain_batches() {
+        use crate::{FaultKind, FaultOverlay};
+        let n = bypass_netlist();
+        let topo = n.topology().unwrap();
+        let one = (0..n.net_count())
+            .map(|i| NetId(i as u32))
+            .find(|&net| n.const_level(net) == Some(Logic::One))
+            .unwrap();
+        let mut batch = BatchSim::new(&n, &topo);
+        let mut o = FaultOverlay::new(&n);
+        o.add(one, FaultKind::StuckAt0, !0).unwrap();
+        let patterns = [[Logic::One, Logic::One, Logic::Zero]];
+        batch.eval_batch_with_overlay(&patterns, &o).unwrap();
+        let y = *n.outputs().first().unwrap();
+        assert_eq!(batch.value(y, 0), Logic::Zero); // AND with stuck-0 one
+        batch.eval_batch(&patterns).unwrap();
+        assert_eq!(batch.value(y, 0), Logic::One);
     }
 
     #[test]

@@ -103,6 +103,23 @@ impl DelayAssignment {
         Ok(DelayAssignment { per_gate_fs })
     }
 
+    /// Multiplies one gate's delay by `factor` — a localized BTI hot spot
+    /// for the fault campaigns, as opposed to the whole-netlist factors of
+    /// [`with_factors`](Self::with_factors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range or `factor` is not finite and
+    /// positive.
+    pub fn inflate(&mut self, gate: GateId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "delay factor must be finite and positive, got {factor}"
+        );
+        let fs = &mut self.per_gate_fs[gate.index()];
+        *fs = (*fs as f64 * factor).round() as u64;
+    }
+
     /// The delay of `gate` in femtoseconds.
     #[inline]
     pub fn delay_fs(&self, gate: GateId) -> u64 {
@@ -217,6 +234,9 @@ pub struct EventSim<'a> {
     /// Waveform tracing (None = off): accumulated events and the time base
     /// offset applied to the next step's events.
     trace: Option<TraceState>,
+    /// Fault overlay (None = fault-free): every settled net value is passed
+    /// through its scalar (lane-0) coercion.
+    overlay: Option<crate::FaultOverlay>,
 }
 
 #[derive(Debug)]
@@ -283,6 +303,67 @@ impl<'a> EventSim<'a> {
             epoch: 0,
             affected: Vec::new(),
             trace: None,
+            overlay: None,
+        }
+    }
+
+    /// Attaches a [`FaultOverlay`](crate::FaultOverlay): from now on every
+    /// net value — constant, primary input, or gate output — is passed
+    /// through the overlay's scalar (lane-0) coercion before it settles. A
+    /// stuck net therefore never toggles (producing no downstream events),
+    /// and a flipped net propagates its inverted level with the driver's
+    /// normal delay.
+    ///
+    /// The simulator state is re-initialized as if freshly constructed;
+    /// call [`settle`](Self::settle) before measuring transitions.
+    pub fn set_fault_overlay(&mut self, overlay: crate::FaultOverlay) {
+        self.overlay = Some(overlay);
+        self.reinit_values();
+    }
+
+    /// Removes the fault overlay and re-initializes the simulator state.
+    pub fn clear_fault_overlay(&mut self) {
+        self.overlay = None;
+        self.reinit_values();
+    }
+
+    /// Re-derives the initial settled values (constants + one functional
+    /// sweep, both through the overlay's coercion if one is attached).
+    fn reinit_values(&mut self) {
+        self.values.fill(Logic::X);
+        for (idx, info) in self.netlist.nets.iter().enumerate() {
+            if let Some(crate::netlist::Driver::Const(v)) = info.driver {
+                self.values[idx] = v;
+            }
+        }
+        if let Some(o) = &self.overlay {
+            for (idx, v) in self.values.iter_mut().enumerate() {
+                *v = o.apply_scalar(idx, *v);
+            }
+        }
+        let netlist = self.netlist;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for gate in netlist.gates() {
+            scratch.clear();
+            scratch.extend(gate.inputs().iter().map(|i| self.values[i.index()]));
+            let out = gate.output().index();
+            let v = gate.kind().eval(&scratch);
+            self.values[out] = match &self.overlay {
+                Some(o) => o.apply_scalar(out, v),
+                None => v,
+            };
+        }
+        self.scratch = scratch;
+        self.pending.fill(None);
+        self.queue.clear();
+    }
+
+    /// Applies the overlay's scalar coercion to a candidate value of `net`.
+    #[inline]
+    fn coerce(&self, net: NetId, v: Logic) -> Logic {
+        match &self.overlay {
+            Some(o) => o.apply_scalar(net.index(), v),
+            None => v,
         }
     }
 
@@ -343,6 +424,7 @@ impl<'a> EventSim<'a> {
 
         let netlist = self.netlist;
         for (&net, &v) in netlist.inputs().iter().zip(inputs) {
+            let v = self.coerce(net, v);
             self.schedule(0, net, v);
         }
 
@@ -405,6 +487,7 @@ impl<'a> EventSim<'a> {
             for &g in &affected {
                 if let Some(new_out) = self.eval_gate(g) {
                     let out_net = netlist.gate(g).output();
+                    let new_out = self.coerce(out_net, new_out);
                     let t = now_fs + self.delays.delay_fs(g);
                     self.schedule(t, out_net, new_out);
                 }
@@ -684,6 +767,82 @@ mod tests {
         assert_eq!(sim.gate_toggle_counts(), &[2, 2]);
         sim.reset_toggle_counts();
         assert_eq!(sim.gate_toggle_counts(), &[0, 0]);
+    }
+
+    #[test]
+    fn inflate_lengthens_exactly_one_gate() {
+        let n = inverter_chain();
+        let t = n.topology().unwrap();
+        let model = DelayModel::nominal();
+        let mut d = DelayAssignment::uniform(&n, &model);
+        let g0 = GateId::from_index(0);
+        let g1 = GateId::from_index(1);
+        let base = d.delay_ns(g0);
+        d.inflate(g0, 2.5);
+        assert!((d.delay_ns(g0) - 2.5 * base).abs() < 1e-9);
+        assert!(
+            (d.delay_ns(g1) - base).abs() < 1e-9,
+            "other gates untouched"
+        );
+
+        let mut sim = EventSim::new(&n, &t, d);
+        sim.settle(&[Logic::Zero]).unwrap();
+        let timing = sim.step(&[Logic::One]).unwrap();
+        assert!((timing.delay_ns - 3.5 * base).abs() < 1e-9, "{timing:?}");
+    }
+
+    #[test]
+    fn stuck_net_produces_no_events() {
+        use crate::{FaultKind, FaultOverlay};
+        let n = inverter_chain();
+        let t = n.topology().unwrap();
+        let d = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let mut sim = EventSim::new(&n, &t, d);
+        let a = n.inputs()[0];
+        let y = n.outputs()[0];
+
+        let mut o = FaultOverlay::new(&n);
+        o.add(a, FaultKind::StuckAt0, 1).unwrap();
+        sim.set_fault_overlay(o);
+        sim.settle(&[Logic::Zero]).unwrap();
+        assert_eq!(sim.value(y), Logic::Zero);
+
+        // Input toggles are swallowed by the stuck net: zero events, zero
+        // delay — the timing signature of a pinned node.
+        let timing = sim.step(&[Logic::One]).unwrap();
+        assert_eq!(timing.events, 0, "{timing:?}");
+        assert_eq!(sim.value(y), Logic::Zero);
+
+        // Clearing the overlay restores normal propagation.
+        sim.clear_fault_overlay();
+        sim.settle(&[Logic::Zero]).unwrap();
+        let timing = sim.step(&[Logic::One]).unwrap();
+        assert!(timing.events > 0);
+        assert_eq!(sim.value(y), Logic::One);
+    }
+
+    #[test]
+    fn flip_overlay_inverts_with_normal_delay() {
+        use crate::{FaultKind, FaultOverlay};
+        let n = inverter_chain();
+        let t = n.topology().unwrap();
+        let model = DelayModel::nominal();
+        let d = DelayAssignment::uniform(&n, &model);
+        let mut sim = EventSim::new(&n, &t, d);
+        let x = n.gates()[0].output(); // first inverter's output
+        let y = n.outputs()[0];
+
+        let mut o = FaultOverlay::new(&n);
+        o.add(x, FaultKind::Flip, 1).unwrap();
+        sim.set_fault_overlay(o);
+        sim.settle(&[Logic::Zero]).unwrap();
+        // x flipped: NOT(0)=1 reads as 0, so y = NOT(0) = 1... inverted
+        // chain output becomes the complement of the fault-free value.
+        assert_eq!(sim.value(y), Logic::One);
+        let timing = sim.step(&[Logic::One]).unwrap();
+        assert_eq!(sim.value(y), Logic::Zero);
+        let expect = 2.0 * model.delay_ns(GateKind::Not);
+        assert!((timing.delay_ns - expect).abs() < 1e-9, "{timing:?}");
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub struct FuncSim<'a> {
     plan: GatePlan,
     values: Vec<Logic>,
     scratch: Vec<Logic>,
+    /// Constant nets and their levels, preloaded once; used to undo fault
+    /// coercion left behind by [`eval_with_overlay`](Self::eval_with_overlay).
+    consts: Vec<(u32, Logic)>,
+    consts_dirty: bool,
 }
 
 impl<'a> FuncSim<'a> {
@@ -54,9 +58,11 @@ impl<'a> FuncSim<'a> {
     /// per-pattern sweep does no `Gate`/`NetId` indirection.
     pub fn new(netlist: &'a Netlist, _topology: &Topology) -> Self {
         let mut values = vec![Logic::X; netlist.net_count()];
+        let mut consts = Vec::new();
         for (idx, info) in netlist.nets.iter().enumerate() {
             if let Some(crate::netlist::Driver::Const(v)) = info.driver {
                 values[idx] = v;
+                consts.push((idx as u32, v));
             }
         }
         let plan = GatePlan::new(netlist);
@@ -66,6 +72,8 @@ impl<'a> FuncSim<'a> {
             plan,
             values,
             scratch,
+            consts,
+            consts_dirty: false,
         }
     }
 
@@ -84,6 +92,12 @@ impl<'a> FuncSim<'a> {
                 got: inputs.len(),
             });
         }
+        if self.consts_dirty {
+            for &(idx, v) in &self.consts {
+                self.values[idx as usize] = v;
+            }
+            self.consts_dirty = false;
+        }
         for (&net, &v) in self.netlist.inputs().iter().zip(inputs) {
             self.values[net.index()] = v;
         }
@@ -96,6 +110,53 @@ impl<'a> FuncSim<'a> {
                     .map(|&i| self.values[i as usize]),
             );
             self.values[self.plan.output(g)] = self.plan.kind(g).eval(&self.scratch);
+        }
+        Ok(())
+    }
+
+    /// Evaluates the netlist for one input assignment with a
+    /// [`FaultOverlay`] coercing net values as they settle.
+    ///
+    /// Every net — constant, primary input, or gate output — is passed
+    /// through the overlay's scalar (lane-0) view immediately after its
+    /// driver resolves, so downstream gates observe the faulted level. An
+    /// empty overlay yields bit-identical results to
+    /// [`eval`](Self::eval), which remains the fault-free fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::WidthMismatch`] if `inputs` does not match
+    /// the primary input count.
+    pub fn eval_with_overlay(
+        &mut self,
+        inputs: &[Logic],
+        overlay: &crate::FaultOverlay,
+    ) -> Result<(), NetlistError> {
+        if inputs.len() != self.netlist.input_count() {
+            return Err(NetlistError::WidthMismatch {
+                expected: self.netlist.input_count(),
+                got: inputs.len(),
+            });
+        }
+        // Constants are preloaded in `new`; re-coerce the faulted ones and
+        // let the next plain `eval` restore them.
+        for &(idx, v) in &self.consts {
+            self.values[idx as usize] = overlay.apply_scalar(idx as usize, v);
+        }
+        self.consts_dirty = !overlay.is_empty();
+        for (&net, &v) in self.netlist.inputs().iter().zip(inputs) {
+            self.values[net.index()] = overlay.apply_scalar(net.index(), v);
+        }
+        for g in 0..self.plan.gate_count() {
+            self.scratch.clear();
+            self.scratch.extend(
+                self.plan
+                    .inputs_of(g)
+                    .iter()
+                    .map(|&i| self.values[i as usize]),
+            );
+            let out = self.plan.output(g);
+            self.values[out] = overlay.apply_scalar(out, self.plan.kind(g).eval(&self.scratch));
         }
         Ok(())
     }
@@ -242,6 +303,63 @@ mod tests {
                 got: 3
             }
         );
+    }
+
+    #[test]
+    fn overlay_coerces_inputs_gates_and_consts() {
+        use crate::{FaultKind, FaultOverlay};
+        let mut n = Netlist::new();
+        let one = n.const_one();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_gate(GateKind::And, &[a, one]).unwrap();
+        let y = n.add_gate(GateKind::Or, &[x, b]).unwrap();
+        n.mark_output(y, "y");
+        let t = n.topology().unwrap();
+        let mut sim = FuncSim::new(&n, &t);
+
+        // Stuck-at-0 on the constant-one net kills the AND.
+        let mut o = FaultOverlay::new(&n);
+        o.add(one, FaultKind::StuckAt0, 1).unwrap();
+        sim.eval_with_overlay(&[Logic::One, Logic::Zero], &o)
+            .unwrap();
+        assert_eq!(sim.value(x), Logic::Zero);
+        assert_eq!(sim.value(y), Logic::Zero);
+
+        // A plain eval afterwards must see the unfaulted constant again.
+        sim.eval(&[Logic::One, Logic::Zero]).unwrap();
+        assert_eq!(sim.value(y), Logic::One);
+
+        // Flip on a gate output propagates downstream.
+        let mut o = FaultOverlay::new(&n);
+        o.add(x, FaultKind::Flip, 1).unwrap();
+        sim.eval_with_overlay(&[Logic::One, Logic::Zero], &o)
+            .unwrap();
+        assert_eq!(sim.value(x), Logic::Zero);
+        assert_eq!(sim.value(y), Logic::Zero);
+
+        // Stuck-at-1 on an input.
+        let mut o = FaultOverlay::new(&n);
+        o.add(b, FaultKind::StuckAt1, 1).unwrap();
+        sim.eval_with_overlay(&[Logic::Zero, Logic::Zero], &o)
+            .unwrap();
+        assert_eq!(sim.value(y), Logic::One);
+    }
+
+    #[test]
+    fn empty_overlay_matches_plain_eval() {
+        use crate::FaultOverlay;
+        let n = xor_netlist();
+        let t = n.topology().unwrap();
+        let mut plain = FuncSim::new(&n, &t);
+        let mut faulted = FuncSim::new(&n, &t);
+        let o = FaultOverlay::new(&n);
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let pattern = [Logic::from(a), Logic::from(b)];
+            plain.eval(&pattern).unwrap();
+            faulted.eval_with_overlay(&pattern, &o).unwrap();
+            assert_eq!(plain.values(), faulted.values());
+        }
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`WorkloadStats`] — per-net signal probabilities and per-gate switching
 //!   activity accumulated over a workload, feeding the BTI aging model and
 //!   the power model.
+//! * [`FaultOverlay`] — a lane-masked fault-injection overlay (stuck-at,
+//!   bit-flip) applied through dedicated `*_with_overlay` entry points so
+//!   the fault-free simulation paths stay untouched.
 //!
 //! # Example
 //!
@@ -60,6 +63,7 @@ mod batch_sim;
 mod bus;
 mod error;
 mod event_sim;
+mod fault;
 mod func_sim;
 mod ids;
 mod netlist;
@@ -75,6 +79,7 @@ pub use batch_sim::BatchSim;
 pub use bus::Bus;
 pub use error::NetlistError;
 pub use event_sim::{DelayAssignment, EventSim, PatternTiming, TraceEvent};
+pub use fault::{FaultKind, FaultOverlay};
 pub use func_sim::FuncSim;
 pub use ids::{GateId, NetId};
 pub use netlist::{Gate, Netlist};

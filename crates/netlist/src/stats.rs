@@ -114,12 +114,18 @@ impl WorkloadStats {
     /// Returns [`NetlistError::WidthMismatch`] if `other` was sized for a
     /// different netlist.
     pub fn merge(&mut self, other: &WorkloadStats) -> Result<(), NetlistError> {
-        if other.net_high_weight.len() != self.net_high_weight.len()
-            || other.gate_toggles.len() != self.gate_toggles.len()
-        {
+        // Check each dimension separately so the error reports the one that
+        // actually mismatched (nets and gates can disagree independently).
+        if other.net_high_weight.len() != self.net_high_weight.len() {
             return Err(NetlistError::WidthMismatch {
                 expected: self.net_high_weight.len(),
                 got: other.net_high_weight.len(),
+            });
+        }
+        if other.gate_toggles.len() != self.gate_toggles.len() {
+            return Err(NetlistError::WidthMismatch {
+                expected: self.gate_toggles.len(),
+                got: other.gate_toggles.len(),
             });
         }
         self.patterns += other.patterns;
@@ -316,6 +322,47 @@ mod tests {
         let mut stats = WorkloadStats::new(&n);
         let foreign = WorkloadStats::new(&other);
         assert!(stats.merge(&foreign).is_err());
+    }
+
+    #[test]
+    fn merge_reports_the_mismatched_dimension() {
+        // Netlists engineered so the *net* counts agree (3 each) while the
+        // *gate* counts differ (1 vs 2): the reported mismatch must name
+        // the gate dimension, not the net dimension.
+        let mut a = Netlist::new();
+        let a0 = a.add_input("a0");
+        let a1 = a.add_input("a1");
+        a.add_gate(GateKind::And, &[a0, a1]).unwrap();
+
+        let mut b = Netlist::new();
+        let b0 = b.add_input("b0");
+        let x = b.add_gate(GateKind::Not, &[b0]).unwrap();
+        b.add_gate(GateKind::Not, &[x]).unwrap();
+
+        assert_eq!(a.net_count(), b.net_count());
+        assert_ne!(a.gate_count(), b.gate_count());
+
+        let mut stats = WorkloadStats::new(&a);
+        let foreign = WorkloadStats::new(&b);
+        assert_eq!(
+            stats.merge(&foreign).unwrap_err(),
+            NetlistError::WidthMismatch {
+                expected: a.gate_count(),
+                got: b.gate_count(),
+            }
+        );
+
+        // And when the net dimension is the mismatched one, it is reported.
+        let mut c = Netlist::new();
+        c.add_input("c0");
+        let foreign_nets = WorkloadStats::new(&c);
+        assert_eq!(
+            stats.merge(&foreign_nets).unwrap_err(),
+            NetlistError::WidthMismatch {
+                expected: a.net_count(),
+                got: c.net_count(),
+            }
+        );
     }
 
     #[test]

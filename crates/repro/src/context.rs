@@ -57,6 +57,25 @@ impl Scale {
         }
     }
 
+    /// Patterns per fault for the fault-injection campaigns (each delay
+    /// fault costs one full event-driven profile of this workload).
+    pub fn fault_patterns(self, width: usize) -> usize {
+        match (self, width) {
+            (Scale::Quick, w) if w > 16 => 300,
+            (Scale::Quick, _) => 600,
+            (_, w) if w > 16 => 1_000,
+            (_, _) => 2_500,
+        }
+    }
+
+    /// Faults sampled per campaign (per architecture × width).
+    pub fn fault_specimens(self) -> usize {
+        match self {
+            Scale::Quick => 12,
+            Scale::Standard | Scale::Paper => 24,
+        }
+    }
+
     /// Patterns for the seven-year studies (Figs. 26/27).
     pub fn year_patterns(self, width: usize) -> usize {
         match (self, width) {

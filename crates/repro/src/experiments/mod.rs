@@ -26,6 +26,7 @@ mod aging_trend;
 mod area;
 mod dist;
 mod extras;
+mod fault_campaigns;
 mod ratios;
 mod sweeps;
 mod years;
@@ -35,6 +36,7 @@ pub use aging_trend::fig7;
 pub use area::fig25;
 pub use dist::{fig5, fig6, fig9_10};
 pub use extras::{ablations, extensions};
+pub use fault_campaigns::faults;
 pub use ratios::{table1, table2};
 pub use sweeps::{fig13, fig14, fig15, fig16, fig17, fig18};
 pub use years::{fig26, fig27};
@@ -43,7 +45,7 @@ use crate::{Context, Report, Result};
 
 /// All experiment ids: the paper's artifacts in paper order, then the
 /// repository's own ablation and extension studies.
-pub const ALL_IDS: [&str; 20] = [
+pub const ALL_IDS: [&str; 21] = [
     "fig5",
     "fig6",
     "fig7",
@@ -64,6 +66,7 @@ pub const ALL_IDS: [&str; 20] = [
     "fig27",
     "ablations",
     "extensions",
+    "faults",
 ];
 
 /// Runs an experiment by id (see [`ALL_IDS`]).
@@ -93,6 +96,7 @@ pub fn run_by_id(ctx: &mut Context, id: &str) -> Result<Report> {
         "fig27" => fig27(ctx),
         "ablations" => ablations(ctx),
         "extensions" => extensions(ctx),
+        "faults" => faults(ctx),
         other => Err(format!("unknown experiment id: {other}").into()),
     }
 }

@@ -1,8 +1,9 @@
 # Developer entry points. `just verify` is the pre-merge gate; it is also
 # available as `scripts/verify.sh` for environments without `just`.
 
-# Format check + clippy (all features, warnings fatal) + full test suite.
-verify: fmt-check clippy test
+# Format check + clippy (all features, warnings fatal) + full test suite +
+# a quick fault-injection campaign smoke run.
+verify: fmt-check clippy test fault-smoke
 
 fmt-check:
 	cargo fmt --all -- --check
@@ -17,7 +18,12 @@ test:
 
 # Tests again with the parallel fan-out compiled in.
 test-parallel:
-	cargo test -q -p agemul -p agemul-repro --features parallel
+	cargo test -q -p agemul -p agemul-faults -p agemul-repro --features parallel
+
+# Quick fault-campaign smoke: regenerates the `faults` experiment at reduced
+# scale so a broken overlay or classifier fails the gate, not the archive.
+fault-smoke:
+	cargo run --release -p agemul-repro -- --quick faults
 
 # Scalar-vs-batch simulator benches; see BENCH_sim.json for the record.
 bench-sim:

@@ -8,3 +8,5 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets --all-features -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
+# Fault-campaign smoke: a reduced-scale end-to-end injection run.
+cargo run --release -p agemul-repro -- --quick faults >/dev/null
