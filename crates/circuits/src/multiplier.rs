@@ -268,6 +268,27 @@ impl MultiplierCircuit {
     /// Returns [`CircuitError::OperandOverflow`] if either operand does not
     /// fit in [`width`](Self::width) bits.
     pub fn encode_inputs(&self, a: u64, b: u64) -> Result<Vec<Logic>, CircuitError> {
+        let mut v = Vec::with_capacity(2 * self.width);
+        self.encode_inputs_into(a, b, &mut v)?;
+        Ok(v)
+    }
+
+    /// [`encode_inputs`](Self::encode_inputs) into a caller-owned buffer
+    /// (cleared first), so per-pattern hot loops — profiling, functional
+    /// verification, workload statistics — can reuse one allocation across
+    /// an entire workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::OperandOverflow`] if either operand does not
+    /// fit in [`width`](Self::width) bits; the buffer is left cleared.
+    pub fn encode_inputs_into(
+        &self,
+        a: u64,
+        b: u64,
+        buf: &mut Vec<Logic>,
+    ) -> Result<(), CircuitError> {
+        buf.clear();
         let check = |value: u64| -> Result<(), CircuitError> {
             if self.width < 64 && value >> self.width != 0 {
                 Err(CircuitError::OperandOverflow {
@@ -280,14 +301,13 @@ impl MultiplierCircuit {
         };
         check(a)?;
         check(b)?;
-        let mut v = Vec::with_capacity(2 * self.width);
         for i in 0..self.width {
-            v.push(Logic::from((a >> i) & 1 == 1));
+            buf.push(Logic::from((a >> i) & 1 == 1));
         }
         for i in 0..self.width {
-            v.push(Logic::from((b >> i) & 1 == 1));
+            buf.push(Logic::from((b >> i) & 1 == 1));
         }
-        Ok(v)
+        Ok(())
     }
 }
 

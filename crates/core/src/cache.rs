@@ -1,0 +1,251 @@
+//! Delay-profile memoization.
+//!
+//! Profiling is the expensive half of every experiment: one timed
+//! simulation per operand pair. Several flows re-profile the *same*
+//! workload under the *same* delay assignment — period sweeps restarted
+//! with different engine configs, calibration probes, and fault campaigns
+//! whose delay faults share a baseline — so [`ProfileCache`] memoizes
+//! finished [`PatternProfile`]s behind a key that is exact by construction:
+//!
+//! * the multiplier **kind** and **width** (circuit generation is
+//!   deterministic, so these pin the netlist),
+//! * the [`DelayAssignment::fingerprint`] — the *delay epoch*: any aging
+//!   step, calibration rescale, or per-gate inflation changes it,
+//! * a fingerprint of the ordered operand pairs (profiles are two-vector
+//!   measurements, so order matters and is part of the key).
+//!
+//! Equal keys therefore mean equal profiles (up to 64-bit fingerprint
+//! collision), and a hit returns the cached [`Arc`] without touching a
+//! simulator. The cache is `Mutex`-guarded and shared by reference, so
+//! campaign preparation can consult it from worker threads under the
+//! `parallel` feature.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use agemul_circuits::MultiplierKind;
+use agemul_netlist::DelayAssignment;
+
+use crate::{MultiplierDesign, PatternProfile};
+
+/// FNV-1a over the ordered operand pairs; the workload half of a cache key.
+fn workload_fingerprint(pairs: &[(u64, u64)]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |word: u64| {
+        for b in word.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(pairs.len() as u64);
+    for &(a, b) in pairs {
+        mix(a);
+        mix(b);
+    }
+    h
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct CacheKey {
+    kind: MultiplierKind,
+    width: usize,
+    delay_fingerprint: u64,
+    workload_fingerprint: u64,
+}
+
+/// A memoization cache for timing profiles, keyed by (kind, width,
+/// delay-assignment fingerprint, workload fingerprint).
+///
+/// # Example
+///
+/// ```no_run
+/// use agemul::{MultiplierDesign, PatternSet, ProfileCache};
+/// use agemul_circuits::MultiplierKind;
+///
+/// let design = MultiplierDesign::new(MultiplierKind::ColumnBypass, 16)?;
+/// let patterns = PatternSet::uniform(16, 4_096, 7);
+/// let cache = ProfileCache::new();
+///
+/// let first = cache.profile(&design, patterns.pairs(), None)?; // simulates
+/// let again = cache.profile(&design, patterns.pairs(), None)?; // cache hit
+/// assert!(std::sync::Arc::ptr_eq(&first, &again));
+/// assert_eq!(cache.hits(), 1);
+/// # Ok::<(), agemul::CoreError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    map: Mutex<HashMap<CacheKey, Arc<PatternProfile>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProfileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lookups answered from the cache.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to build a profile.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached profiles.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache mutex poisoned").len()
+    }
+
+    /// Whether the cache holds no profiles.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached profile (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().expect("cache mutex poisoned").clear();
+    }
+
+    /// The memoized equivalent of [`MultiplierDesign::profile`]: a hit
+    /// returns the cached profile, a miss profiles `pairs` (levelized
+    /// kernel, functional verification included) and caches the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MultiplierDesign::profile`] errors on a miss; errors
+    /// are not cached.
+    pub fn profile(
+        &self,
+        design: &MultiplierDesign,
+        pairs: &[(u64, u64)],
+        factors: Option<&[f64]>,
+    ) -> Result<Arc<PatternProfile>, crate::CoreError> {
+        let delays = design.delay_assignment(factors)?;
+        self.get_or_insert_with(design, &delays, pairs, || design.profile(pairs, factors))
+    }
+
+    /// Looks up the profile for (`design`, `delays`, `pairs`), building it
+    /// with `build` and caching it on a miss.
+    ///
+    /// The caller promises that `build` produces the profile of exactly
+    /// this workload under exactly `delays` — campaign preparation uses
+    /// this with its verification-free delay-fault profiler. The build runs
+    /// outside the cache lock, so concurrent callers (parallel campaign
+    /// tasks) never serialize their simulations; if two race on the same
+    /// key, the first inserted profile wins and both get the same `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build` errors; errors are not cached.
+    pub fn get_or_insert_with<E>(
+        &self,
+        design: &MultiplierDesign,
+        delays: &DelayAssignment,
+        pairs: &[(u64, u64)],
+        build: impl FnOnce() -> Result<PatternProfile, E>,
+    ) -> Result<Arc<PatternProfile>, E> {
+        let key = CacheKey {
+            kind: design.kind(),
+            width: design.width(),
+            delay_fingerprint: delays.fingerprint(),
+            workload_fingerprint: workload_fingerprint(pairs),
+        };
+        if let Some(hit) = self
+            .map
+            .lock()
+            .expect("cache mutex poisoned")
+            .get(&key)
+            .cloned()
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build()?);
+        Ok(self
+            .map
+            .lock()
+            .expect("cache mutex poisoned")
+            .entry(key)
+            .or_insert(built)
+            .clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_circuits::MultiplierKind;
+
+    use super::*;
+    use crate::PatternSet;
+
+    #[test]
+    fn repeat_profiles_hit_the_cache() {
+        let d = MultiplierDesign::new(MultiplierKind::ColumnBypass, 8).unwrap();
+        let patterns = PatternSet::uniform(8, 40, 3);
+        let cache = ProfileCache::new();
+
+        let first = cache.profile(&d, patterns.pairs(), None).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let again = cache.profile(&d, patterns.pairs(), None).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+
+        // The cached profile is the uncached one, record for record.
+        let direct = d.profile(patterns.pairs(), None).unwrap();
+        assert_eq!(first.records(), direct.records());
+    }
+
+    #[test]
+    fn delay_epoch_separates_entries() {
+        let d = MultiplierDesign::new(MultiplierKind::ColumnBypass, 8).unwrap();
+        let patterns = PatternSet::uniform(8, 30, 5);
+        let factors = vec![1.2; d.circuit().netlist().gate_count()];
+        let cache = ProfileCache::new();
+
+        let fresh = cache.profile(&d, patterns.pairs(), None).unwrap();
+        let aged = cache.profile(&d, patterns.pairs(), Some(&factors)).unwrap();
+        assert_eq!(cache.misses(), 2, "different fingerprints, both build");
+        assert!(aged.avg_delay_ns() > fresh.avg_delay_ns());
+
+        // Same factors again: same fingerprint, hit.
+        let aged2 = cache.profile(&d, patterns.pairs(), Some(&factors)).unwrap();
+        assert!(Arc::ptr_eq(&aged, &aged2));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn workload_order_is_part_of_the_key() {
+        // Two-vector timing depends on pattern order, so a reordered
+        // workload must not hit the original's entry.
+        let d = MultiplierDesign::new(MultiplierKind::RowBypass, 8).unwrap();
+        let fwd = [(3u64, 5u64), (0xFF, 0xFF), (0, 1)];
+        let rev = [(0u64, 1u64), (0xFF, 0xFF), (3, 5)];
+        let cache = ProfileCache::new();
+        cache.profile(&d, &fwd, None).unwrap();
+        cache.profile(&d, &rev, None).unwrap();
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_the_map() {
+        let d = MultiplierDesign::new(MultiplierKind::Array, 4).unwrap();
+        let cache = ProfileCache::new();
+        cache.profile(&d, &[(1, 2), (3, 3)], None).unwrap();
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.profile(&d, &[(1, 2), (3, 3)], None).unwrap();
+        assert_eq!(cache.misses(), 2);
+    }
+}

@@ -2,9 +2,58 @@
 
 use agemul_circuits::{MultiplierCircuit, MultiplierKind, Operand};
 use agemul_logic::{DelayModel, Logic};
-use agemul_netlist::{BatchSim, DelayAssignment, EventSim, Topology, WorkloadStats};
+use agemul_netlist::{
+    BatchSim, DelayAssignment, EventSim, LevelSim, PatternTiming, Topology, WorkloadStats,
+};
 
 use crate::{calibrated_delay_model, count_zeros, CoreError, PatternProfile, PatternRecord};
+
+/// Which timing kernel a profiling run drives.
+///
+/// Both kernels are femtosecond-identical (property-tested in
+/// `agemul-netlist`); they differ only in throughput. Everything in this
+/// crate defaults to [`Level`](SimEngine::Level) — the explicit selector
+/// exists for benchmarks and cross-checks that want the event-driven
+/// reference on the same workload.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SimEngine {
+    /// Priority-queue event-driven kernel ([`EventSim`]) — the reference.
+    Event,
+    /// Levelized incremental kernel ([`LevelSim`]) — the fast default.
+    #[default]
+    Level,
+}
+
+/// Enum dispatch over the two timing kernels, so the profiling loop is
+/// written once. Boxed: the levelized kernel carries its truth tables and
+/// arenas inline, and one simulator exists per profiling run.
+enum TimingKernel<'a> {
+    Event(Box<EventSim<'a>>),
+    Level(Box<LevelSim<'a>>),
+}
+
+impl TimingKernel<'_> {
+    fn settle(&mut self, inputs: &[Logic]) -> Result<(), agemul_netlist::NetlistError> {
+        match self {
+            TimingKernel::Event(s) => s.settle(inputs),
+            TimingKernel::Level(s) => s.settle(inputs),
+        }
+    }
+
+    fn step(&mut self, inputs: &[Logic]) -> Result<PatternTiming, agemul_netlist::NetlistError> {
+        match self {
+            TimingKernel::Event(s) => s.step(inputs),
+            TimingKernel::Level(s) => s.step(inputs),
+        }
+    }
+
+    fn gate_toggle_counts(&self) -> &[u64] {
+        match self {
+            TimingKernel::Event(s) => s.gate_toggle_counts(),
+            TimingKernel::Level(s) => s.gate_toggle_counts(),
+        }
+    }
+}
 
 /// A generated multiplier plus everything needed to simulate it: validated
 /// topology and the workspace-calibrated delay table.
@@ -123,17 +172,18 @@ impl MultiplierDesign {
         )?)
     }
 
-    /// Profiles a workload: one event-driven timing simulation recording
-    /// each operation's sensitized delay and judged zero count, plus mean
-    /// switching activity. A bit-parallel functional pass first checks
-    /// every product against `a × b` (see
-    /// [`verify_functional`](Self::verify_functional)).
+    /// Profiles a workload: one timed simulation recording each operation's
+    /// sensitized delay and judged zero count, plus mean switching
+    /// activity. A bit-parallel functional pass first checks every product
+    /// against `a × b` (see [`verify_functional`](Self::verify_functional)).
     ///
     /// `factors` optionally ages every gate (see
     /// [`delay_assignment`](Self::delay_assignment)). The simulation starts
     /// from an all-zeros settle, then applies the pairs in order — each
     /// measurement is a genuine two-vector transition, as in the paper's
-    /// 65 536-pattern experiments.
+    /// 65 536-pattern experiments. The timing runs on the levelized
+    /// [`LevelSim`] kernel; see [`profile_with_engine`]
+    /// (Self::profile_with_engine) to force the event-driven reference.
     ///
     /// # Errors
     ///
@@ -146,18 +196,89 @@ impl MultiplierDesign {
         pairs: &[(u64, u64)],
         factors: Option<&[f64]>,
     ) -> Result<PatternProfile, CoreError> {
+        self.profile_with_engine(pairs, factors, SimEngine::Level)
+    }
+
+    /// [`profile`](Self::profile) with an explicit timing kernel.
+    ///
+    /// Both engines produce bit-identical profiles; [`SimEngine::Event`]
+    /// exists for benchmarking and cross-checking against the levelized
+    /// default.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`profile`](Self::profile).
+    pub fn profile_with_engine(
+        &self,
+        pairs: &[(u64, u64)],
+        factors: Option<&[f64]>,
+        engine: SimEngine,
+    ) -> Result<PatternProfile, CoreError> {
         // Functional-correctness pass: one bit-parallel sweep per 64 pairs
         // guards the timing numbers below against a miscompiled circuit.
         self.verify_functional(pairs)?;
         let delays = self.delay_assignment(factors)?;
-        let mut sim = EventSim::new(self.circuit.netlist(), &self.topology, delays);
+        self.profile_timed(pairs, delays, engine)
+    }
+
+    /// Profiles `pairs` under an explicit, already-built delay assignment —
+    /// the entry point for delay-fault campaigns and other flows that
+    /// perturb individual gate delays.
+    ///
+    /// Skips the functional-correctness pass: a delay-only perturbation
+    /// cannot change any settled product, so the caller (who typically
+    /// verified the unperturbed design already) would pay it once per
+    /// fault for nothing. Combine with
+    /// [`ProfileCache::get_or_insert_with`](crate::ProfileCache::get_or_insert_with)
+    /// to memoize repeated assignments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Circuit`] if an operand overflows the width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays` does not cover this design's gates (the kernel
+    /// constructor's contract).
+    pub fn profile_with_delays(
+        &self,
+        pairs: &[(u64, u64)],
+        delays: &DelayAssignment,
+    ) -> Result<PatternProfile, CoreError> {
+        self.profile_timed(pairs, delays.clone(), SimEngine::Level)
+    }
+
+    /// The shared timed-profiling loop: settle all-zeros, step each pair,
+    /// collect records and mean switching activity. One encode buffer is
+    /// reused across the workload.
+    fn profile_timed(
+        &self,
+        pairs: &[(u64, u64)],
+        delays: DelayAssignment,
+        engine: SimEngine,
+    ) -> Result<PatternProfile, CoreError> {
+        let mut sim = match engine {
+            SimEngine::Event => TimingKernel::Event(Box::new(EventSim::new(
+                self.circuit.netlist(),
+                &self.topology,
+                delays,
+            ))),
+            SimEngine::Level => TimingKernel::Level(Box::new(LevelSim::new(
+                self.circuit.netlist(),
+                &self.topology,
+                delays,
+            ))),
+        };
         let width = self.width();
-        sim.settle(&self.circuit.encode_inputs(0, 0)?)?;
+        let mut encoded = Vec::with_capacity(2 * width);
+        self.circuit.encode_inputs_into(0, 0, &mut encoded)?;
+        sim.settle(&encoded)?;
 
         let judged = self.kind().judged_operand();
         let mut records = Vec::with_capacity(pairs.len());
         for &(a, b) in pairs {
-            let timing = sim.step(&self.circuit.encode_inputs(a, b)?)?;
+            self.circuit.encode_inputs_into(a, b, &mut encoded)?;
+            let timing = sim.step(&encoded)?;
             let judged_value = match judged {
                 Operand::Multiplicand => a,
                 Operand::Multiplicator => b,
@@ -213,12 +334,15 @@ impl MultiplierDesign {
     fn verify_pairs_serial(&self, pairs: &[(u64, u64)]) -> Result<(), CoreError> {
         let mut sim = BatchSim::new(self.circuit.netlist(), &self.topology);
         let product = self.circuit.product();
+        // One lane-slot buffer set for the whole workload: each chunk
+        // re-encodes into the same allocations.
+        let lanes = BatchSim::LANES.min(pairs.len().max(1));
+        let mut patterns: Vec<Vec<Logic>> = vec![Vec::with_capacity(2 * self.width()); lanes];
         for chunk in pairs.chunks(BatchSim::LANES) {
-            let patterns: Result<Vec<Vec<Logic>>, CoreError> = chunk
-                .iter()
-                .map(|&(a, b)| self.circuit.encode_inputs(a, b).map_err(CoreError::from))
-                .collect();
-            sim.eval_batch(&patterns?)?;
+            for (slot, &(a, b)) in patterns.iter_mut().zip(chunk) {
+                self.circuit.encode_inputs_into(a, b, slot)?;
+            }
+            sim.eval_batch(&patterns[..chunk.len()])?;
             for (lane, &(a, b)) in chunk.iter().enumerate() {
                 let got = product.decode_with(|net| sim.value(net, lane));
                 if got != Some(u128::from(a) * u128::from(b)) {
@@ -233,11 +357,12 @@ impl MultiplierDesign {
     /// model and switching activity for the power model) over `pairs`.
     ///
     /// Signal probabilities come from a bit-parallel functional sweep (64
-    /// patterns per pass); toggle counts from an event-driven run with
-    /// nominal delays. With the `parallel` feature the functional sweep is
-    /// fanned out over pattern chunks and merged in workload order — the
-    /// accumulated statistics are bit-identical to the serial path. The
-    /// event-driven half stays serial by design: its tri-state hold
+    /// patterns per pass); toggle counts from a timed [`LevelSim`] run with
+    /// nominal delays (toggle-identical to the event-driven reference).
+    /// With the `parallel` feature the functional sweep is fanned out over
+    /// pattern chunks and merged in workload order — the accumulated
+    /// statistics are bit-identical to the serial path. The timed half
+    /// stays a single sequential simulation by design: its tri-state hold
     /// semantics make every step depend on the previous pattern's settled
     /// state.
     ///
@@ -254,10 +379,14 @@ impl MultiplierDesign {
         self.observe_probabilities(&mut stats, &encoded)?;
 
         let delays = self.delay_assignment(None)?;
-        let mut sim = EventSim::new(self.circuit.netlist(), &self.topology, delays);
-        sim.settle(&self.circuit.encode_inputs(0, 0)?)?;
-        for &(a, b) in pairs {
-            sim.step(&self.circuit.encode_inputs(a, b)?)?;
+        let mut sim = LevelSim::new(self.circuit.netlist(), &self.topology, delays);
+        let mut zeros = Vec::with_capacity(2 * self.width());
+        self.circuit.encode_inputs_into(0, 0, &mut zeros)?;
+        sim.settle(&zeros)?;
+        // The probability pass already encoded every pattern; the timed
+        // pass replays those buffers instead of re-encoding per pair.
+        for pattern in &encoded {
+            sim.step(pattern)?;
         }
         stats.record_toggles(sim.gate_toggle_counts(), pairs.len() as u64)?;
         Ok(stats)

@@ -58,6 +58,7 @@
 mod ahl;
 mod ahl_netlist;
 mod area;
+mod cache;
 mod calibrate;
 mod design;
 mod energy;
@@ -74,8 +75,9 @@ mod validate;
 pub use ahl::{Ahl, AhlConfig, CycleDecision};
 pub use ahl_netlist::GateLevelAhl;
 pub use area::{area_report, Architecture, AreaReport};
+pub use cache::ProfileCache;
 pub use calibrate::{calibrated_delay_model, measure_critical_delay, PAPER_AM16_CRITICAL_NS};
-pub use design::MultiplierDesign;
+pub use design::{MultiplierDesign, SimEngine};
 pub use energy::{energy_report, EnergyInputs};
 pub use engine::{run_engine, run_engine_traced, run_fixed_latency, EngineConfig, EngineTrace};
 pub use error::CoreError;

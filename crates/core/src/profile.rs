@@ -206,6 +206,110 @@ mod tests {
         assert!((h.last().unwrap().0 - 1.4).abs() < 1e-9);
     }
 
+    /// The record at exactly `max_delay_ns` computes a raw bin index of
+    /// `bins` (since `max / (max / bins) == bins`) and must be clamped
+    /// into the last bin, never dropped or out of range.
+    #[test]
+    fn histogram_max_delay_record_lands_in_last_bin() {
+        for bins in [1, 2, 3, 7, 64] {
+            let h = profile().delay_histogram(bins);
+            assert_eq!(h.len(), bins);
+            assert_eq!(h.iter().map(|&(_, c)| c).sum::<u64>(), 3, "bins={bins}");
+            assert!(h.last().unwrap().1 >= 1, "max record lost with {bins} bins");
+        }
+
+        // Degenerate spread: every delay equals the max, so every raw
+        // index is `bins` — all records clamp into the final bin.
+        let flat = PatternProfile::new(
+            MultiplierKind::RowBypass,
+            8,
+            (0..5)
+                .map(|i| PatternRecord {
+                    a: i,
+                    b: i,
+                    zeros: 0,
+                    delay_ns: 0.9,
+                })
+                .collect(),
+            0.0,
+        );
+        let h = flat.delay_histogram(4);
+        assert_eq!(
+            &h.iter().map(|&(_, c)| c).collect::<Vec<_>>(),
+            &[0, 0, 0, 5]
+        );
+        assert!((h.last().unwrap().0 - 0.9).abs() < 1e-12);
+
+        // And a zero-delay record stays in the first bin.
+        let mixed = PatternProfile::new(
+            MultiplierKind::Array,
+            8,
+            vec![
+                PatternRecord {
+                    a: 0,
+                    b: 0,
+                    zeros: 8,
+                    delay_ns: 0.0,
+                },
+                PatternRecord {
+                    a: 1,
+                    b: 1,
+                    zeros: 7,
+                    delay_ns: 1.0,
+                },
+            ],
+            0.0,
+        );
+        let h = mixed.delay_histogram(2);
+        assert_eq!(&h.iter().map(|&(_, c)| c).collect::<Vec<_>>(), &[1, 1]);
+    }
+
+    /// `one_cycle_ratio` uses `zeros >= skip`: a record whose judged
+    /// operand has *exactly* `skip` zeros is a one-cycle pattern, and the
+    /// ratio is monotone non-increasing in `skip` up to (and past) the
+    /// all-zeros boundary `skip == width`.
+    #[test]
+    fn one_cycle_ratio_boundary_skips() {
+        let p = PatternProfile::new(
+            MultiplierKind::ColumnBypass,
+            4,
+            vec![
+                PatternRecord {
+                    a: 0,
+                    b: 9,
+                    zeros: 4, // judged operand all zeros: width-many zeros
+                    delay_ns: 0.1,
+                },
+                PatternRecord {
+                    a: 5,
+                    b: 9,
+                    zeros: 2,
+                    delay_ns: 0.5,
+                },
+                PatternRecord {
+                    a: 15,
+                    b: 9,
+                    zeros: 0,
+                    delay_ns: 0.9,
+                },
+            ],
+            0.0,
+        );
+        // skip == 0 admits everything, including the zeros == 0 record.
+        assert!((p.one_cycle_ratio(0) - 1.0).abs() < 1e-12);
+        // Exact boundary: zeros == skip counts (>=, not >).
+        assert!((p.one_cycle_ratio(2) - 2.0 / 3.0).abs() < 1e-12);
+        // skip == width admits only the all-zeros operand.
+        assert!((p.one_cycle_ratio(4) - 1.0 / 3.0).abs() < 1e-12);
+        // Past the width no operand can qualify.
+        assert_eq!(p.one_cycle_ratio(5), 0.0);
+        assert_eq!(p.one_cycle_ratio(u32::MAX), 0.0);
+        // Monotone non-increasing across the whole skip range.
+        for s in 0..6 {
+            assert!(p.one_cycle_ratio(s + 1) <= p.one_cycle_ratio(s) + 1e-15);
+        }
+    }
+
     #[test]
     fn empty_profile_is_well_behaved() {
         let p = PatternProfile::new(MultiplierKind::Array, 16, Vec::new(), 0.0);

@@ -1,6 +1,8 @@
 //! Cycle-period sweep helpers.
 
-use crate::{run_engine, EngineConfig, PatternProfile, RunMetrics};
+use crate::{
+    run_engine, CoreError, EngineConfig, MultiplierDesign, PatternProfile, ProfileCache, RunMetrics,
+};
 
 /// The outcome of sweeping one profile across cycle periods.
 #[derive(Clone, Debug)]
@@ -57,6 +59,34 @@ impl PeriodSweep {
         #[cfg(not(feature = "parallel"))]
         let points = periods_ns.iter().map(replay).collect();
         PeriodSweep { points }
+    }
+
+    /// Profiles `pairs` through `cache` (a hit skips the timed simulation
+    /// entirely) and sweeps the resulting profile across `periods_ns`.
+    ///
+    /// This is the memoized front door for tuning flows that restart the
+    /// same sweep under different engine configs or aging epochs: the
+    /// profile is keyed by design, delay fingerprint, and workload (see
+    /// [`ProfileCache`]), so only the first call per epoch pays for gate-
+    /// level simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MultiplierDesign::profile`] errors from a cache miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or non-positive period grid, as [`run`](Self::run).
+    pub fn run_cached(
+        design: &MultiplierDesign,
+        cache: &ProfileCache,
+        pairs: &[(u64, u64)],
+        factors: Option<&[f64]>,
+        config: &EngineConfig,
+        periods_ns: &[f64],
+    ) -> Result<Self, CoreError> {
+        let profile = cache.profile(design, pairs, factors)?;
+        Ok(Self::run(&profile, config, periods_ns))
     }
 
     /// All sweep points in period order.

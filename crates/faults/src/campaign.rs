@@ -2,11 +2,8 @@
 
 use std::collections::VecDeque;
 
-use agemul::{
-    count_zeros, run_engine_traced, EngineConfig, MultiplierDesign, PatternProfile, PatternRecord,
-};
-use agemul_circuits::Operand;
-use agemul_netlist::{BatchSim, EventSim, FaultKind, FaultOverlay, GateId};
+use agemul::{run_engine_traced, EngineConfig, MultiplierDesign, PatternProfile, ProfileCache};
+use agemul_netlist::{BatchSim, FaultKind, FaultOverlay, GateId};
 
 use crate::report::{CampaignReport, FaultClass, FaultOutcome};
 use crate::{FaultError, FaultSpec};
@@ -23,8 +20,10 @@ use crate::{FaultError, FaultSpec};
 ///   lane-masked [`BatchSim`] chunks — up to 64 faulty variants per
 ///   bit-parallel sweep — counting operations whose product deviates from
 ///   `a × b`;
-/// * **delay faults** profiled with a private event-driven simulation
-///   under the inflated gate delay.
+/// * **delay faults** re-profiled with the levelized timing kernel under
+///   the inflated gate delay ([`MultiplierDesign::profile_with_delays`]),
+///   optionally memoized through a [`ProfileCache`]
+///   ([`Campaign::prepare_cached`]).
 ///
 /// [`Campaign::run`] then replays that evidence through the
 /// variable-latency engine under any [`EngineConfig`] — sweeping skip
@@ -83,7 +82,7 @@ impl Campaign {
         pairs: &[(u64, u64)],
         faults: &[FaultSpec],
     ) -> Result<Self, FaultError> {
-        Self::prepare_impl(design, pairs, faults, true)
+        Self::prepare_impl(design, pairs, faults, true, None)
     }
 
     /// [`prepare`](Self::prepare) forced down the serial path — the
@@ -94,7 +93,35 @@ impl Campaign {
         pairs: &[(u64, u64)],
         faults: &[FaultSpec],
     ) -> Result<Self, FaultError> {
-        Self::prepare_impl(design, pairs, faults, false)
+        Self::prepare_impl(design, pairs, faults, false, None)
+    }
+
+    /// [`prepare`](Self::prepare) consulting a [`ProfileCache`] for the
+    /// baseline and every delay-fault profile.
+    ///
+    /// Delay-fault evidence is a full re-profile of the workload under one
+    /// inflated gate delay; across campaigns that share a workload (skip
+    /// sweeps, Razor-window sweeps, repeated what-if runs) the same
+    /// (gate, factor) sites recur, and the cache keys them exactly by the
+    /// inflated assignment's fingerprint — see the crate's
+    /// re-profiling-cache notes in `EXPERIMENTS.md`. The prepared campaign
+    /// is bit-identical to an uncached [`prepare`](Self::prepare): cache
+    /// hits return profiles produced by the very same simulation the miss
+    /// path would run.
+    ///
+    /// Logic-fault evidence (corruption counts from lane-masked functional
+    /// sweeps) is not a profile and is never cached.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`prepare`](Self::prepare).
+    pub fn prepare_cached(
+        design: &MultiplierDesign,
+        pairs: &[(u64, u64)],
+        faults: &[FaultSpec],
+        cache: &ProfileCache,
+    ) -> Result<Self, FaultError> {
+        Self::prepare_impl(design, pairs, faults, true, Some(cache))
     }
 
     fn prepare_impl(
@@ -102,9 +129,19 @@ impl Campaign {
         pairs: &[(u64, u64)],
         faults: &[FaultSpec],
         parallel: bool,
+        cache: Option<&ProfileCache>,
     ) -> Result<Self, FaultError> {
         validate(design, faults)?;
-        let baseline = design.profile(pairs, None)?;
+        let baseline = match cache {
+            Some(c) => {
+                let delays = design.delay_assignment(None)?;
+                let profile = c.get_or_insert_with(design, &delays, pairs, || {
+                    design.profile(pairs, None).map_err(FaultError::from)
+                })?;
+                PatternProfile::clone(&profile)
+            }
+            None => design.profile(pairs, None)?,
+        };
 
         let logic: Vec<FaultSpec> = faults.iter().filter(|f| f.is_logic()).copied().collect();
         let mut tasks: Vec<Task> = logic
@@ -117,7 +154,7 @@ impl Campaign {
             }
         }
 
-        let outs = run_tasks(design, pairs, &tasks, parallel)?;
+        let outs = run_tasks(design, pairs, &tasks, parallel, cache)?;
         let mut logic_out: VecDeque<(u64, Option<u64>)> = VecDeque::new();
         let mut delay_out: VecDeque<PatternProfile> = VecDeque::new();
         for out in outs {
@@ -293,12 +330,13 @@ fn run_tasks(
     pairs: &[(u64, u64)],
     tasks: &[Task],
     parallel: bool,
+    cache: Option<&ProfileCache>,
 ) -> Result<Vec<TaskOut>, FaultError> {
     let eval = |task: &Task| -> Result<TaskOut, FaultError> {
         match task {
             Task::Chunk(chunk) => Ok(TaskOut::Chunk(eval_logic_chunk(design, pairs, chunk)?)),
             Task::Delay(gate, factor) => Ok(TaskOut::Delay(profile_delay_fault(
-                design, pairs, *gate, *factor,
+                design, pairs, *gate, *factor, cache,
             )?)),
         }
     };
@@ -374,35 +412,28 @@ fn eval_logic_chunk(
 }
 
 /// Profiles the workload under one inflated gate delay — the same
-/// event-driven two-vector measurement as the fault-free
-/// [`MultiplierDesign::profile`], minus the functional pass (the fault is
-/// timing-only, so every product stays correct by construction).
+/// two-vector measurement as the fault-free [`MultiplierDesign::profile`],
+/// minus the functional pass (the fault is timing-only, so every product
+/// stays correct by construction). With a cache, the inflated assignment's
+/// fingerprint keys the memoized profile.
 fn profile_delay_fault(
     design: &MultiplierDesign,
     pairs: &[(u64, u64)],
     gate: GateId,
     factor: f64,
+    cache: Option<&ProfileCache>,
 ) -> Result<PatternProfile, FaultError> {
     let mut delays = design.delay_assignment(None)?;
     delays.inflate(gate, factor);
-    let circuit = design.circuit();
-    let mut sim = EventSim::new(circuit.netlist(), design.topology(), delays);
-    sim.settle(&circuit.encode_inputs(0, 0)?)?;
-    let width = design.width();
-    let judged = design.kind().judged_operand();
-    let mut records = Vec::with_capacity(pairs.len());
-    for &(a, b) in pairs {
-        let timing = sim.step(&circuit.encode_inputs(a, b)?)?;
-        let judged_value = match judged {
-            Operand::Multiplicand => a,
-            Operand::Multiplicator => b,
-        };
-        records.push(PatternRecord {
-            a,
-            b,
-            zeros: count_zeros(judged_value, width),
-            delay_ns: timing.delay_ns,
-        });
+    match cache {
+        Some(c) => {
+            let profile = c.get_or_insert_with(design, &delays, pairs, || {
+                design
+                    .profile_with_delays(pairs, &delays)
+                    .map_err(FaultError::from)
+            })?;
+            Ok(PatternProfile::clone(&profile))
+        }
+        None => Ok(design.profile_with_delays(pairs, &delays)?),
     }
-    Ok(PatternProfile::from_records(design.kind(), width, records))
 }

@@ -10,7 +10,7 @@
 //! * detected faults feed the AHL: the report carries the adaptation op;
 //! * serial and parallel preparation produce identical reports.
 
-use agemul::{EngineConfig, MultiplierDesign, PatternSet, RazorConfig};
+use agemul::{EngineConfig, MultiplierDesign, PatternSet, ProfileCache, RazorConfig};
 use agemul_circuits::MultiplierKind;
 use agemul_faults::{Campaign, FaultClass, FaultError, FaultSpec};
 use agemul_netlist::{GateId, NetId};
@@ -184,6 +184,40 @@ fn serial_and_parallel_preparation_agree() {
     ] {
         assert_eq!(par.run(&cfg), ser.run(&cfg));
     }
+}
+
+#[test]
+fn cached_preparation_is_bit_identical_and_reuses_profiles() {
+    let d = design();
+    let patterns = PatternSet::uniform(4, 120, 13);
+    let gate = driver_of_product_bit(&d, 1);
+    let faults = [
+        FaultSpec::Delay { gate, factor: 4.0 },
+        FaultSpec::Delay { gate, factor: 1.5 },
+        FaultSpec::StuckAt1 {
+            net: d.circuit().product().nets()[0],
+        },
+    ];
+
+    let cache = ProfileCache::new();
+    let cached = Campaign::prepare_cached(&d, patterns.pairs(), &faults, &cache).unwrap();
+    let plain = Campaign::prepare(&d, patterns.pairs(), &faults).unwrap();
+    for cfg in [
+        EngineConfig::adaptive(1.0, 2),
+        EngineConfig::traditional(0.8, 3),
+    ] {
+        assert_eq!(cached.run(&cfg), plain.run(&cfg));
+    }
+    // First pass: baseline + one profile per distinct delay fault, all misses.
+    assert_eq!(cache.misses(), 3);
+    assert_eq!(cache.hits(), 0);
+
+    // Re-preparing the same campaign re-simulates nothing.
+    let again = Campaign::prepare_cached(&d, patterns.pairs(), &faults, &cache).unwrap();
+    assert_eq!(cache.misses(), 3);
+    assert_eq!(cache.hits(), 3);
+    let cfg = EngineConfig::adaptive(1.0, 2);
+    assert_eq!(again.run(&cfg), plain.run(&cfg));
 }
 
 #[test]

@@ -8,8 +8,10 @@ use agemul_logic::{DelayModel, GateKind, Logic};
 use crate::{GateId, NetId, Netlist, NetlistError, Topology};
 
 /// Femtoseconds per nanosecond; event times are integer femtoseconds so the
-/// priority queue ordering is exact and deterministic.
-const FS_PER_NS: f64 = 1.0e6;
+/// priority queue ordering is exact and deterministic. Shared with
+/// [`LevelSim`](crate::LevelSim), whose femtosecond-exactness contract
+/// depends on both kernels quantizing time identically.
+pub(crate) const FS_PER_NS: f64 = 1.0e6;
 
 /// Per-gate-instance propagation delays, in integer femtoseconds.
 ///
@@ -130,6 +132,30 @@ impl DelayAssignment {
     #[inline]
     pub fn delay_ns(&self, gate: GateId) -> f64 {
         self.per_gate_fs[gate.index()] as f64 / FS_PER_NS
+    }
+
+    /// A stable 64-bit fingerprint of the whole assignment (FNV-1a over the
+    /// per-gate femtosecond delays).
+    ///
+    /// Two assignments with the same fingerprint produce — up to hash
+    /// collision — identical timing for every workload, so the fingerprint
+    /// serves as the *delay epoch* in memoization keys: aging steps,
+    /// calibration rescales, and per-gate [`inflate`](Self::inflate)
+    /// hot spots all change it, while replaying the same assignment reuses
+    /// cached profiles (see `agemul::ProfileCache`).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in (self.per_gate_fs.len() as u64).to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        for &d in &self.per_gate_fs {
+            for b in d.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
     }
 
     /// Number of gates covered.

@@ -19,6 +19,11 @@
 //!   new input vector on top of the previous one yields the input-dependent
 //!   sensitized path delay — the quantity the paper's variable-latency
 //!   design exploits — along with per-gate toggle counts for power.
+//! * [`LevelSim`] — the levelized counterpart of [`EventSim`]: the netlist
+//!   is compiled into a flat, topologically-levelized timing schedule and
+//!   each pattern touches only the fan-out cones of changed input bits.
+//!   Femtosecond-identical to [`EventSim`] (property-tested), an order of
+//!   magnitude faster on the profiling hot path.
 //! * [`WorkloadStats`] — per-net signal probabilities and per-gate switching
 //!   activity accumulated over a workload, feeding the BTI aging model and
 //!   the power model.
@@ -66,6 +71,7 @@ mod event_sim;
 mod fault;
 mod func_sim;
 mod ids;
+mod level_sim;
 mod netlist;
 mod plan;
 mod report;
@@ -82,6 +88,7 @@ pub use event_sim::{DelayAssignment, EventSim, PatternTiming, TraceEvent};
 pub use fault::{FaultKind, FaultOverlay};
 pub use func_sim::FuncSim;
 pub use ids::{GateId, NetId};
+pub use level_sim::LevelSim;
 pub use netlist::{Gate, Netlist};
 pub use report::NetlistReport;
 pub use sta::static_critical_path_ns;

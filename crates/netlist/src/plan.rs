@@ -1,4 +1,4 @@
-//! Flattened gate-evaluation plan shared by the simulators.
+//! Flattened gate-evaluation plans shared by the simulators.
 //!
 //! [`FuncSim`](crate::FuncSim) and [`BatchSim`](crate::BatchSim) both sweep
 //! the gates in builder order; the plan precomputes everything that sweep
@@ -7,10 +7,17 @@
 //! wrappers on every pattern. On wide multipliers this removes one pointer
 //! indirection per gate input per pattern from the hottest loop in the
 //! workspace.
+//!
+//! [`TimedPlan`] extends the functional [`GatePlan`] into a levelized
+//! *timing* schedule for [`LevelSim`](crate::LevelSim): the same flat
+//! arrays plus each gate instance's propagation delay in integer
+//! femtoseconds and its topological level, so the timed kernel can sweep
+//! dirty gates level by level in linear memory instead of popping a
+//! priority queue.
 
 use agemul_logic::GateKind;
 
-use crate::Netlist;
+use crate::{DelayAssignment, GateId, Netlist, Topology};
 
 /// Precomputed, cache-friendly sweep order over a netlist's gates.
 #[derive(Clone, Debug)]
@@ -81,6 +88,127 @@ impl GatePlan {
     }
 }
 
+/// A levelized timing schedule: the flat [`GatePlan`] arrays plus per-gate
+/// integer-femtosecond delays and topological levels.
+///
+/// This is the compiled form [`LevelSim`](crate::LevelSim) executes. The
+/// level of a gate (copied from [`Topology`]) is strictly greater than the
+/// level of every gate driving one of its inputs, so sweeping levels in
+/// ascending order guarantees that when a gate is evaluated, the complete
+/// step waveform of each of its input nets is already final.
+#[derive(Clone, Debug)]
+pub(crate) struct TimedPlan {
+    gates: GatePlan,
+    delays_fs: Vec<u64>,
+    level_of: Vec<u32>,
+    max_level: u32,
+    /// Flattened fanout adjacency: `fan_dat[fan_off[n]..fan_off[n + 1]]`
+    /// are the gates reading net `n` (contiguous, unlike the per-net
+    /// `Vec`s in [`Topology`] — one pointer chase less in the dirty-
+    /// propagation loop).
+    fan_off: Vec<u32>,
+    fan_dat: Vec<u32>,
+}
+
+impl TimedPlan {
+    /// Compiles `netlist` + `delays` into a levelized schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays` does not cover exactly the netlist's gates (the
+    /// same contract as [`EventSim::new`](crate::EventSim::new)).
+    pub(crate) fn new(netlist: &Netlist, topology: &Topology, delays: &DelayAssignment) -> Self {
+        assert_eq!(
+            delays.len(),
+            netlist.gate_count(),
+            "delay assignment covers {} gates, netlist has {}",
+            delays.len(),
+            netlist.gate_count()
+        );
+        let gates = GatePlan::new(netlist);
+        let delays_fs = (0..netlist.gate_count())
+            .map(|g| delays.delay_fs(GateId::from_index(g)))
+            .collect();
+        let level_of = (0..netlist.gate_count())
+            .map(|g| topology.level(GateId::from_index(g)))
+            .collect();
+        let mut fan_off = Vec::with_capacity(netlist.net_count() + 1);
+        let mut fan_dat = Vec::new();
+        fan_off.push(0);
+        for n in 0..netlist.net_count() {
+            fan_dat.extend(
+                topology
+                    .fanout(crate::NetId::from_index(n))
+                    .iter()
+                    .map(|g| g.index() as u32),
+            );
+            fan_off.push(fan_dat.len() as u32);
+        }
+        TimedPlan {
+            gates,
+            delays_fs,
+            level_of,
+            max_level: topology.max_level(),
+            fan_off,
+            fan_dat,
+        }
+    }
+
+    /// Number of gates in the schedule.
+    #[inline]
+    pub(crate) fn gate_count(&self) -> usize {
+        self.gates.gate_count()
+    }
+
+    /// The widest gate's input count (scratch sizing).
+    #[inline]
+    pub(crate) fn max_arity(&self) -> usize {
+        self.gates.max_arity()
+    }
+
+    /// Gate `g`'s kind.
+    #[inline]
+    pub(crate) fn kind(&self, g: usize) -> GateKind {
+        self.gates.kind(g)
+    }
+
+    /// Gate `g`'s output net index.
+    #[inline]
+    pub(crate) fn output(&self, g: usize) -> usize {
+        self.gates.output(g)
+    }
+
+    /// Gate `g`'s input net indices.
+    #[inline]
+    pub(crate) fn inputs_of(&self, g: usize) -> &[u32] {
+        self.gates.inputs_of(g)
+    }
+
+    /// Gate `g`'s propagation delay in femtoseconds.
+    #[inline]
+    pub(crate) fn delay_fs(&self, g: usize) -> u64 {
+        self.delays_fs[g]
+    }
+
+    /// Gate `g`'s topological level (1 = reads only inputs/constants).
+    #[inline]
+    pub(crate) fn level_of(&self, g: usize) -> u32 {
+        self.level_of[g]
+    }
+
+    /// The deepest level in the schedule (0 for a gate-free netlist).
+    #[inline]
+    pub(crate) fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// The gates reading net `n` (flattened fanout adjacency).
+    #[inline]
+    pub(crate) fn fanout_of(&self, n: usize) -> &[u32] {
+        &self.fan_dat[self.fan_off[n] as usize..self.fan_off[n + 1] as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use agemul_logic::GateKind;
@@ -108,6 +236,33 @@ mod tests {
             plan.inputs_of(1),
             [a.index() as u32, b.index() as u32, x.index() as u32]
         );
+        assert_eq!(plan.output(1), y.index());
+    }
+
+    #[test]
+    fn timed_plan_carries_delays_and_levels() {
+        use agemul_logic::DelayModel;
+
+        use crate::DelayAssignment;
+
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let x = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let y = n.add_gate(GateKind::Not, &[x]).unwrap();
+        n.mark_output(y, "y");
+        let topo = n.topology().unwrap();
+        let delays = DelayAssignment::uniform(&n, &DelayModel::nominal());
+
+        let plan = TimedPlan::new(&n, &topo, &delays);
+        assert_eq!(plan.gate_count(), 2);
+        assert_eq!(plan.max_level(), 2);
+        assert_eq!(plan.level_of(0), 1);
+        assert_eq!(plan.level_of(1), 2);
+        for g in 0..2 {
+            assert_eq!(plan.delay_fs(g), delays.delay_fs(GateId::from_index(g)));
+            assert_eq!(plan.kind(g), GateKind::Not);
+        }
+        assert_eq!(plan.inputs_of(1), [x.index() as u32]);
         assert_eq!(plan.output(1), y.index());
     }
 }

@@ -1,0 +1,178 @@
+//! Femtosecond bit-identity of `LevelSim` against `EventSim`.
+//!
+//! The levelized kernel replaces the priority-queue simulator on the
+//! profiling hot path, so its contract is *exact* equivalence, not
+//! approximate agreement: for every circuit, every vector sequence, every
+//! delay assignment (uniform, aged factors, per-gate inflation), and every
+//! fault overlay, both kernels must report identical [`PatternTiming`]
+//! (femtosecond-derived delays compare with `==`), identical settled values
+//! on **every** net, and identical cumulative per-gate toggle counters.
+
+use agemul_logic::{DelayModel, GateKind, Logic};
+use agemul_netlist::{
+    DelayAssignment, EventSim, FaultKind, FaultOverlay, GateId, LevelSim, NetId, Netlist,
+};
+use proptest::prelude::*;
+
+/// Recipe for one random gate (same scheme as `random_circuits.rs`).
+#[derive(Clone, Debug)]
+struct GateRecipe {
+    kind_sel: u8,
+    picks: [u16; 3],
+}
+
+fn arb_gate() -> impl Strategy<Value = GateRecipe> {
+    (any::<u8>(), any::<u16>(), any::<u16>(), any::<u16>()).prop_map(|(k, a, b, c)| GateRecipe {
+        kind_sel: k,
+        picks: [a, b, c],
+    })
+}
+
+fn build(recipes: &[GateRecipe], inputs: usize) -> Netlist {
+    let mut n = Netlist::new();
+    let mut nets: Vec<NetId> = (0..inputs).map(|i| n.add_input(format!("i{i}"))).collect();
+    nets.push(n.const_zero());
+    nets.push(n.const_one());
+    for r in recipes {
+        let pick = |p: u16| nets[p as usize % nets.len()];
+        let kind = match r.kind_sel % 10 {
+            0 => GateKind::Buf,
+            1 => GateKind::Not,
+            2 => GateKind::And,
+            3 => GateKind::Or,
+            4 => GateKind::Nand,
+            5 => GateKind::Nor,
+            6 => GateKind::Xor,
+            7 => GateKind::Xnor,
+            8 => GateKind::Mux2,
+            _ => GateKind::Tbuf,
+        };
+        let ins: Vec<NetId> = match kind.fixed_arity() {
+            Some(1) => vec![pick(r.picks[0])],
+            Some(3) => vec![pick(r.picks[0]), pick(r.picks[1]), pick(r.picks[2])],
+            _ => vec![pick(r.picks[0]), pick(r.picks[1])],
+        };
+        let out = n.add_gate(kind, &ins).expect("recipe inputs are valid");
+        nets.push(out);
+    }
+    for (i, &o) in nets.iter().rev().take(4).enumerate() {
+        n.mark_output(o, format!("o{i}"));
+    }
+    n
+}
+
+fn input_vector(bits: u64, count: usize) -> Vec<Logic> {
+    (0..count)
+        .map(|i| Logic::from((bits >> i) & 1 == 1))
+        .collect()
+}
+
+fn arb_fault_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::StuckAt0),
+        Just(FaultKind::StuckAt1),
+        Just(FaultKind::Flip),
+    ]
+}
+
+/// Steps both kernels through `seqs` and asserts full-state identity after
+/// every step: timing, every net value, cumulative toggle counters.
+fn assert_locked_steps(
+    n: &Netlist,
+    level: &mut LevelSim,
+    event: &mut EventSim,
+    inputs: usize,
+    seqs: &[u64],
+) {
+    for &bits in seqs {
+        let v = input_vector(bits, inputs);
+        let tl = level.step(&v).unwrap();
+        let te = event.step(&v).unwrap();
+        prop_assert_eq!(tl, te, "timing diverged on bits {:#x}", bits);
+        for idx in 0..n.net_count() {
+            let net = NetId::from_index(idx);
+            prop_assert_eq!(
+                level.value(net),
+                event.value(net),
+                "net {} diverged on bits {:#x}",
+                idx,
+                bits
+            );
+        }
+        prop_assert_eq!(level.gate_toggle_counts(), event.gate_toggle_counts());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Uniform nominal delays: both kernels agree femtosecond-for-
+    /// femtosecond across whole vector sequences (the incremental cone
+    /// path is exercised by every partial bit change in the sequence).
+    #[test]
+    fn level_sim_matches_event_sim_on_random_circuits(
+        recipes in proptest::collection::vec(arb_gate(), 1..60),
+        seqs in proptest::collection::vec(any::<u64>(), 1..10),
+    ) {
+        let inputs = 6;
+        let n = build(&recipes, inputs);
+        let topo = n.topology().unwrap();
+        let delays = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let mut level = LevelSim::new(&n, &topo, delays.clone());
+        let mut event = EventSim::new(&n, &topo, delays);
+        assert_locked_steps(&n, &mut level, &mut event, inputs, &seqs);
+    }
+
+    /// Aged per-gate factors plus a localized inflation hot spot — the
+    /// delay-fault shapes the campaigns replay — keep the kernels locked.
+    #[test]
+    fn level_sim_matches_event_sim_under_aged_and_inflated_delays(
+        recipes in proptest::collection::vec(arb_gate(), 1..50),
+        seqs in proptest::collection::vec(any::<u64>(), 1..8),
+        factor_seed in proptest::collection::vec(0.5f64..4.0, 1..50),
+        hot_gate in any::<u16>(),
+        hot_factor in 1.0f64..20.0,
+    ) {
+        let inputs = 6;
+        let n = build(&recipes, inputs);
+        let topo = n.topology().unwrap();
+        let factors: Vec<f64> = (0..n.gate_count())
+            .map(|g| factor_seed[g % factor_seed.len()])
+            .collect();
+        let mut delays =
+            DelayAssignment::with_factors(&n, &DelayModel::nominal(), &factors).unwrap();
+        delays.inflate(GateId::from_index(hot_gate as usize % n.gate_count()), hot_factor);
+        let mut level = LevelSim::new(&n, &topo, delays.clone());
+        let mut event = EventSim::new(&n, &topo, delays);
+        assert_locked_steps(&n, &mut level, &mut event, inputs, &seqs);
+    }
+
+    /// Fault overlays (stuck-at / flip on a random net) coerce both kernels
+    /// identically, including the re-initialization on attach and detach.
+    #[test]
+    fn level_sim_matches_event_sim_under_fault_overlay(
+        recipes in proptest::collection::vec(arb_gate(), 1..50),
+        seqs in proptest::collection::vec(any::<u64>(), 1..8),
+        net_pick in any::<u16>(),
+        kind in arb_fault_kind(),
+    ) {
+        let inputs = 6;
+        let n = build(&recipes, inputs);
+        let topo = n.topology().unwrap();
+        let delays = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let net = NetId::from_index(net_pick as usize % n.net_count());
+        let mut overlay = FaultOverlay::new(&n);
+        overlay.add(net, kind, 1).unwrap();
+
+        let mut level = LevelSim::new(&n, &topo, delays.clone());
+        let mut event = EventSim::new(&n, &topo, delays);
+        level.set_fault_overlay(overlay.clone());
+        event.set_fault_overlay(overlay);
+        assert_locked_steps(&n, &mut level, &mut event, inputs, &seqs);
+
+        // Detach: the faulted state must re-initialize identically too.
+        level.clear_fault_overlay();
+        event.clear_fault_overlay();
+        assert_locked_steps(&n, &mut level, &mut event, inputs, &seqs);
+    }
+}

@@ -2,8 +2,9 @@
 # available as `scripts/verify.sh` for environments without `just`.
 
 # Format check + clippy (all features, warnings fatal) + full test suite +
-# a quick fault-injection campaign smoke run.
-verify: fmt-check clippy test fault-smoke
+# a quick fault-injection campaign smoke run + the timing-kernel
+# equivalence smoke.
+verify: fmt-check clippy test fault-smoke timing-equiv
 
 fmt-check:
 	cargo fmt --all -- --check
@@ -25,6 +26,15 @@ test-parallel:
 fault-smoke:
 	cargo run --release -p agemul-repro -- --quick faults
 
+# Timing-kernel equivalence smoke: the levelized kernel must reproduce the
+# event-driven reference bit-for-bit on an 8×8 column-bypass workload.
+timing-equiv:
+	cargo test -q -p agemul --test level_equiv timing_equiv_smoke_cb8
+
 # Scalar-vs-batch simulator benches; see BENCH_sim.json for the record.
 bench-sim:
 	cargo bench -p agemul-bench --bench batch_sim
+
+# Profiling-path benches: event-driven vs levelized vs memoized.
+bench-profile:
+	cargo bench -p agemul-bench --bench profile

@@ -10,3 +10,6 @@ cargo build --release --workspace
 cargo test -q --workspace
 # Fault-campaign smoke: a reduced-scale end-to-end injection run.
 cargo run --release -p agemul-repro -- --quick faults >/dev/null
+# Timing-kernel equivalence smoke: LevelSim vs EventSim on an 8×8
+# column-bypass workload (bit-identical profiles).
+cargo test -q -p agemul --test level_equiv timing_equiv_smoke_cb8
