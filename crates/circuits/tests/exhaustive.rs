@@ -166,3 +166,106 @@ fn outputs_always_defined_exhaustive_5bit() {
         }
     }
 }
+
+/// Booth and Wallace, exhaustively, at the paper's 8-bit width (2 × 65536
+/// products against the host multiplier) — the bypass variants get their
+/// exhaustive coverage above; these two close the architecture matrix.
+#[test]
+fn booth_and_wallace_exhaustive_8bit() {
+    for kind in [MultiplierKind::Booth, MultiplierKind::Wallace] {
+        let m = MultiplierCircuit::generate(kind, 8).unwrap();
+        let topo = m.netlist().topology().unwrap();
+        let mut sim = BatchSim::new(m.netlist(), &topo);
+        for a in 0..256u64 {
+            for chunk in 0..4u64 {
+                let patterns: Vec<Vec<Logic>> = (0..64u64)
+                    .map(|i| m.encode_inputs(a, chunk * 64 + i).unwrap())
+                    .collect();
+                sim.eval_batch(&patterns).unwrap();
+                for i in 0..64u64 {
+                    let b = chunk * 64 + i;
+                    assert_eq!(
+                        m.product().decode_with(|net| sim.value(net, i as usize)),
+                        Some(u128::from(a * b)),
+                        "{kind:?}: {a} × {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The signed Booth recoding, exhaustively, at 8 bits: every product is
+/// the 16-bit two's-complement pattern of `(a as i8) * (b as i8)`.
+#[test]
+fn signed_booth_exhaustive_8bit() {
+    let m = MultiplierCircuit::generate_signed_booth(8).unwrap();
+    let topo = m.netlist().topology().unwrap();
+    let mut sim = BatchSim::new(m.netlist(), &topo);
+    for a in 0..256u64 {
+        for chunk in 0..4u64 {
+            let patterns: Vec<Vec<Logic>> = (0..64u64)
+                .map(|i| m.encode_inputs(a, chunk * 64 + i).unwrap())
+                .collect();
+            sim.eval_batch(&patterns).unwrap();
+            for i in 0..64u64 {
+                let b = chunk * 64 + i;
+                let expected = (a as i8 as i16).wrapping_mul(b as i8 as i16);
+                let got = m
+                    .product()
+                    .decode_with(|net| sim.value(net, i as usize))
+                    .expect("fully defined product") as u16 as i16;
+                assert_eq!(got, expected, "signed Booth: {a:#x} × {b:#x}");
+            }
+        }
+    }
+}
+
+/// The carry-select adder, exhaustively, at 8 bits for every block size
+/// from degenerate ripple (1) through a single block (8): sum and
+/// carry-out against the host adder.
+#[test]
+fn carry_select_adder_exhaustive_8bit_all_blocks() {
+    use agemul_circuits::carry_select_adder;
+    use agemul_netlist::{Bus, Netlist};
+
+    for block in [1, 2, 3, 4, 5, 8] {
+        let mut n = Netlist::new();
+        let a: Bus = (0..8).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Bus = (0..8).map(|i| n.add_input(format!("b{i}"))).collect();
+        let (sum, cout) = carry_select_adder(&mut n, &a, &b, block).unwrap();
+        sum.nets()
+            .iter()
+            .enumerate()
+            .for_each(|(i, &s)| n.mark_output(s, format!("s{i}")));
+        n.mark_output(cout, "cout");
+        let topo = n.topology().unwrap();
+        let mut sim = BatchSim::new(&n, &topo);
+        for av in 0..256u128 {
+            let a_bits = a.encode(av).unwrap();
+            for chunk in 0..4u128 {
+                let patterns: Vec<Vec<Logic>> = (0..64u128)
+                    .map(|i| {
+                        let mut p = a_bits.clone();
+                        p.extend(b.encode(chunk * 64 + i).unwrap());
+                        p
+                    })
+                    .collect();
+                sim.eval_batch(&patterns).unwrap();
+                for i in 0..64u128 {
+                    let bv = chunk * 64 + i;
+                    assert_eq!(
+                        sum.decode_with(|net| sim.value(net, i as usize)),
+                        Some((av + bv) & 0xFF),
+                        "block {block}: {av} + {bv} (sum)"
+                    );
+                    assert_eq!(
+                        sim.value(cout, i as usize) == Logic::One,
+                        av + bv > 0xFF,
+                        "block {block}: {av} + {bv} (carry)"
+                    );
+                }
+            }
+        }
+    }
+}

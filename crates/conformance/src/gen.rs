@@ -1,0 +1,146 @@
+//! The shared random-netlist generator behind every equivalence suite.
+//!
+//! Before this crate existed, `random_circuits.rs`, `batch_equiv.rs`, and
+//! `level_equiv.rs` in `agemul-netlist` each carried a private copy of the
+//! same generator. Those copies are gone: every differential suite —
+//! property tests and the seeded conformance gate alike — now draws
+//! circuits from this one definition, so a change to the scheme changes
+//! what *all* of them cover.
+//!
+//! The scheme: a netlist starts from `inputs` primary inputs plus the two
+//! constant rails; each [`GateRecipe`] appends one gate whose kind is
+//! `kind_sel % 10` and whose input pins are `picks[..]` taken modulo the
+//! nets available at that point, so the result is a well-formed DAG by
+//! construction (including tri-state floats and mux bypass idioms); the
+//! last four nets become primary outputs.
+
+use agemul_logic::{GateKind, Logic};
+use agemul_netlist::{NetId, Netlist};
+use proptest::prelude::*;
+
+/// Number of primary inputs every generated netlist carries. Six is wide
+/// enough that 64-bit workload words exercise distinct input patterns and
+/// narrow enough that sequences visit repeats (the incremental-cone path).
+pub const GEN_INPUTS: usize = 6;
+
+/// Recipe for one random gate: a kind selector and input picks interpreted
+/// modulo the number of nets available when the gate is appended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GateRecipe {
+    /// Gate-kind selector; the kind is `kind_sel % 10` (see [`GateRecipe::kind`]).
+    pub kind_sel: u8,
+    /// Input-net picks, each reduced modulo the current net count.
+    pub picks: [u16; 3],
+}
+
+impl GateRecipe {
+    /// The gate kind this recipe selects.
+    pub fn kind(self) -> GateKind {
+        match self.kind_sel % 10 {
+            0 => GateKind::Buf,
+            1 => GateKind::Not,
+            2 => GateKind::And,
+            3 => GateKind::Or,
+            4 => GateKind::Nand,
+            5 => GateKind::Nor,
+            6 => GateKind::Xor,
+            7 => GateKind::Xnor,
+            8 => GateKind::Mux2,
+            _ => GateKind::Tbuf,
+        }
+    }
+}
+
+/// Proptest strategy over gate recipes, for the property suites.
+pub fn arb_gate() -> impl Strategy<Value = GateRecipe> {
+    (any::<u8>(), any::<u16>(), any::<u16>(), any::<u16>()).prop_map(|(k, a, b, c)| GateRecipe {
+        kind_sel: k,
+        picks: [a, b, c],
+    })
+}
+
+/// Builds a well-formed netlist from recipes; every gate reads nets that
+/// already exist, so the result is a DAG by construction. The last four
+/// nets are marked as primary outputs `o0..o3`.
+pub fn build_netlist(recipes: &[GateRecipe], inputs: usize) -> Netlist {
+    let mut n = Netlist::new();
+    let mut nets: Vec<NetId> = (0..inputs).map(|i| n.add_input(format!("i{i}"))).collect();
+    nets.push(n.const_zero());
+    nets.push(n.const_one());
+    for r in recipes {
+        let pick = |p: u16| nets[p as usize % nets.len()];
+        let kind = r.kind();
+        let ins: Vec<NetId> = match kind.fixed_arity() {
+            Some(1) => vec![pick(r.picks[0])],
+            Some(3) => vec![pick(r.picks[0]), pick(r.picks[1]), pick(r.picks[2])],
+            _ => vec![pick(r.picks[0]), pick(r.picks[1])],
+        };
+        let out = n.add_gate(kind, &ins).expect("recipe inputs are valid");
+        nets.push(out);
+    }
+    for (i, &o) in nets.iter().rev().take(4).enumerate() {
+        n.mark_output(o, format!("o{i}"));
+    }
+    n
+}
+
+/// Expands the low `count` bits of `bits` into a two-level input vector
+/// (bit `i` drives input `i`).
+pub fn input_vector(bits: u64, count: usize) -> Vec<Logic> {
+    (0..count)
+        .map(|i| Logic::from((bits >> i) & 1 == 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_selector_is_reachable() {
+        let kinds: Vec<GateKind> = (0..10u8)
+            .map(|k| {
+                GateRecipe {
+                    kind_sel: k,
+                    picks: [0; 3],
+                }
+                .kind()
+            })
+            .collect();
+        for pair in kinds.windows(2) {
+            assert_ne!(pair[0], pair[1]);
+        }
+        assert_eq!(kinds.len(), 10);
+    }
+
+    #[test]
+    fn build_marks_four_outputs_and_keeps_dag_valid() {
+        let recipes: Vec<GateRecipe> = (0..12)
+            .map(|i| GateRecipe {
+                kind_sel: i as u8,
+                picks: [i as u16, (i * 3) as u16, (i * 7) as u16],
+            })
+            .collect();
+        let n = build_netlist(&recipes, GEN_INPUTS);
+        assert_eq!(n.gate_count(), 12);
+        assert_eq!(n.output_count(), 4);
+        n.topology().expect("generated netlists are always DAGs");
+    }
+
+    #[test]
+    fn empty_recipe_list_is_still_a_valid_netlist() {
+        let n = build_netlist(&[], GEN_INPUTS);
+        assert_eq!(n.gate_count(), 0);
+        assert_eq!(n.output_count(), 4);
+        n.topology().unwrap();
+    }
+
+    #[test]
+    fn input_vector_reads_low_bits_lsb_first() {
+        let v = input_vector(0b101, 6);
+        assert_eq!(v[0], Logic::One);
+        assert_eq!(v[1], Logic::Zero);
+        assert_eq!(v[2], Logic::One);
+        assert_eq!(v[3], Logic::Zero);
+    }
+}

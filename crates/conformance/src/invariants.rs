@@ -1,0 +1,331 @@
+//! Metamorphic invariants: the paper's laws, checked as executable
+//! properties.
+//!
+//! The SOCC'12 architecture rests on claims that are relations between
+//! runs, not single expected values — a stricter judging block only moves
+//! operations from one cycle to two, BTI stress only inflates delay, every
+//! Razor error costs exactly the penalty, and memoized profiles are
+//! indistinguishable from freshly simulated ones. Those are ideal
+//! metamorphic properties: each is checked here against real simulations,
+//! so any engine/cache/judging change that bends a law fails the
+//! conformance gate with the law's name attached.
+
+use std::sync::Arc;
+
+use agemul::{
+    run_engine, CoreError, EngineConfig, JudgingBlock, MultiplierDesign, PatternProfile,
+    ProfileCache, SimEngine,
+};
+use agemul_circuits::MultiplierKind;
+
+/// One broken law.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The invariant that failed.
+    pub law: &'static str,
+    /// What was observed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.law, self.detail)
+    }
+}
+
+/// Checks the engine-replay laws on one profile over grids of clock
+/// periods and skip numbers:
+///
+/// * **judging-block monotonicity** — `JudgingBlock::stricter` never turns
+///   a two-cycle pattern into a one-cycle one, and (on full replays) the
+///   traditional engine's one-cycle count is non-increasing in the skip
+///   number;
+/// * **cycle accounting** — `cycles = 1·one_cycle + 2·two_cycle +
+///   penalty·errors` holds exactly for every adaptive/traditional ×
+///   strict/lenient × period combination, and every operation is either a
+///   one-cycle or a two-cycle one.
+pub fn check_profile_laws(
+    profile: &PatternProfile,
+    periods: &[f64],
+    skips: &[u32],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    for &skip in skips {
+        let block = JudgingBlock::new(skip);
+        let stricter = block.stricter();
+        for record in profile.records() {
+            if stricter.is_one_cycle(record.zeros) && !block.is_one_cycle(record.zeros) {
+                violations.push(Violation {
+                    law: "judging-block monotonicity (per pattern)",
+                    detail: format!(
+                        "zeros={} one-cycle under skip {} but not skip {}",
+                        record.zeros,
+                        stricter.skip(),
+                        block.skip()
+                    ),
+                });
+            }
+        }
+    }
+
+    for &period in periods {
+        let mut previous_one_cycle = None;
+        let mut sorted = skips.to_vec();
+        sorted.sort_unstable();
+        for &skip in &sorted {
+            let metrics = run_engine(profile, &EngineConfig::traditional(period, skip));
+            if let Some((prev_skip, prev)) = previous_one_cycle {
+                if metrics.one_cycle_ops > prev {
+                    violations.push(Violation {
+                        law: "judging-block monotonicity (replay)",
+                        detail: format!(
+                            "period {period} ns: skip {skip} classified {} one-cycle ops, \
+                             skip {prev_skip} only {prev}",
+                            metrics.one_cycle_ops
+                        ),
+                    });
+                }
+            }
+            previous_one_cycle = Some((skip, metrics.one_cycle_ops));
+        }
+
+        for &skip in skips {
+            for adaptive in [false, true] {
+                for strict in [false, true] {
+                    let mut config = if adaptive {
+                        EngineConfig::adaptive(period, skip)
+                    } else {
+                        EngineConfig::traditional(period, skip)
+                    };
+                    config.strict_two_cycle = strict;
+                    let m = run_engine(profile, &config);
+                    let expected = m.one_cycle_ops
+                        + 2 * m.two_cycle_ops
+                        + u64::from(config.error_penalty_cycles) * m.errors;
+                    if m.cycles != expected {
+                        violations.push(Violation {
+                            law: "cycle-accounting identity",
+                            detail: format!(
+                                "period {period} ns, skip {skip}, adaptive={adaptive}, \
+                                 strict={strict}: cycles={} but 1·{} + 2·{} + {}·{} = {expected}",
+                                m.cycles,
+                                m.one_cycle_ops,
+                                m.two_cycle_ops,
+                                config.error_penalty_cycles,
+                                m.errors
+                            ),
+                        });
+                    }
+                    if m.operations != m.one_cycle_ops + m.two_cycle_ops {
+                        violations.push(Violation {
+                            law: "operation partition",
+                            detail: format!(
+                                "period {period} ns, skip {skip}: {} ops but {} one-cycle \
+                                 + {} two-cycle",
+                                m.operations, m.one_cycle_ops, m.two_cycle_ops
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Deterministic per-gate BTI factor vector (same shape the core
+/// equivalence suite uses: spread over [1.0, 1.35] with a coprime stride
+/// so neighbouring gates age differently).
+fn aged_factors(design: &MultiplierDesign) -> Vec<f64> {
+    let gates = design.circuit().netlist().gate_count();
+    (0..gates)
+        .map(|i| 1.0 + 0.35 * ((i * 13) % 29) as f64 / 29.0)
+        .collect()
+}
+
+/// Runs the multiplier-level conformance battery for one design and
+/// workload:
+///
+/// * **engine identity** — event-driven and levelized profiles are
+///   record-identical (exact `f64` equality on delays), fresh and aged;
+/// * **stress-delay monotonicity** — uniformly inflating every gate's BTI
+///   factor never shortens the static critical path nor the profile's max
+///   or mean sensitized delay (individual patterns may flicker: inertial
+///   filtering can suppress the hazard that defined a pattern's last
+///   output change — see the inline note);
+/// * **cache-hit ≡ cache-miss** — a cold [`ProfileCache`] miss produces
+///   records identical to an uncached profile, and a warm hit returns the
+///   same allocation with the hit/miss counters advancing accordingly;
+/// * the profile laws of [`check_profile_laws`], on periods swept around
+///   the fresh critical path.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from circuit generation or profiling
+/// (conformance runs on supported widths never error).
+pub fn check_multiplier_conformance(
+    kind: MultiplierKind,
+    width: usize,
+    pairs: &[(u64, u64)],
+) -> Result<Vec<Violation>, CoreError> {
+    let design = MultiplierDesign::new(kind, width)?;
+    let mut violations = Vec::new();
+
+    // Engine identity, fresh and aged.
+    let aged = aged_factors(&design);
+    for factors in [None, Some(aged.as_slice())] {
+        let event = design.profile_with_engine(pairs, factors, SimEngine::Event)?;
+        let level = design.profile_with_engine(pairs, factors, SimEngine::Level)?;
+        if event.records() != level.records() {
+            let first = event
+                .records()
+                .iter()
+                .zip(level.records())
+                .position(|(e, l)| e != l);
+            violations.push(Violation {
+                law: "engine identity (EventSim ≡ LevelSim)",
+                detail: format!(
+                    "{kind:?} w{width} aged={}: first mismatching record at index {first:?}",
+                    factors.is_some()
+                ),
+            });
+        }
+    }
+
+    // Stress-delay monotonicity over a uniform BTI sweep. Individual
+    // records are *not* required to be monotone: the measured delay is the
+    // time of the last output change, and inertial pulse filtering can
+    // suppress at higher stress a hazard that defined that last change at
+    // lower stress (observed on real bypass multipliers). The paper's
+    // claim is about the delay distribution, so the laws checked are the
+    // static critical path (a theorem: a max of sums of per-gate delays,
+    // each monotone in its factor) and the profile's max and mean
+    // sensitized delays.
+    let gates = design.circuit().netlist().gate_count();
+    let stress_levels = [1.0, 1.15, 1.4];
+    let mut stressed: Vec<(f64, PatternProfile, f64)> = Vec::new();
+    for &alpha in &stress_levels {
+        let factors = vec![alpha; gates];
+        let profile = design.profile(pairs, Some(&factors))?;
+        let critical = design.critical_delay_ns(Some(&factors))?;
+        stressed.push((alpha, profile, critical));
+    }
+    for pair in stressed.windows(2) {
+        let (lo_alpha, lo_profile, lo_critical) = (&pair[0].0, &pair[0].1, pair[0].2);
+        let (hi_alpha, hi_profile, hi_critical) = (&pair[1].0, &pair[1].1, pair[1].2);
+        if hi_critical < lo_critical {
+            violations.push(Violation {
+                law: "stress-delay monotonicity (critical path)",
+                detail: format!(
+                    "{kind:?} w{width}: critical {lo_critical} ns at ×{lo_alpha} but \
+                     {hi_critical} ns at ×{hi_alpha}"
+                ),
+            });
+        }
+        for (law, lo_v, hi_v) in [
+            (
+                "stress-delay monotonicity (max sensitized delay)",
+                lo_profile.max_delay_ns(),
+                hi_profile.max_delay_ns(),
+            ),
+            (
+                "stress-delay monotonicity (mean sensitized delay)",
+                lo_profile.avg_delay_ns(),
+                hi_profile.avg_delay_ns(),
+            ),
+        ] {
+            if hi_v < lo_v {
+                violations.push(Violation {
+                    law,
+                    detail: format!(
+                        "{kind:?} w{width}: {lo_v} ns at ×{lo_alpha} but {hi_v} ns at ×{hi_alpha}"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Cache coherence: miss ≡ direct profile, hit ≡ miss.
+    let cache = ProfileCache::new();
+    let direct = design.profile(pairs, None)?;
+    let cold = cache.profile(&design, pairs, None)?;
+    if cold.records() != direct.records() {
+        violations.push(Violation {
+            law: "cache-miss identity",
+            detail: format!("{kind:?} w{width}: cold cache profile differs from direct profile"),
+        });
+    }
+    let warm = cache.profile(&design, pairs, None)?;
+    if !Arc::ptr_eq(&cold, &warm) {
+        violations.push(Violation {
+            law: "cache-hit identity",
+            detail: format!("{kind:?} w{width}: warm hit returned a different allocation"),
+        });
+    }
+    if (cache.hits(), cache.misses()) != (1, 1) {
+        violations.push(Violation {
+            law: "cache-hit accounting",
+            detail: format!(
+                "{kind:?} w{width}: expected (hits, misses) = (1, 1), got ({}, {})",
+                cache.hits(),
+                cache.misses()
+            ),
+        });
+    }
+    if warm.records() != direct.records() {
+        violations.push(Violation {
+            law: "cache-hit identity",
+            detail: format!("{kind:?} w{width}: warm hit records differ from direct profile"),
+        });
+    }
+
+    // Replay laws around the fresh critical path.
+    let critical = design.critical_delay_ns(None)?;
+    let periods: Vec<f64> = [0.55, 0.75, 1.0].iter().map(|f| f * critical).collect();
+    let w = width as u32;
+    let skips = [2, w.saturating_sub(1).max(1), w, w + 1];
+    violations.extend(check_profile_laws(&direct, &periods, &skips));
+
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agemul::PatternSet;
+
+    #[test]
+    fn column_bypass_8bit_conforms() {
+        let patterns = PatternSet::uniform(8, 60, 0xA11CE);
+        let violations =
+            check_multiplier_conformance(MultiplierKind::ColumnBypass, 8, patterns.pairs())
+                .unwrap();
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+
+    #[test]
+    fn broken_identity_is_reported() {
+        use agemul::PatternRecord;
+        // A synthetic profile is fine for the law checker; fabricate one
+        // whose zeros exceed any real judged-operand count to make every
+        // op one-cycle at low skips.
+        let records = vec![
+            PatternRecord {
+                a: 1,
+                b: 2,
+                zeros: 7,
+                delay_ns: 5.0,
+            },
+            PatternRecord {
+                a: 3,
+                b: 4,
+                zeros: 1,
+                delay_ns: 12.0,
+            },
+        ];
+        let profile = PatternProfile::from_records(MultiplierKind::ColumnBypass, 8, records);
+        let violations = check_profile_laws(&profile, &[6.0, 13.0], &[2, 8]);
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+}

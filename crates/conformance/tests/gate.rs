@@ -1,0 +1,102 @@
+//! Acceptance tests for the conformance subsystem itself: the seeded
+//! 200-case gate is divergence-free, the shrinker reduces an injected
+//! eval bug to a ≤ 8-gate repro, and the multiplier-level invariant
+//! battery holds for the paper's architectures.
+
+use agemul::PatternSet;
+use agemul_circuits::MultiplierKind;
+use agemul_conformance::{
+    check_case, check_multiplier_conformance, gen::input_vector, reference_eval, repro_artifact,
+    run_gate, shrink_case, Case, Json,
+};
+use agemul_logic::GateKind;
+use agemul_netlist::FuncSim;
+
+/// The same fixed seed the verify gate and `repro conformance` use.
+const GATE_SEED: u64 = 0xC04F_0421;
+
+#[test]
+fn seeded_gate_200_cases_zero_divergence() {
+    let outcome = run_gate(GATE_SEED, 200).unwrap();
+    assert_eq!(outcome.cases, 200);
+    let artifacts: Vec<&str> = outcome
+        .divergent
+        .iter()
+        .map(|d| d.artifact.as_str())
+        .collect();
+    assert!(
+        outcome.is_clean(),
+        "{} divergent cases, minimized repros:\n{}",
+        outcome.divergent.len(),
+        artifacts.join("\n")
+    );
+}
+
+/// A buggy engine (here: a reference interpreter with every XOR output
+/// inverted) must shrink to a repro small enough to debug by eye.
+#[test]
+fn injected_eval_bug_shrinks_to_minimal_repro() {
+    // The failure predicate a real divergence hunt would use: does any
+    // workload step disagree between the sabotaged interpreter and
+    // FuncSim?
+    let mut fails = |case: &Case| {
+        let n = case.netlist();
+        let Ok(topo) = n.topology() else {
+            return false;
+        };
+        let mut fsim = FuncSim::new(&n, &topo);
+        case.workload.iter().any(|&w| {
+            let pattern = input_vector(w, case.inputs);
+            fsim.eval(&pattern).unwrap();
+            fsim.values() != reference_eval(&n, &pattern, None, Some(GateKind::Xor))
+        })
+    };
+
+    let case = (0..256)
+        .map(Case::generate)
+        .find(|c| fails(c))
+        .expect("the injected XOR bug must surface within 256 seeds");
+    let minimized = shrink_case(&case, &mut fails);
+
+    assert!(
+        minimized.gates.len() <= 8,
+        "repro not minimal: {} gates in {}",
+        minimized.gates.len(),
+        minimized.to_json()
+    );
+    assert!(fails(&minimized), "minimized case no longer reproduces");
+    assert!(minimized.gates.iter().any(|g| g.kind() == GateKind::Xor));
+
+    // The artifact replays: parse it back and re-trigger the bug.
+    let artifact = repro_artifact(&minimized, &[]);
+    let doc = Json::parse(&artifact).unwrap();
+    let replayed = Case::from_json(&doc.get("case").unwrap().to_string()).unwrap();
+    assert_eq!(replayed, minimized);
+    assert!(fails(&replayed));
+}
+
+/// Shrunk artifacts must survive the full JSON round trip for every
+/// generator axis, not just the seeds the gate happens to visit.
+#[test]
+fn case_json_round_trip_across_seeds() {
+    for seed in 0..256 {
+        let case = Case::generate(seed);
+        let back = Case::from_json(&case.to_json()).unwrap();
+        assert_eq!(back, case, "seed {seed}");
+        // A round-tripped case must also check identically.
+        assert_eq!(check_case(&back).unwrap(), check_case(&case).unwrap());
+    }
+}
+
+#[test]
+fn multiplier_invariants_hold_for_paper_architectures() {
+    for (kind, pairs) in [
+        (MultiplierKind::ColumnBypass, 160),
+        (MultiplierKind::RowBypass, 160),
+        (MultiplierKind::Array, 120),
+    ] {
+        let patterns = PatternSet::uniform(8, pairs, 0x5EED ^ pairs as u64);
+        let violations = check_multiplier_conformance(kind, 8, patterns.pairs()).unwrap();
+        assert!(violations.is_empty(), "{kind:?}: {violations:#?}");
+    }
+}

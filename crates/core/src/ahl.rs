@@ -395,4 +395,76 @@ mod tests {
         }
         assert!(!ahl.is_aged_mode());
     }
+
+    /// Regression for the 10%-per-100-ops window edge: a burst of exactly
+    /// ten errors that straddles the boundary (nine closing one window,
+    /// one opening the next) must never trip, because the counter resets
+    /// at the edge — while the same burst shifted a single op earlier
+    /// lands entirely in one window and engages exactly at its boundary,
+    /// not one op later.
+    #[test]
+    fn window_edge_reset_regression() {
+        // Ops 92..=100 of window 1 (9 errors) + op 1 of window 2 (1).
+        let mut straddle = Ahl::adaptive(7, AhlConfig::paper());
+        for i in 0..300 {
+            straddle.record((91..101).contains(&i));
+        }
+        assert!(
+            !straddle.is_aged_mode(),
+            "a straddling burst must not survive the counter reset"
+        );
+        assert_eq!(straddle.mode_transitions(), 0);
+
+        // The same ten errors one op earlier: ops 91..=100 of window 1.
+        let mut inside = Ahl::adaptive(7, AhlConfig::paper());
+        for i in 0..100 {
+            assert!(
+                !inside.is_aged_mode(),
+                "engaged before the window boundary at op {i}"
+            );
+            inside.record((90..100).contains(&i));
+        }
+        assert!(inside.is_aged_mode(), "10 errors in one window must trip");
+        assert_eq!(inside.mode_transitions(), 1);
+    }
+
+    /// Non-sticky switch-back at the exact threshold: a window with
+    /// exactly ten errors engages the stricter judging block at its
+    /// boundary, the following nine-error window falls back, and the
+    /// cycle repeats — with `decide` and `active_block` flipping in
+    /// lockstep with the mode.
+    #[test]
+    fn switch_back_oscillation_at_exact_threshold() {
+        let cfg = AhlConfig {
+            sticky: false,
+            ..AhlConfig::paper()
+        };
+        let mut ahl = Ahl::adaptive(7, cfg);
+        for round in 0..4 {
+            // Exactly at threshold: trips at this window's boundary.
+            for i in 0..100 {
+                ahl.record(i < 10);
+            }
+            assert!(
+                ahl.is_aged_mode(),
+                "round {round}: threshold window must trip"
+            );
+            assert_eq!(ahl.active_block().skip(), 8);
+            assert_eq!(ahl.decide(7), CycleDecision::TwoCycles);
+            assert_eq!(ahl.decide(8), CycleDecision::OneCycle);
+
+            // One error short of threshold: switches back at the next
+            // boundary and the base block decides again.
+            for i in 0..100 {
+                ahl.record(i < 9);
+            }
+            assert!(
+                !ahl.is_aged_mode(),
+                "round {round}: sub-threshold window must fall back"
+            );
+            assert_eq!(ahl.active_block().skip(), 7);
+            assert_eq!(ahl.decide(7), CycleDecision::OneCycle);
+        }
+        assert_eq!(ahl.mode_transitions(), 8);
+    }
 }

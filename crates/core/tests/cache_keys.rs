@@ -1,0 +1,167 @@
+//! `ProfileCache` key-separation probes.
+//!
+//! The cache key is `(kind, width, delay fingerprint, workload
+//! fingerprint)`. A fingerprint collision would silently replay the wrong
+//! profile — the cached-run results would look plausible and verify
+//! nothing — so these tests drive the cache through *behavior*, not
+//! through the private hash values: every perturbed delay assignment or
+//! workload must register a fresh miss, and identical inputs must hit.
+
+use std::convert::Infallible;
+use std::sync::Arc;
+
+use agemul::{MultiplierDesign, PatternProfile, PatternSet, ProfileCache};
+use agemul_circuits::MultiplierKind;
+use agemul_netlist::{DelayAssignment, GateId};
+use proptest::prelude::*;
+
+/// Inserts a placeholder profile for (`design`, `delays`, `pairs`) and
+/// reports whether the lookup missed. The builder never simulates — key
+/// separation is entirely observable from the hit/miss counters.
+fn probe(
+    cache: &ProfileCache,
+    design: &MultiplierDesign,
+    delays: &DelayAssignment,
+    pairs: &[(u64, u64)],
+) -> bool {
+    let before = cache.misses();
+    let result: Result<Arc<PatternProfile>, Infallible> =
+        cache.get_or_insert_with(design, delays, pairs, || {
+            Ok(PatternProfile::from_records(
+                design.kind(),
+                design.width(),
+                vec![],
+            ))
+        });
+    result.expect("builder is infallible");
+    cache.misses() > before
+}
+
+/// Every single-gate inflation produces a delay assignment with its own
+/// cache entry: no two of the ~600 perturbed assignments alias, and
+/// replaying any of them hits.
+#[test]
+fn per_gate_delay_perturbations_never_alias() {
+    let design = MultiplierDesign::new(MultiplierKind::ColumnBypass, 8).unwrap();
+    let base = design.delay_assignment(None).unwrap();
+    let pairs = PatternSet::uniform(8, 16, 1).pairs().to_vec();
+    let cache = ProfileCache::new();
+
+    assert!(
+        probe(&cache, &design, &base, &pairs),
+        "first insert must miss"
+    );
+    let gates = design.circuit().netlist().gate_count();
+    for g in 0..gates {
+        let mut perturbed = base.clone();
+        perturbed.inflate(GateId::from_index(g), 2.0);
+        assert!(
+            probe(&cache, &design, &perturbed, &pairs),
+            "inflating gate {g} aliased an earlier key"
+        );
+    }
+    assert_eq!(cache.misses(), gates as u64 + 1);
+    assert_eq!(cache.hits(), 0);
+
+    // Replays of the base and of one perturbed assignment now hit.
+    assert!(!probe(&cache, &design, &base, &pairs));
+    let mut perturbed = base.clone();
+    perturbed.inflate(GateId::from_index(gates / 2), 2.0);
+    assert!(!probe(&cache, &design, &perturbed, &pairs));
+    assert_eq!(cache.hits(), 2);
+}
+
+/// Deterministic workload-axis probes: the canonical "almost equal"
+/// workloads — one bit flipped, two pairs swapped, truncated, extended,
+/// reversed — all get their own entries.
+#[test]
+fn near_identical_workloads_never_alias() {
+    let design = MultiplierDesign::new(MultiplierKind::RowBypass, 8).unwrap();
+    let delays = design.delay_assignment(None).unwrap();
+    let base = PatternSet::uniform(8, 24, 7).pairs().to_vec();
+    let cache = ProfileCache::new();
+    assert!(probe(&cache, &design, &delays, &base));
+
+    let mut variants: Vec<Vec<(u64, u64)>> = Vec::new();
+    let mut flipped = base.clone();
+    flipped[5].0 ^= 1;
+    variants.push(flipped);
+    let mut swapped = base.clone();
+    swapped.swap(3, 17);
+    variants.push(swapped);
+    variants.push(base[..base.len() - 1].to_vec());
+    let mut extended = base.clone();
+    extended.push(base[0]);
+    variants.push(extended);
+    let mut reversed = base.clone();
+    reversed.reverse();
+    variants.push(reversed);
+
+    for (i, variant) in variants.iter().enumerate() {
+        // Skip a variant that degenerates to the base (e.g. a reverse of
+        // a palindromic workload) — uniform random pairs never do.
+        assert_ne!(variant, &base, "variant {i} is not a perturbation");
+        assert!(
+            probe(&cache, &design, &delays, variant),
+            "workload variant {i} aliased the base key"
+        );
+    }
+    assert_eq!(cache.misses(), variants.len() as u64 + 1);
+    assert!(
+        !probe(&cache, &design, &delays, &base),
+        "base replay must hit"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random single-bit operand flips at random positions miss against
+    /// the unperturbed workload's entry.
+    #[test]
+    fn random_bit_flips_never_alias(
+        seed in any::<u64>(),
+        pick in any::<u16>(),
+        bit in 0u32..8,
+        flip_b in any::<bool>(),
+    ) {
+        let design = MultiplierDesign::new(MultiplierKind::Array, 8).unwrap();
+        let delays = design.delay_assignment(None).unwrap();
+        let base = PatternSet::uniform(8, 12, seed).pairs().to_vec();
+        let mut mutated = base.clone();
+        let slot = pick as usize % mutated.len();
+        if flip_b {
+            mutated[slot].1 ^= 1 << bit;
+        } else {
+            mutated[slot].0 ^= 1 << bit;
+        }
+
+        let cache = ProfileCache::new();
+        prop_assert!(probe(&cache, &design, &delays, &base));
+        prop_assert!(probe(&cache, &design, &delays, &mutated));
+        prop_assert!(!probe(&cache, &design, &delays, &base));
+        prop_assert!(!probe(&cache, &design, &delays, &mutated));
+        prop_assert_eq!((cache.hits(), cache.misses()), (2, 2));
+    }
+
+    /// Random hot-spot delay inflations miss against the nominal entry,
+    /// and the same inflation replayed hits.
+    #[test]
+    fn random_delay_inflations_never_alias(
+        gate_pick in any::<u16>(),
+        factor in 1.01f64..8.0,
+    ) {
+        let design = MultiplierDesign::new(MultiplierKind::ColumnBypass, 8).unwrap();
+        let base = design.delay_assignment(None).unwrap();
+        let pairs = PatternSet::uniform(8, 8, 3).pairs().to_vec();
+        let gates = design.circuit().netlist().gate_count();
+        let mut inflated = base.clone();
+        inflated.inflate(GateId::from_index(gate_pick as usize % gates), factor);
+
+        let cache = ProfileCache::new();
+        prop_assert!(probe(&cache, &design, &base, &pairs));
+        prop_assert!(probe(&cache, &design, &inflated, &pairs));
+        prop_assert!(!probe(&cache, &design, &inflated, &pairs));
+        prop_assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+}

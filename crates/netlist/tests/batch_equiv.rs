@@ -6,24 +6,10 @@
 //! every net of every lane is compared against a scalar `FuncSim` run of
 //! the same pattern.
 
-use agemul_logic::{GateKind, Logic};
-use agemul_netlist::{BatchSim, FuncSim, NetId, Netlist, NetlistError};
+use agemul_conformance::gen::{arb_gate, build_netlist, GateRecipe, GEN_INPUTS};
+use agemul_logic::Logic;
+use agemul_netlist::{BatchSim, FuncSim, NetlistError};
 use proptest::prelude::*;
-
-/// Recipe for one random gate (same scheme as `random_circuits.rs`): kind
-/// selector and input picks modulo the nets available at build time.
-#[derive(Clone, Debug)]
-struct GateRecipe {
-    kind_sel: u8,
-    picks: [u16; 3],
-}
-
-fn arb_gate() -> impl Strategy<Value = GateRecipe> {
-    (any::<u8>(), any::<u16>(), any::<u16>(), any::<u16>()).prop_map(|(k, a, b, c)| GateRecipe {
-        kind_sel: k,
-        picks: [a, b, c],
-    })
-}
 
 fn arb_logic() -> impl Strategy<Value = Logic> {
     prop_oneof![
@@ -32,39 +18,6 @@ fn arb_logic() -> impl Strategy<Value = Logic> {
         Just(Logic::Z),
         Just(Logic::X),
     ]
-}
-
-fn build(recipes: &[GateRecipe], inputs: usize) -> Netlist {
-    let mut n = Netlist::new();
-    let mut nets: Vec<NetId> = (0..inputs).map(|i| n.add_input(format!("i{i}"))).collect();
-    nets.push(n.const_zero());
-    nets.push(n.const_one());
-    for r in recipes {
-        let pick = |p: u16| nets[p as usize % nets.len()];
-        let kind = match r.kind_sel % 10 {
-            0 => GateKind::Buf,
-            1 => GateKind::Not,
-            2 => GateKind::And,
-            3 => GateKind::Or,
-            4 => GateKind::Nand,
-            5 => GateKind::Nor,
-            6 => GateKind::Xor,
-            7 => GateKind::Xnor,
-            8 => GateKind::Mux2,
-            _ => GateKind::Tbuf,
-        };
-        let ins: Vec<NetId> = match kind.fixed_arity() {
-            Some(1) => vec![pick(r.picks[0])],
-            Some(3) => vec![pick(r.picks[0]), pick(r.picks[1]), pick(r.picks[2])],
-            _ => vec![pick(r.picks[0]), pick(r.picks[1])],
-        };
-        let out = n.add_gate(kind, &ins).expect("recipe inputs are valid");
-        nets.push(out);
-    }
-    for (i, &o) in nets.iter().rev().take(4).enumerate() {
-        n.mark_output(o, format!("o{i}"));
-    }
-    n
 }
 
 proptest! {
@@ -81,8 +34,8 @@ proptest! {
         ),
     ) {
         let patterns = &patterns[..patterns.len().min(64)];
-        let inputs = 6;
-        let n = build(&recipes, inputs);
+        let inputs = GEN_INPUTS;
+        let n = build_netlist(&recipes, inputs);
         let topo = n.topology().unwrap();
 
         let mut batch = BatchSim::new(&n, &topo);
@@ -113,8 +66,8 @@ proptest! {
         ),
     ) {
         let patterns = &patterns[..patterns.len().min(64)];
-        let inputs = 6;
-        let n = build(&recipes, inputs);
+        let inputs = GEN_INPUTS;
+        let n = build_netlist(&recipes, inputs);
         let topo = n.topology().unwrap();
 
         let mut batch = BatchSim::new(&n, &topo);
@@ -147,8 +100,8 @@ proptest! {
             1..33,
         ),
     ) {
-        let inputs = 6;
-        let n = build(&recipes, inputs);
+        let inputs = GEN_INPUTS;
+        let n = build_netlist(&recipes, inputs);
         let topo = n.topology().unwrap();
 
         let mut batch = BatchSim::new(&n, &topo);
@@ -168,10 +121,10 @@ proptest! {
     /// Oversized batches are rejected, never truncated silently.
     #[test]
     fn oversized_batches_error(extra in 1usize..16) {
-        let n = build(&[GateRecipe { kind_sel: 6, picks: [0, 1, 2] }], 6);
+        let n = build_netlist(&[GateRecipe { kind_sel: 6, picks: [0, 1, 2] }], GEN_INPUTS);
         let topo = n.topology().unwrap();
         let mut batch = BatchSim::new(&n, &topo);
-        let patterns = vec![vec![Logic::Zero; 6]; 64 + extra];
+        let patterns = vec![vec![Logic::Zero; GEN_INPUTS]; 64 + extra];
         prop_assert_eq!(
             batch.eval_batch(&patterns).unwrap_err(),
             NetlistError::BatchSize { got: 64 + extra }

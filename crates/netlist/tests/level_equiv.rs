@@ -8,65 +8,12 @@
 //! (femtosecond-derived delays compare with `==`), identical settled values
 //! on **every** net, and identical cumulative per-gate toggle counters.
 
-use agemul_logic::{DelayModel, GateKind, Logic};
+use agemul_conformance::gen::{arb_gate, build_netlist, input_vector, GEN_INPUTS};
+use agemul_logic::DelayModel;
 use agemul_netlist::{
     DelayAssignment, EventSim, FaultKind, FaultOverlay, GateId, LevelSim, NetId, Netlist,
 };
 use proptest::prelude::*;
-
-/// Recipe for one random gate (same scheme as `random_circuits.rs`).
-#[derive(Clone, Debug)]
-struct GateRecipe {
-    kind_sel: u8,
-    picks: [u16; 3],
-}
-
-fn arb_gate() -> impl Strategy<Value = GateRecipe> {
-    (any::<u8>(), any::<u16>(), any::<u16>(), any::<u16>()).prop_map(|(k, a, b, c)| GateRecipe {
-        kind_sel: k,
-        picks: [a, b, c],
-    })
-}
-
-fn build(recipes: &[GateRecipe], inputs: usize) -> Netlist {
-    let mut n = Netlist::new();
-    let mut nets: Vec<NetId> = (0..inputs).map(|i| n.add_input(format!("i{i}"))).collect();
-    nets.push(n.const_zero());
-    nets.push(n.const_one());
-    for r in recipes {
-        let pick = |p: u16| nets[p as usize % nets.len()];
-        let kind = match r.kind_sel % 10 {
-            0 => GateKind::Buf,
-            1 => GateKind::Not,
-            2 => GateKind::And,
-            3 => GateKind::Or,
-            4 => GateKind::Nand,
-            5 => GateKind::Nor,
-            6 => GateKind::Xor,
-            7 => GateKind::Xnor,
-            8 => GateKind::Mux2,
-            _ => GateKind::Tbuf,
-        };
-        let ins: Vec<NetId> = match kind.fixed_arity() {
-            Some(1) => vec![pick(r.picks[0])],
-            Some(3) => vec![pick(r.picks[0]), pick(r.picks[1]), pick(r.picks[2])],
-            _ => vec![pick(r.picks[0]), pick(r.picks[1])],
-        };
-        let out = n.add_gate(kind, &ins).expect("recipe inputs are valid");
-        nets.push(out);
-    }
-    for (i, &o) in nets.iter().rev().take(4).enumerate() {
-        n.mark_output(o, format!("o{i}"));
-    }
-    n
-}
-
-fn input_vector(bits: u64, count: usize) -> Vec<Logic> {
-    (0..count)
-        .map(|i| Logic::from((bits >> i) & 1 == 1))
-        .collect()
-}
-
 fn arb_fault_kind() -> impl Strategy<Value = FaultKind> {
     prop_oneof![
         Just(FaultKind::StuckAt0),
@@ -114,8 +61,8 @@ proptest! {
         recipes in proptest::collection::vec(arb_gate(), 1..60),
         seqs in proptest::collection::vec(any::<u64>(), 1..10),
     ) {
-        let inputs = 6;
-        let n = build(&recipes, inputs);
+        let inputs = GEN_INPUTS;
+        let n = build_netlist(&recipes, inputs);
         let topo = n.topology().unwrap();
         let delays = DelayAssignment::uniform(&n, &DelayModel::nominal());
         let mut level = LevelSim::new(&n, &topo, delays.clone());
@@ -133,8 +80,8 @@ proptest! {
         hot_gate in any::<u16>(),
         hot_factor in 1.0f64..20.0,
     ) {
-        let inputs = 6;
-        let n = build(&recipes, inputs);
+        let inputs = GEN_INPUTS;
+        let n = build_netlist(&recipes, inputs);
         let topo = n.topology().unwrap();
         let factors: Vec<f64> = (0..n.gate_count())
             .map(|g| factor_seed[g % factor_seed.len()])
@@ -156,8 +103,8 @@ proptest! {
         net_pick in any::<u16>(),
         kind in arb_fault_kind(),
     ) {
-        let inputs = 6;
-        let n = build(&recipes, inputs);
+        let inputs = GEN_INPUTS;
+        let n = build_netlist(&recipes, inputs);
         let topo = n.topology().unwrap();
         let delays = DelayAssignment::uniform(&n, &DelayModel::nominal());
         let net = NetId::from_index(net_pick as usize % n.net_count());

@@ -4,67 +4,17 @@
 //! tri-state/mux bypass idioms) and checks simulator invariants that must
 //! hold for *every* circuit, not just the multipliers.
 
-use agemul_logic::{DelayModel, GateKind, Logic};
+use agemul_conformance::gen::{arb_gate, build_netlist, input_vector, GEN_INPUTS};
+use agemul_logic::{DelayModel, Logic};
 use agemul_netlist::{static_critical_path_ns, DelayAssignment, EventSim, FuncSim, NetId, Netlist};
 use proptest::prelude::*;
 
-/// Recipe for one random gate: kind selector and input picks (modulo the
-/// number of available nets at build time).
-#[derive(Clone, Debug)]
-struct GateRecipe {
-    kind_sel: u8,
-    picks: [u16; 3],
-}
-
-fn arb_gate() -> impl Strategy<Value = GateRecipe> {
-    (any::<u8>(), any::<u16>(), any::<u16>(), any::<u16>()).prop_map(|(k, a, b, c)| GateRecipe {
-        kind_sel: k,
-        picks: [a, b, c],
-    })
-}
-
-/// Builds a well-formed netlist from recipes; every gate reads existing
-/// nets, so the result is a DAG by construction.
-fn build(recipes: &[GateRecipe], inputs: usize) -> (Netlist, Vec<NetId>) {
-    let mut n = Netlist::new();
-    let mut nets: Vec<NetId> = (0..inputs).map(|i| n.add_input(format!("i{i}"))).collect();
-    nets.push(n.const_zero());
-    nets.push(n.const_one());
-    for r in recipes {
-        let pick = |p: u16| nets[p as usize % nets.len()];
-        let kind = match r.kind_sel % 10 {
-            0 => GateKind::Buf,
-            1 => GateKind::Not,
-            2 => GateKind::And,
-            3 => GateKind::Or,
-            4 => GateKind::Nand,
-            5 => GateKind::Nor,
-            6 => GateKind::Xor,
-            7 => GateKind::Xnor,
-            8 => GateKind::Mux2,
-            _ => GateKind::Tbuf,
-        };
-        let ins: Vec<NetId> = match kind.fixed_arity() {
-            Some(1) => vec![pick(r.picks[0])],
-            Some(2) => vec![pick(r.picks[0]), pick(r.picks[1])],
-            Some(3) => vec![pick(r.picks[0]), pick(r.picks[1]), pick(r.picks[2])],
-            _ => vec![pick(r.picks[0]), pick(r.picks[1])],
-        };
-        let out = n.add_gate(kind, &ins).expect("recipe inputs are valid");
-        nets.push(out);
-    }
-    // Mark the last few nets as outputs.
-    let out_nets: Vec<NetId> = nets.iter().rev().take(4).copied().collect();
-    for (i, &o) in out_nets.iter().enumerate() {
-        n.mark_output(o, format!("o{i}"));
-    }
-    (n, out_nets)
-}
-
-fn input_vector(bits: u64, count: usize) -> Vec<Logic> {
-    (0..count)
-        .map(|i| Logic::from((bits >> i) & 1 == 1))
-        .collect()
+/// Builds the shared-generator netlist and returns its output nets (the
+/// last four nets, in the order the generator marks them).
+fn build(recipes: &[agemul_conformance::gen::GateRecipe], inputs: usize) -> (Netlist, Vec<NetId>) {
+    let n = build_netlist(recipes, inputs);
+    let outs = n.outputs().to_vec();
+    (n, outs)
 }
 
 proptest! {
@@ -79,7 +29,7 @@ proptest! {
         bits1 in any::<u64>(),
         bits2 in any::<u64>(),
     ) {
-        let inputs = 6;
+        let inputs = GEN_INPUTS;
         let (n, outs) = build(&recipes, inputs);
         let topo = n.topology().unwrap();
         let delays = DelayAssignment::uniform(&n, &DelayModel::nominal());
@@ -114,7 +64,7 @@ proptest! {
         recipes in proptest::collection::vec(arb_gate(), 1..60),
         seqs in proptest::collection::vec(any::<u64>(), 1..8),
     ) {
-        let inputs = 6;
+        let inputs = GEN_INPUTS;
         let (n, _) = build(&recipes, inputs);
         let topo = n.topology().unwrap();
         let delays = DelayAssignment::uniform(&n, &DelayModel::nominal());
@@ -134,7 +84,7 @@ proptest! {
         recipes in proptest::collection::vec(arb_gate(), 1..40),
         bits in any::<u64>(),
     ) {
-        let inputs = 6;
+        let inputs = GEN_INPUTS;
         let (n, _) = build(&recipes, inputs);
         let topo = n.topology().unwrap();
         let delays = DelayAssignment::uniform(&n, &DelayModel::nominal());
@@ -153,7 +103,7 @@ proptest! {
         a in any::<u64>(),
         b in any::<u64>(),
     ) {
-        let inputs = 6;
+        let inputs = GEN_INPUTS;
         let (n, outs) = build(&recipes, inputs);
         let topo = n.topology().unwrap();
         let mut sim = FuncSim::new(&n, &topo);
@@ -172,7 +122,7 @@ proptest! {
         recipes in proptest::collection::vec(arb_gate(), 1..40),
         seqs in proptest::collection::vec(any::<u64>(), 1..6),
     ) {
-        let inputs = 6;
+        let inputs = GEN_INPUTS;
         let (n, _) = build(&recipes, inputs);
         let topo = n.topology().unwrap();
         let delays = DelayAssignment::uniform(&n, &DelayModel::nominal());

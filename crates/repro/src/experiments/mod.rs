@@ -24,6 +24,7 @@
 mod aged;
 mod aging_trend;
 mod area;
+mod conformance;
 mod dist;
 mod extras;
 mod fault_campaigns;
@@ -34,6 +35,7 @@ mod years;
 pub use aged::{fig19_22, fig23, fig24};
 pub use aging_trend::fig7;
 pub use area::fig25;
+pub use conformance::conformance;
 pub use dist::{fig5, fig6, fig9_10};
 pub use extras::{ablations, extensions};
 pub use fault_campaigns::faults;
@@ -45,7 +47,7 @@ use crate::{Context, Report, Result};
 
 /// All experiment ids: the paper's artifacts in paper order, then the
 /// repository's own ablation and extension studies.
-pub const ALL_IDS: [&str; 21] = [
+pub const ALL_IDS: [&str; 22] = [
     "fig5",
     "fig6",
     "fig7",
@@ -67,6 +69,7 @@ pub const ALL_IDS: [&str; 21] = [
     "ablations",
     "extensions",
     "faults",
+    "conformance",
 ];
 
 /// Runs an experiment by id (see [`ALL_IDS`]).
@@ -97,6 +100,7 @@ pub fn run_by_id(ctx: &mut Context, id: &str) -> Result<Report> {
         "ablations" => ablations(ctx),
         "extensions" => extensions(ctx),
         "faults" => faults(ctx),
+        "conformance" => conformance(ctx),
         other => Err(format!("unknown experiment id: {other}").into()),
     }
 }

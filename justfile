@@ -3,8 +3,8 @@
 
 # Format check + clippy (all features, warnings fatal) + full test suite +
 # a quick fault-injection campaign smoke run + the timing-kernel
-# equivalence smoke.
-verify: fmt-check clippy test fault-smoke timing-equiv
+# equivalence smoke + the seeded cross-engine conformance smoke.
+verify: fmt-check clippy test fault-smoke timing-equiv conformance
 
 fmt-check:
 	cargo fmt --all -- --check
@@ -30,6 +30,13 @@ fault-smoke:
 # event-driven reference bit-for-bit on an 8×8 column-bypass workload.
 timing-equiv:
 	cargo test -q -p agemul --test level_equiv timing_equiv_smoke_cb8
+
+# Conformance smoke: 200 fixed-seed cases through the differential oracle
+# (func/batch/event/level, with fault overlays and traced replays) plus
+# the metamorphic invariants on the paper architectures. Divergent cases
+# are shrunk to minimal JSON repros and fail the gate.
+conformance:
+	cargo run --release -p agemul-repro -- --quick conformance
 
 # Scalar-vs-batch simulator benches; see BENCH_sim.json for the record.
 bench-sim:

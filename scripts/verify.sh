@@ -13,3 +13,7 @@ cargo run --release -p agemul-repro -- --quick faults >/dev/null
 # Timing-kernel equivalence smoke: LevelSim vs EventSim on an 8×8
 # column-bypass workload (bit-identical profiles).
 cargo test -q -p agemul --test level_equiv timing_equiv_smoke_cb8
+# Conformance smoke: 200 fixed-seed cases through the cross-engine
+# differential oracle + the metamorphic invariants; divergences shrink to
+# minimal JSON repros and fail the gate.
+cargo run --release -p agemul-repro -- --quick conformance >/dev/null
