@@ -10,6 +10,15 @@ use crate::shrink::{repro_artifact, shrink_case};
 /// `SplitMix64`) so consecutive case indices land far apart in seed space.
 const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// The seed case `index` uses under `base_seed` — the exact spreading
+/// [`run_gate`] applies, exported so supervised runners (the
+/// `agemul-harness` crate) evaluating cases one at a time replay the same
+/// coverage as an unsupervised gate.
+#[inline]
+pub fn case_seed(base_seed: u64, index: usize) -> u64 {
+    base_seed ^ (index as u64).wrapping_mul(SEED_STRIDE)
+}
+
 /// One case that diverged, with its minimized repro.
 #[derive(Clone, Debug)]
 pub struct DivergentCase {
@@ -53,7 +62,7 @@ impl GateOutcome {
 pub fn run_gate(base_seed: u64, cases: usize) -> Result<GateOutcome, NetlistError> {
     let mut divergent = Vec::new();
     for i in 0..cases {
-        let seed = base_seed ^ (i as u64).wrapping_mul(SEED_STRIDE);
+        let seed = case_seed(base_seed, i);
         let case = Case::generate(seed);
         let divs = check_case(&case)?;
         if !divs.is_empty() {

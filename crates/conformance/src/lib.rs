@@ -54,7 +54,7 @@ mod oracle;
 mod shrink;
 
 pub use case::{Case, DelaySpec, FaultCase};
-pub use gate::{run_gate, DivergentCase, GateOutcome};
+pub use gate::{case_seed, run_gate, DivergentCase, GateOutcome};
 pub use invariants::{check_multiplier_conformance, check_profile_laws, Violation};
 pub use json::Json;
 pub use oracle::{check_case, reference_eval, Divergence, EngineId};

@@ -3,7 +3,8 @@
 use agemul_circuits::{MultiplierCircuit, MultiplierKind, Operand};
 use agemul_logic::{DelayModel, Logic};
 use agemul_netlist::{
-    BatchSim, DelayAssignment, EventSim, LevelSim, PatternTiming, Topology, WorkloadStats,
+    BatchSim, CancelToken, DelayAssignment, EventSim, LevelSim, PatternTiming, Topology,
+    WorkloadStats,
 };
 
 use crate::{calibrated_delay_model, count_zeros, CoreError, PatternProfile, PatternRecord};
@@ -51,6 +52,13 @@ impl TimingKernel<'_> {
         match self {
             TimingKernel::Event(s) => s.gate_toggle_counts(),
             TimingKernel::Level(s) => s.gate_toggle_counts(),
+        }
+    }
+
+    fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        match self {
+            TimingKernel::Event(s) => s.set_cancel_token(token),
+            TimingKernel::Level(s) => s.set_cancel_token(token),
         }
     }
 }
@@ -214,11 +222,33 @@ impl MultiplierDesign {
         factors: Option<&[f64]>,
         engine: SimEngine,
     ) -> Result<PatternProfile, CoreError> {
+        self.profile_supervised(pairs, factors, engine, None)
+    }
+
+    /// [`profile_with_engine`](Self::profile_with_engine) under a
+    /// supervisor: the optional [`CancelToken`] is installed in the timing
+    /// kernel (polled inside each step) and additionally checked between
+    /// patterns, so even workloads of tiny circuits abandon work promptly
+    /// when a deadline expires.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`profile`](Self::profile), plus
+    /// [`CoreError::Netlist`] wrapping
+    /// [`NetlistError::Cancelled`](agemul_netlist::NetlistError::Cancelled)
+    /// once the token fires.
+    pub fn profile_supervised(
+        &self,
+        pairs: &[(u64, u64)],
+        factors: Option<&[f64]>,
+        engine: SimEngine,
+        cancel: Option<&CancelToken>,
+    ) -> Result<PatternProfile, CoreError> {
         // Functional-correctness pass: one bit-parallel sweep per 64 pairs
         // guards the timing numbers below against a miscompiled circuit.
         self.verify_functional(pairs)?;
         let delays = self.delay_assignment(factors)?;
-        self.profile_timed(pairs, delays, engine)
+        self.profile_timed(pairs, delays, engine, cancel)
     }
 
     /// Profiles `pairs` under an explicit, already-built delay assignment —
@@ -245,7 +275,27 @@ impl MultiplierDesign {
         pairs: &[(u64, u64)],
         delays: &DelayAssignment,
     ) -> Result<PatternProfile, CoreError> {
-        self.profile_timed(pairs, delays.clone(), SimEngine::Level)
+        self.profile_timed(pairs, delays.clone(), SimEngine::Level, None)
+    }
+
+    /// [`profile_with_delays`](Self::profile_with_delays) with an explicit
+    /// timing kernel and an optional [`CancelToken`] — the supervised entry
+    /// point for delay-fault campaigns.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`profile_with_delays`](Self::profile_with_delays),
+    /// plus [`CoreError::Netlist`] wrapping
+    /// [`NetlistError::Cancelled`](agemul_netlist::NetlistError::Cancelled)
+    /// once the token fires.
+    pub fn profile_with_delays_supervised(
+        &self,
+        pairs: &[(u64, u64)],
+        delays: &DelayAssignment,
+        engine: SimEngine,
+        cancel: Option<&CancelToken>,
+    ) -> Result<PatternProfile, CoreError> {
+        self.profile_timed(pairs, delays.clone(), engine, cancel)
     }
 
     /// The shared timed-profiling loop: settle all-zeros, step each pair,
@@ -256,6 +306,7 @@ impl MultiplierDesign {
         pairs: &[(u64, u64)],
         delays: DelayAssignment,
         engine: SimEngine,
+        cancel: Option<&CancelToken>,
     ) -> Result<PatternProfile, CoreError> {
         let mut sim = match engine {
             SimEngine::Event => TimingKernel::Event(Box::new(EventSim::new(
@@ -269,6 +320,9 @@ impl MultiplierDesign {
                 delays,
             ))),
         };
+        if let Some(token) = cancel {
+            sim.set_cancel_token(Some(token.clone()));
+        }
         let width = self.width();
         let mut encoded = Vec::with_capacity(2 * width);
         self.circuit.encode_inputs_into(0, 0, &mut encoded)?;
@@ -277,6 +331,12 @@ impl MultiplierDesign {
         let judged = self.kind().judged_operand();
         let mut records = Vec::with_capacity(pairs.len());
         for &(a, b) in pairs {
+            // Per-pattern poll: small circuits may never cross the kernels'
+            // internal poll thresholds, so the workload loop is the
+            // guaranteed cancellation point.
+            if let Some(token) = cancel {
+                token.check()?;
+            }
             self.circuit.encode_inputs_into(a, b, &mut encoded)?;
             let timing = sim.step(&encoded)?;
             let judged_value = match judged {
@@ -491,6 +551,29 @@ mod tests {
             d.verify_functional(&[(0x10, 1)]),
             Err(crate::CoreError::Circuit(_))
         ));
+    }
+
+    #[test]
+    fn cancelled_profile_aborts_with_typed_error() {
+        use agemul_netlist::NetlistError;
+        let d = MultiplierDesign::new(MultiplierKind::ColumnBypass, 8).unwrap();
+        let patterns = PatternSet::uniform(8, 20, 7);
+        let token = CancelToken::new();
+        token.cancel();
+        for engine in [SimEngine::Event, SimEngine::Level] {
+            let err = d
+                .profile_supervised(patterns.pairs(), None, engine, Some(&token))
+                .unwrap_err();
+            assert!(
+                matches!(err, CoreError::Netlist(NetlistError::Cancelled)),
+                "{engine:?}: {err:?}"
+            );
+        }
+        // Without the token the same call succeeds.
+        let p = d
+            .profile_supervised(patterns.pairs(), None, SimEngine::Level, None)
+            .unwrap();
+        assert_eq!(p.len(), 20);
     }
 
     #[test]

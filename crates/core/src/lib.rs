@@ -88,3 +88,5 @@ pub use profile::{PatternProfile, PatternRecord};
 pub use razor::{DetectOutcome, RazorBank, RazorConfig};
 pub use sweep::PeriodSweep;
 pub use validate::cycle_accurate_run;
+
+pub use agemul_netlist::CancelToken;

@@ -28,7 +28,7 @@ pub struct PatternRecord {
 ///
 /// [`MultiplierDesign::profile`]: crate::MultiplierDesign::profile
 /// [`run_engine`]: crate::run_engine
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PatternProfile {
     kind: MultiplierKind,
     width: usize,
@@ -61,6 +61,19 @@ impl PatternProfile {
     /// [`avg_gate_toggles`](Self::avg_gate_toggles) reports zero.
     pub fn from_records(kind: MultiplierKind, width: usize, records: Vec<PatternRecord>) -> Self {
         Self::new(kind, width, records, 0.0)
+    }
+
+    /// [`from_records`](Self::from_records) with a known mean switching
+    /// activity — the reconstruction path for profiles round-tripped
+    /// through a checkpoint, where `avg_gate_toggles` was measured by the
+    /// original simulation and must survive intact.
+    pub fn from_records_with_toggles(
+        kind: MultiplierKind,
+        width: usize,
+        records: Vec<PatternRecord>,
+        avg_gate_toggles: f64,
+    ) -> Self {
+        Self::new(kind, width, records, avg_gate_toggles)
     }
 
     /// The profiled multiplier architecture.

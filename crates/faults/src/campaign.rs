@@ -2,7 +2,10 @@
 
 use std::collections::VecDeque;
 
-use agemul::{run_engine_traced, EngineConfig, MultiplierDesign, PatternProfile, ProfileCache};
+use agemul::{
+    run_engine_traced, CancelToken, EngineConfig, MultiplierDesign, PatternProfile, ProfileCache,
+    SimEngine,
+};
 use agemul_netlist::{BatchSim, FaultKind, FaultOverlay, GateId};
 
 use crate::report::{CampaignReport, FaultClass, FaultOutcome};
@@ -31,19 +34,30 @@ use crate::{FaultError, FaultSpec};
 #[derive(Clone, Debug)]
 pub struct Campaign {
     baseline: PatternProfile,
-    entries: Vec<(FaultSpec, Evidence)>,
+    entries: Vec<(FaultSpec, FaultEvidence)>,
+    quarantined: Vec<String>,
 }
 
 /// Config-independent simulation evidence for one fault.
-#[derive(Clone, Debug)]
-enum Evidence {
+///
+/// Public so supervised runners (the `agemul-harness` crate) can evaluate
+/// faults case by case — [`prepare_fault`] produces one `FaultEvidence`,
+/// checkpoints serialize it, and [`Campaign::assemble`] stitches recovered
+/// evidence back into a replayable campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultEvidence {
     /// Functional evaluation of a stuck-at/transient fault.
     Logic {
+        /// Operations whose product deviated from `a × b`.
         corrupted_ops: u64,
+        /// 0-based workload index of the first corrupted operation.
         first_corrupted_op: Option<u64>,
     },
-    /// Event-driven timing profile under an inflated gate delay.
-    Delay { profile: PatternProfile },
+    /// Timing profile under an inflated gate delay.
+    Delay {
+        /// The re-profiled workload.
+        profile: PatternProfile,
+    },
 }
 
 /// One unit of preparation work, sized for fan-out.
@@ -171,19 +185,60 @@ impl Campaign {
                     let (corrupted_ops, first_corrupted_op) = logic_out
                         .pop_front()
                         .expect("one logic result per logic fault");
-                    Evidence::Logic {
+                    FaultEvidence::Logic {
                         corrupted_ops,
                         first_corrupted_op,
                     }
                 } else {
-                    Evidence::Delay {
+                    FaultEvidence::Delay {
                         profile: delay_out.pop_front().expect("one profile per delay fault"),
                     }
                 };
                 (spec, evidence)
             })
             .collect();
-        Ok(Campaign { baseline, entries })
+        Ok(Campaign {
+            baseline,
+            entries,
+            quarantined: Vec::new(),
+        })
+    }
+
+    /// Reassembles a campaign from per-case evidence produced by
+    /// [`prepare_baseline`] and [`prepare_fault`] — the reconstruction path
+    /// for supervised runs, where each case was evaluated (and possibly
+    /// checkpointed, retried, or quarantined) independently.
+    ///
+    /// `quarantined` lists the labels of faults that produced no evidence;
+    /// they surface in every [`run`](Self::run) report's `quarantined`
+    /// ledger but contribute no [`FaultOutcome`].
+    ///
+    /// Evidence produced by the per-case entry points is bit-identical to
+    /// what [`prepare`](Self::prepare) computes for the same fault, so an
+    /// assembled campaign with no quarantined cases replays identically to
+    /// an unsupervised one.
+    pub fn assemble(
+        baseline: PatternProfile,
+        entries: Vec<(FaultSpec, FaultEvidence)>,
+        quarantined: Vec<String>,
+    ) -> Self {
+        Campaign {
+            baseline,
+            entries,
+            quarantined,
+        }
+    }
+
+    /// The prepared per-fault evidence, in injection order.
+    #[inline]
+    pub fn entries(&self) -> &[(FaultSpec, FaultEvidence)] {
+        &self.entries
+    }
+
+    /// Labels of faults quarantined without evidence (supervised runs).
+    #[inline]
+    pub fn quarantined_labels(&self) -> &[String] {
+        &self.quarantined
     }
 
     /// The fault-free baseline profile the campaign classifies against.
@@ -225,7 +280,7 @@ impl Campaign {
             .entries
             .iter()
             .map(|(spec, evidence)| match evidence {
-                Evidence::Logic {
+                FaultEvidence::Logic {
                     corrupted_ops,
                     first_corrupted_op,
                 } => FaultOutcome {
@@ -242,7 +297,7 @@ impl Campaign {
                     aged_at_op: None,
                     latency_overhead_pct: 0.0,
                 },
-                Evidence::Delay { profile } => {
+                FaultEvidence::Delay { profile } => {
                     let (m, trace) = run_engine_traced(profile, config);
                     let excess_errors = m.errors.saturating_sub(base.errors);
                     let excess_undetected = m.undetected.saturating_sub(base.undetected);
@@ -282,6 +337,75 @@ impl Campaign {
             baseline_errors: base.errors,
             baseline_avg_latency_ns: base_latency,
             outcomes,
+            quarantined: self.quarantined.clone(),
+        }
+    }
+}
+
+/// Profiles the fault-free baseline for a supervised campaign, on an
+/// explicit timing kernel and under an optional [`CancelToken`].
+///
+/// With [`SimEngine::Level`] and no token this is exactly the baseline
+/// [`Campaign::prepare`] computes (bit-identical profile); the supervisor's
+/// degradation ladder re-invokes it with [`SimEngine::Event`] when the
+/// levelized kernel is suspect.
+///
+/// # Errors
+///
+/// Propagates profiling failures, including
+/// [`NetlistError::Cancelled`](agemul_netlist::NetlistError::Cancelled)
+/// (wrapped in [`FaultError::Core`]) once the token fires.
+pub fn prepare_baseline(
+    design: &MultiplierDesign,
+    pairs: &[(u64, u64)],
+    engine: SimEngine,
+    cancel: Option<&CancelToken>,
+) -> Result<PatternProfile, FaultError> {
+    Ok(design.profile_supervised(pairs, None, engine, cancel)?)
+}
+
+/// Evaluates one fault's config-independent evidence — the supervised,
+/// per-case counterpart of the batch work inside [`Campaign::prepare`].
+///
+/// Logic faults run a lane-0 functional evaluation whose corruption counts
+/// are bit-identical to the lane-masked 64-wide chunks `prepare` uses
+/// (each lane of a batch sweep is exact, so chunking is pure throughput).
+/// Delay faults re-profile the workload on `engine`. The optional token
+/// cancels both paths cooperatively.
+///
+/// # Errors
+///
+/// Returns [`FaultError::InvalidSpec`] for out-of-range sites, and
+/// propagates simulation failures including
+/// [`NetlistError::Cancelled`](agemul_netlist::NetlistError::Cancelled).
+///
+/// # Panics
+///
+/// Panics (by design) for [`FaultSpec::PanicForTest`] — the poison case
+/// supervised runners quarantine.
+pub fn prepare_fault(
+    design: &MultiplierDesign,
+    pairs: &[(u64, u64)],
+    spec: &FaultSpec,
+    engine: SimEngine,
+    cancel: Option<&CancelToken>,
+) -> Result<FaultEvidence, FaultError> {
+    validate(design, std::slice::from_ref(spec))?;
+    match *spec {
+        FaultSpec::Delay { gate, factor } => {
+            let mut delays = design.delay_assignment(None)?;
+            delays.inflate(gate, factor);
+            let profile = design.profile_with_delays_supervised(pairs, &delays, engine, cancel)?;
+            Ok(FaultEvidence::Delay { profile })
+        }
+        _ => {
+            let rows =
+                eval_logic_chunk_cancellable(design, pairs, std::slice::from_ref(spec), cancel)?;
+            let (corrupted_ops, first_corrupted_op) = rows[0];
+            Ok(FaultEvidence::Logic {
+                corrupted_ops,
+                first_corrupted_op,
+            })
         }
     }
 }
@@ -317,6 +441,9 @@ fn validate(design: &MultiplierDesign, faults: &[FaultSpec]) -> Result<(), Fault
                     });
                 }
             }
+            // The poison case has no site to validate; it exists to panic
+            // during evaluation, not to fail validation.
+            FaultSpec::PanicForTest => {}
         }
     }
     Ok(())
@@ -363,6 +490,17 @@ fn eval_logic_chunk(
     pairs: &[(u64, u64)],
     chunk: &[FaultSpec],
 ) -> Result<Vec<(u64, Option<u64>)>, FaultError> {
+    eval_logic_chunk_cancellable(design, pairs, chunk, None)
+}
+
+/// [`eval_logic_chunk`] polling an optional [`CancelToken`] once per
+/// operation — the supervised per-case path.
+fn eval_logic_chunk_cancellable(
+    design: &MultiplierDesign,
+    pairs: &[(u64, u64)],
+    chunk: &[FaultSpec],
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<(u64, Option<u64>)>, FaultError> {
     debug_assert!(chunk.len() <= BatchSim::LANES);
     let circuit = design.circuit();
     let netlist = circuit.netlist();
@@ -373,6 +511,10 @@ fn eval_logic_chunk(
             FaultSpec::StuckAt0 { net } => base.add(net, FaultKind::StuckAt0, mask)?,
             FaultSpec::StuckAt1 { net } => base.add(net, FaultKind::StuckAt1, mask)?,
             FaultSpec::Transient { .. } => {}
+            FaultSpec::PanicForTest => panic!(
+                "poison fault case evaluated: FaultSpec::PanicForTest panics by design \
+                 so panic-isolation machinery can be tested end to end"
+            ),
             FaultSpec::Delay { .. } => unreachable!("delay faults are not logic-chunk members"),
         }
     }
@@ -382,6 +524,9 @@ fn eval_logic_chunk(
     let mut corrupted = vec![0u64; chunk.len()];
     let mut first: Vec<Option<u64>> = vec![None; chunk.len()];
     for (op, &(a, b)) in pairs.iter().enumerate() {
+        if let Some(token) = cancel {
+            token.check().map_err(agemul::CoreError::from)?;
+        }
         let pattern = circuit.encode_inputs(a, b)?;
         let patterns = vec![pattern.as_slice(); chunk.len()];
         let fires_now = |f: &FaultSpec| matches!(f, FaultSpec::Transient { op: t, .. } if *t == op);

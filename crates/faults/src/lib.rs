@@ -66,7 +66,7 @@ mod error;
 mod report;
 mod spec;
 
-pub use campaign::Campaign;
+pub use campaign::{prepare_baseline, prepare_fault, Campaign, FaultEvidence};
 pub use error::FaultError;
 pub use report::{CampaignReport, FaultClass, FaultOutcome};
 pub use spec::FaultSpec;

@@ -81,6 +81,11 @@ pub struct CampaignReport {
     pub baseline_avg_latency_ns: f64,
     /// Per-fault classifications, in injection order.
     pub outcomes: Vec<FaultOutcome>,
+    /// Labels of faults whose evaluation was quarantined (panicked or
+    /// exhausted its deadline budget under a supervisor) and therefore
+    /// produced no [`FaultOutcome`], in injection order. Empty for
+    /// unsupervised campaigns.
+    pub quarantined: Vec<String>,
 }
 
 impl CampaignReport {
@@ -97,6 +102,11 @@ impl CampaignReport {
     /// Number of faults classified [`FaultClass::Silent`].
     pub fn silent(&self) -> usize {
         self.count(FaultClass::Silent)
+    }
+
+    /// Number of faults quarantined without an outcome (supervised runs).
+    pub fn quarantined(&self) -> usize {
+        self.quarantined.len()
     }
 
     fn count(&self, class: FaultClass) -> usize {
@@ -129,7 +139,9 @@ impl CampaignReport {
             "{{\"kind\":\"{}\",\"width\":{},\"operations\":{},\"cycle_ns\":{},\
              \"skip\":{},\"window_factor\":{},\"adaptive\":{},\
              \"baseline_errors\":{},\"baseline_avg_latency_ns\":{},\
-             \"summary\":{{\"masked\":{},\"detected\":{},\"silent\":{},\"coverage\":{}}},\
+             \"summary\":{{\"masked\":{},\"detected\":{},\"silent\":{},\
+             \"quarantined\":{},\"coverage\":{}}},\
+             \"quarantined\":[{}],\
              \"faults\":[",
             self.kind,
             self.width,
@@ -143,7 +155,13 @@ impl CampaignReport {
             self.masked(),
             self.detected(),
             self.silent(),
+            self.quarantined(),
             self.coverage(),
+            self.quarantined
+                .iter()
+                .map(|l| format!("\"{l}\""))
+                .collect::<Vec<_>>()
+                .join(","),
         ));
         for (i, o) in self.outcomes.iter().enumerate() {
             if i > 0 {
@@ -188,11 +206,12 @@ impl std::fmt::Display for CampaignReport {
         )?;
         writeln!(
             f,
-            "  {} faults: {} masked, {} detected, {} silent (coverage {:.0}%)",
-            self.outcomes.len(),
+            "  {} faults: {} masked, {} detected, {} silent, {} quarantined (coverage {:.0}%)",
+            self.outcomes.len() + self.quarantined.len(),
             self.masked(),
             self.detected(),
             self.silent(),
+            self.quarantined(),
             100.0 * self.coverage(),
         )?;
         for o in &self.outcomes {
@@ -207,6 +226,9 @@ impl std::fmt::Display for CampaignReport {
                 o.aged_at_op.map_or_else(|| "-".into(), |x| x.to_string()),
                 o.latency_overhead_pct,
             )?;
+        }
+        for l in &self.quarantined {
+            writeln!(f, "  {l:<18} quarantined (no outcome)")?;
         }
         Ok(())
     }
@@ -246,6 +268,7 @@ mod tests {
                 outcome("slow@g3x1.50", FaultClass::Detected),
                 outcome("slow@g4x1.80", FaultClass::Detected),
             ],
+            quarantined: Vec::new(),
         }
     }
 
@@ -268,7 +291,9 @@ mod tests {
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert_eq!(j.matches("\"label\"").count(), 4);
-        assert!(j.contains("\"summary\":{\"masked\":1,\"detected\":2,\"silent\":1"));
+        assert!(
+            j.contains("\"summary\":{\"masked\":1,\"detected\":2,\"silent\":1,\"quarantined\":0")
+        );
         assert!(j.contains("\"first_corrupted_op\":null"));
         // Balanced braces/brackets — a cheap structural check without a
         // JSON parser in the workspace.
@@ -282,5 +307,27 @@ mod tests {
         let text = r.to_string();
         assert_eq!(text.lines().count(), 2 + r.outcomes.len());
         assert!(text.contains("coverage 67%"));
+    }
+
+    #[test]
+    fn quarantined_faults_are_counted_and_serialized() {
+        let mut r = report();
+        r.quarantined = vec!["poison".to_string(), "slow@g9x1.40".to_string()];
+        assert_eq!(r.quarantined(), 2);
+        // Quarantined faults carry no outcome, so the classification
+        // counters and coverage are unchanged.
+        assert_eq!((r.masked(), r.detected(), r.silent()), (1, 2, 1));
+        assert!((r.coverage() - 2.0 / 3.0).abs() < 1e-12);
+
+        let j = r.to_json();
+        assert!(j.contains("\"quarantined\":2"));
+        assert!(j.contains("\"quarantined\":[\"poison\",\"slow@g9x1.40\"]"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+
+        let text = r.to_string();
+        assert!(text.contains("2 quarantined"));
+        assert!(text.contains("poison"));
+        assert_eq!(text.lines().count(), 2 + r.outcomes.len() + 2);
     }
 }

@@ -10,9 +10,9 @@
 //! * detected faults feed the AHL: the report carries the adaptation op;
 //! * serial and parallel preparation produce identical reports.
 
-use agemul::{EngineConfig, MultiplierDesign, PatternSet, ProfileCache, RazorConfig};
+use agemul::{EngineConfig, MultiplierDesign, PatternSet, ProfileCache, RazorConfig, SimEngine};
 use agemul_circuits::MultiplierKind;
-use agemul_faults::{Campaign, FaultClass, FaultError, FaultSpec};
+use agemul_faults::{prepare_baseline, prepare_fault, Campaign, FaultClass, FaultError, FaultSpec};
 use agemul_netlist::{GateId, NetId};
 
 fn design() -> MultiplierDesign {
@@ -244,6 +244,63 @@ fn more_than_one_chunk_of_logic_faults_is_handled() {
         assert_eq!(o.label, f.label());
     }
     assert!(report.silent() > 0, "stuck product logic must corrupt");
+}
+
+/// The supervised per-case path (`prepare_baseline` + `prepare_fault` +
+/// `Campaign::assemble`) is bit-identical to the batch `Campaign::prepare`
+/// — the property that makes checkpoint/resume replays trustworthy.
+#[test]
+fn per_case_preparation_assembles_into_an_identical_campaign() {
+    let d = design();
+    let patterns = PatternSet::uniform(4, 120, 21);
+    let faults = FaultSpec::sample(&d, patterns.pairs().len(), 9, 0xDEED);
+
+    let batch = Campaign::prepare(&d, patterns.pairs(), &faults).unwrap();
+
+    let baseline = prepare_baseline(&d, patterns.pairs(), SimEngine::Level, None).unwrap();
+    let entries: Vec<_> = faults
+        .iter()
+        .map(|f| {
+            let ev = prepare_fault(&d, patterns.pairs(), f, SimEngine::Level, None).unwrap();
+            (*f, ev)
+        })
+        .collect();
+    assert_eq!(entries.as_slice(), batch.entries());
+    let assembled = Campaign::assemble(baseline, entries, Vec::new());
+
+    for cfg in [
+        EngineConfig::adaptive(1.0, 2),
+        EngineConfig::traditional(0.8, 3),
+    ] {
+        assert_eq!(assembled.run(&cfg), batch.run(&cfg));
+    }
+}
+
+/// An assembled campaign surfaces its quarantine ledger in every report
+/// without disturbing the classified outcomes.
+#[test]
+fn assembled_campaign_reports_quarantined_labels() {
+    let d = design();
+    let patterns = PatternSet::uniform(4, 60, 23);
+    let faults = FaultSpec::sample(&d, patterns.pairs().len(), 4, 0xACE);
+
+    let baseline = prepare_baseline(&d, patterns.pairs(), SimEngine::Level, None).unwrap();
+    let entries: Vec<_> = faults
+        .iter()
+        .map(|f| {
+            let ev = prepare_fault(&d, patterns.pairs(), f, SimEngine::Level, None).unwrap();
+            (*f, ev)
+        })
+        .collect();
+    let quarantined = vec![FaultSpec::PanicForTest.label()];
+    let campaign = Campaign::assemble(baseline, entries, quarantined.clone());
+    assert_eq!(campaign.quarantined_labels(), quarantined.as_slice());
+
+    let report = campaign.run(&EngineConfig::adaptive(1.0, 2));
+    assert_eq!(report.quarantined, quarantined);
+    assert_eq!(report.quarantined(), 1);
+    assert_eq!(report.outcomes.len(), faults.len());
+    assert!(report.to_json().contains("\"quarantined\":[\"poison\"]"));
 }
 
 #[test]

@@ -1,0 +1,116 @@
+//! Supervised conformance gates: one case per seeded differential check.
+
+use std::path::Path;
+
+use agemul_conformance::Json;
+use agemul_conformance::{case_seed, check_case, repro_artifact, shrink_case, Case};
+
+use crate::campaign::fnv1a64;
+use crate::checkpoint::CaseStatus;
+use crate::supervisor::{Attempt, CaseError, Resume, RunLedger, Supervisor, SupervisorConfig};
+use crate::HarnessError;
+
+/// The outcome of a supervised conformance gate.
+///
+/// Unlike [`agemul_conformance::GateOutcome`], divergent cases are carried
+/// as their replayable JSON artifacts (the form a checkpoint preserves)
+/// rather than live [`Case`] values — the artifact is the durable,
+/// re-parseable repro.
+#[derive(Clone, Debug)]
+pub struct SupervisedGateOutcome {
+    /// Number of seeded cases in the gate.
+    pub cases: usize,
+    /// `(seed, minimized repro artifact)` for every divergent case, in
+    /// case order. Empty means full conformance over the executed cases.
+    pub divergent: Vec<(u64, String)>,
+    /// Seeds whose case was quarantined (panicked or overran its budget)
+    /// and therefore was *not* checked, in case order.
+    pub quarantined_seeds: Vec<u64>,
+    /// The full per-case execution record.
+    pub ledger: RunLedger,
+}
+
+impl SupervisedGateOutcome {
+    /// `true` when every executed case passed and none was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.divergent.is_empty() && self.quarantined_seeds.is_empty()
+    }
+}
+
+/// [`run_gate`](agemul_conformance::run_gate) under supervision: case `i`
+/// replays seed [`case_seed`]`(base_seed, i)` — the exact coverage of the
+/// unsupervised gate — but a panicking or wedged case is quarantined
+/// instead of killing the whole gate, and completed cases survive a crash
+/// through the checkpoint.
+///
+/// # Errors
+///
+/// Checkpoint and decode failures.
+pub fn run_gate_supervised(
+    base_seed: u64,
+    cases: usize,
+    sup: &SupervisorConfig,
+    checkpoint: Option<&Path>,
+    resume: Resume,
+) -> Result<SupervisedGateOutcome, HarnessError> {
+    let seeds: Vec<u64> = (0..cases).map(|i| case_seed(base_seed, i)).collect();
+    let labels = seeds.iter().map(|s| format!("seed {s:#018x}")).collect();
+    let mut h = fnv1a64(0, &base_seed.to_le_bytes());
+    h = fnv1a64(h, &(cases as u64).to_le_bytes());
+    let supervisor = Supervisor::new(format!("gate/{cases}cases/{h:016x}"), labels, sup.clone());
+
+    let worker = |attempt: &Attempt| -> Result<Json, CaseError> {
+        let seed = seeds[attempt.index];
+        let case = Case::generate(seed);
+        let divergences = check_case(&case).map_err(|e| {
+            if crate::snapshot::is_cancellation(&e) {
+                CaseError::Cancelled
+            } else {
+                CaseError::Failed(e.to_string())
+            }
+        })?;
+        if divergences.is_empty() {
+            return Ok(Json::Obj(vec![
+                ("seed".into(), Json::UInt(seed)),
+                ("divergent".into(), Json::Bool(false)),
+            ]));
+        }
+        let mut still_fails = |c: &Case| check_case(c).map(|d| !d.is_empty()).unwrap_or(false);
+        let minimized = shrink_case(&case, &mut still_fails);
+        let divs = check_case(&minimized).map_err(|e| CaseError::Failed(e.to_string()))?;
+        let artifact = repro_artifact(&minimized, &divs);
+        Ok(Json::Obj(vec![
+            ("seed".into(), Json::UInt(seed)),
+            ("divergent".into(), Json::Bool(true)),
+            ("artifact".into(), Json::Str(artifact)),
+        ]))
+    };
+    let ledger = supervisor.run(&worker, checkpoint, resume)?;
+
+    let mut divergent = Vec::new();
+    let mut quarantined_seeds = Vec::new();
+    for (i, &seed) in seeds.iter().enumerate() {
+        match &ledger.records[i].status {
+            CaseStatus::Done { value } => {
+                if value.get("divergent").and_then(Json::as_bool) == Some(true) {
+                    let artifact =
+                        value
+                            .get("artifact")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| HarnessError::Decode {
+                                what: format!("divergent case seed {seed:#x}"),
+                                reason: "missing artifact".into(),
+                            })?;
+                    divergent.push((seed, artifact.to_string()));
+                }
+            }
+            CaseStatus::Quarantined { .. } => quarantined_seeds.push(seed),
+        }
+    }
+    Ok(SupervisedGateOutcome {
+        cases,
+        divergent,
+        quarantined_seeds,
+        ledger,
+    })
+}

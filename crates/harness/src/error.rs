@@ -1,0 +1,90 @@
+//! Harness-level errors.
+
+use crate::checkpoint::CheckpointError;
+
+/// Errors from supervised runs and their reconstruction paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HarnessError {
+    /// A checkpoint could not be written, read, or trusted.
+    Checkpoint(CheckpointError),
+    /// A checkpointed value failed to decode back into its typed form —
+    /// the snapshot was well-formed JSON (its CRC matched) but does not
+    /// describe what the adapter expected.
+    Decode {
+        /// What was being decoded (e.g. `baseline profile`).
+        what: String,
+        /// Why decoding failed.
+        reason: String,
+    },
+    /// The campaign baseline itself was quarantined; without it no fault
+    /// can be classified, so the run cannot degrade around it.
+    PoisonedBaseline {
+        /// The quarantine reason (panic message or deadline report).
+        reason: String,
+    },
+    /// Every case of the run was quarantined, leaving nothing to
+    /// reconstruct (e.g. a sweep with no surviving period).
+    NoUsableCases,
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            HarnessError::Decode { what, reason } => {
+                write!(f, "cannot decode {what} from checkpoint: {reason}")
+            }
+            HarnessError::PoisonedBaseline { reason } => {
+                write!(f, "baseline case was quarantined ({reason})")
+            }
+            HarnessError::NoUsableCases => {
+                write!(f, "every case was quarantined; nothing to reconstruct")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for HarnessError {
+    fn from(e: CheckpointError) -> Self {
+        HarnessError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_failure() {
+        let e = HarnessError::PoisonedBaseline {
+            reason: "panic: boom".into(),
+        };
+        assert!(e.to_string().contains("baseline"));
+        let e = HarnessError::Decode {
+            what: "fault evidence".into(),
+            reason: "missing key".into(),
+        };
+        assert!(e.to_string().contains("fault evidence"));
+        assert!(HarnessError::NoUsableCases
+            .to_string()
+            .contains("quarantined"));
+    }
+
+    #[test]
+    fn checkpoint_errors_chain_as_source() {
+        let e = HarnessError::from(CheckpointError::Schema {
+            found: "bogus/9".into(),
+        });
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("checkpoint failure"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Typed evidence ⇄ JSON codecs for checkpointed work.
+//!
+//! Everything a supervised run checkpoints must round-trip
+//! **bit-identically** — a resumed run replays recorded evidence instead
+//! of recomputing it, and the resume-identity guarantee only holds if the
+//! trip through JSON is lossless. The `agemul-conformance` [`Json`] model
+//! was built for exactly this: `u64` is a distinct variant and floats
+//! print in shortest round-trip form, so `f64::to_bits` survives.
+
+use agemul::{PatternProfile, PatternRecord, RunMetrics};
+use agemul_circuits::MultiplierKind;
+use agemul_conformance::Json;
+use agemul_faults::FaultEvidence;
+use agemul_netlist::NetlistError;
+
+fn kind_label(kind: MultiplierKind) -> &'static str {
+    kind.label()
+}
+
+fn kind_from_label(label: &str) -> Result<MultiplierKind, String> {
+    match label {
+        "AM" => Ok(MultiplierKind::Array),
+        "CB" => Ok(MultiplierKind::ColumnBypass),
+        "RB" => Ok(MultiplierKind::RowBypass),
+        "WAL" => Ok(MultiplierKind::Wallace),
+        "BOOTH" => Ok(MultiplierKind::Booth),
+        other => Err(format!("unknown multiplier kind label {other:?}")),
+    }
+}
+
+fn get_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn get_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+/// Serializes a [`PatternProfile`] losslessly (operands as integers,
+/// delays as shortest-round-trip floats, switching activity included).
+pub fn profile_to_json(p: &PatternProfile) -> Json {
+    let records = p
+        .records()
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("a".into(), Json::UInt(r.a)),
+                ("b".into(), Json::UInt(r.b)),
+                ("zeros".into(), Json::UInt(u64::from(r.zeros))),
+                ("delay_ns".into(), Json::Num(r.delay_ns)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("kind".into(), Json::Str(kind_label(p.kind()).into())),
+        ("width".into(), Json::UInt(p.width() as u64)),
+        ("avg_gate_toggles".into(), Json::Num(p.avg_gate_toggles())),
+        ("records".into(), Json::Arr(records)),
+    ])
+}
+
+/// Rebuilds a [`PatternProfile`] from [`profile_to_json`] output.
+///
+/// # Errors
+///
+/// A rendered description of the first missing or mistyped field.
+pub fn profile_from_json(v: &Json) -> Result<PatternProfile, String> {
+    let kind = kind_from_label(get_str(v, "kind")?)?;
+    let width = get_u64(v, "width")? as usize;
+    let toggles = get_f64(v, "avg_gate_toggles")?;
+    let raw = v
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing records array".to_string())?;
+    let mut records = Vec::with_capacity(raw.len());
+    for r in raw {
+        records.push(PatternRecord {
+            a: get_u64(r, "a")?,
+            b: get_u64(r, "b")?,
+            zeros: u32::try_from(get_u64(r, "zeros")?)
+                .map_err(|_| "zeros out of u32 range".to_string())?,
+            delay_ns: get_f64(r, "delay_ns")?,
+        });
+    }
+    Ok(PatternProfile::from_records_with_toggles(
+        kind, width, records, toggles,
+    ))
+}
+
+/// Serializes [`RunMetrics`] field by field.
+pub fn metrics_to_json(m: &RunMetrics) -> Json {
+    Json::Obj(vec![
+        ("operations".into(), Json::UInt(m.operations)),
+        ("cycles".into(), Json::UInt(m.cycles)),
+        ("errors".into(), Json::UInt(m.errors)),
+        ("one_cycle_ops".into(), Json::UInt(m.one_cycle_ops)),
+        ("two_cycle_ops".into(), Json::UInt(m.two_cycle_ops)),
+        ("undetected".into(), Json::UInt(m.undetected)),
+        ("cycle_ns".into(), Json::Num(m.cycle_ns)),
+        ("aged_mode_entered".into(), Json::Bool(m.aged_mode_entered)),
+    ])
+}
+
+/// Rebuilds [`RunMetrics`] from [`metrics_to_json`] output.
+///
+/// # Errors
+///
+/// A rendered description of the first missing or mistyped field.
+pub fn metrics_from_json(v: &Json) -> Result<RunMetrics, String> {
+    Ok(RunMetrics {
+        operations: get_u64(v, "operations")?,
+        cycles: get_u64(v, "cycles")?,
+        errors: get_u64(v, "errors")?,
+        one_cycle_ops: get_u64(v, "one_cycle_ops")?,
+        two_cycle_ops: get_u64(v, "two_cycle_ops")?,
+        undetected: get_u64(v, "undetected")?,
+        cycle_ns: get_f64(v, "cycle_ns")?,
+        aged_mode_entered: v
+            .get("aged_mode_entered")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| "missing aged_mode_entered".to_string())?,
+    })
+}
+
+/// Serializes one fault's [`FaultEvidence`].
+pub fn evidence_to_json(ev: &FaultEvidence) -> Json {
+    match ev {
+        FaultEvidence::Logic {
+            corrupted_ops,
+            first_corrupted_op,
+        } => Json::Obj(vec![
+            ("family".into(), Json::Str("logic".into())),
+            ("corrupted_ops".into(), Json::UInt(*corrupted_ops)),
+            (
+                "first_corrupted_op".into(),
+                first_corrupted_op.map_or(Json::Null, Json::UInt),
+            ),
+        ]),
+        FaultEvidence::Delay { profile } => Json::Obj(vec![
+            ("family".into(), Json::Str("delay".into())),
+            ("profile".into(), profile_to_json(profile)),
+        ]),
+    }
+}
+
+/// Rebuilds [`FaultEvidence`] from [`evidence_to_json`] output.
+///
+/// # Errors
+///
+/// A rendered description of the first missing or mistyped field.
+pub fn evidence_from_json(v: &Json) -> Result<FaultEvidence, String> {
+    match get_str(v, "family")? {
+        "logic" => Ok(FaultEvidence::Logic {
+            corrupted_ops: get_u64(v, "corrupted_ops")?,
+            first_corrupted_op: match v.get("first_corrupted_op") {
+                Some(Json::Null) | None => None,
+                Some(x) => Some(
+                    x.as_u64()
+                        .ok_or_else(|| "non-integer first_corrupted_op".to_string())?,
+                ),
+            },
+        }),
+        "delay" => Ok(FaultEvidence::Delay {
+            profile: profile_from_json(
+                v.get("profile")
+                    .ok_or_else(|| "delay evidence missing profile".to_string())?,
+            )?,
+        }),
+        other => Err(format!("unknown evidence family {other:?}")),
+    }
+}
+
+/// Whether `err`'s source chain bottoms out in
+/// [`NetlistError::Cancelled`] — i.e. the failure is a cooperative
+/// deadline firing, not a real fault. Supervised workers use this to remap
+/// propagation errors onto [`CaseError::Cancelled`](crate::CaseError).
+pub fn is_cancellation(err: &(dyn std::error::Error + 'static)) -> bool {
+    let mut cur: Option<&(dyn std::error::Error + 'static)> = Some(err);
+    while let Some(e) = cur {
+        if matches!(
+            e.downcast_ref::<NetlistError>(),
+            Some(NetlistError::Cancelled)
+        ) {
+            return true;
+        }
+        cur = e.source();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_round_trips_bit_identically() {
+        let records = vec![
+            PatternRecord {
+                a: u64::MAX,
+                b: 3,
+                zeros: 12,
+                delay_ns: 1.3200000000000003,
+            },
+            PatternRecord {
+                a: 0,
+                b: 0,
+                zeros: 16,
+                delay_ns: 0.0,
+            },
+        ];
+        let p = PatternProfile::from_records_with_toggles(
+            MultiplierKind::ColumnBypass,
+            16,
+            records,
+            123.456789,
+        );
+        let j = profile_to_json(&p);
+        // Through text, as a checkpoint would.
+        let back = profile_from_json(&Json::parse(&j.to_string()).unwrap()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(
+            back.records()[0].delay_ns.to_bits(),
+            p.records()[0].delay_ns.to_bits()
+        );
+        assert_eq!(
+            back.avg_gate_toggles().to_bits(),
+            p.avg_gate_toggles().to_bits()
+        );
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        let m = RunMetrics {
+            operations: 10_000,
+            cycles: 13_337,
+            errors: 41,
+            one_cycle_ops: 7_001,
+            two_cycle_ops: 2_999,
+            undetected: 3,
+            cycle_ns: 0.9500000000000001,
+            aged_mode_entered: true,
+        };
+        let text = metrics_to_json(&m).to_string();
+        let back = metrics_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.cycle_ns.to_bits(), m.cycle_ns.to_bits());
+    }
+
+    #[test]
+    fn evidence_round_trips_both_families() {
+        let logic = FaultEvidence::Logic {
+            corrupted_ops: 7,
+            first_corrupted_op: Some(2),
+        };
+        let never = FaultEvidence::Logic {
+            corrupted_ops: 0,
+            first_corrupted_op: None,
+        };
+        let delay = FaultEvidence::Delay {
+            profile: PatternProfile::from_records(
+                MultiplierKind::RowBypass,
+                8,
+                vec![PatternRecord {
+                    a: 5,
+                    b: 9,
+                    zeros: 4,
+                    delay_ns: std::f64::consts::FRAC_1_SQRT_2,
+                }],
+            ),
+        };
+        for ev in [logic, never, delay] {
+            let text = evidence_to_json(&ev).to_string();
+            let back = evidence_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_described() {
+        assert!(profile_from_json(&Json::Null).is_err());
+        assert!(evidence_from_json(&Json::Obj(vec![(
+            "family".into(),
+            Json::Str("bogus".into())
+        )]))
+        .unwrap_err()
+        .contains("bogus"));
+        assert!(kind_from_label("XX").is_err());
+    }
+
+    #[test]
+    fn cancellation_is_detected_through_error_chains() {
+        use agemul::CoreError;
+        use agemul_faults::FaultError;
+        let nested = FaultError::from(CoreError::from(NetlistError::Cancelled));
+        assert!(is_cancellation(&nested));
+        let other = FaultError::InvalidSpec {
+            label: "x".into(),
+            reason: "y".into(),
+        };
+        assert!(!is_cancellation(&other));
+    }
+}

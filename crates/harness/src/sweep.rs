@@ -1,0 +1,114 @@
+//! Supervised period sweeps: one case per cycle period.
+
+use std::path::Path;
+
+use agemul::{run_engine, EngineConfig, PatternProfile, PeriodSweep};
+use agemul_conformance::Json;
+
+use crate::campaign::fnv1a64;
+use crate::checkpoint::CaseStatus;
+use crate::snapshot::{metrics_from_json, metrics_to_json};
+use crate::supervisor::{Attempt, CaseError, Resume, RunLedger, Supervisor, SupervisorConfig};
+use crate::HarnessError;
+
+/// A supervised sweep: the reassembled [`PeriodSweep`] (quarantined
+/// periods omitted) plus the raw ledger.
+#[derive(Clone, Debug)]
+pub struct SupervisedSweep {
+    /// The sweep over every period whose replay completed.
+    pub sweep: PeriodSweep,
+    /// Periods whose case was quarantined, in grid order.
+    pub quarantined_periods: Vec<f64>,
+    /// The full per-case execution record.
+    pub ledger: RunLedger,
+}
+
+fn sweep_run_key(profile: &PatternProfile, config: &EngineConfig, periods_ns: &[f64]) -> String {
+    let mut h = fnv1a64(0, profile.kind().label().as_bytes());
+    h = fnv1a64(h, &(profile.width() as u64).to_le_bytes());
+    h = fnv1a64(h, &(profile.len() as u64).to_le_bytes());
+    h = fnv1a64(h, &profile.max_delay_ns().to_bits().to_le_bytes());
+    h = fnv1a64(h, &config.skip.to_le_bytes());
+    h = fnv1a64(h, &[u8::from(config.adaptive)]);
+    h = fnv1a64(h, &config.razor.window_factor.to_bits().to_le_bytes());
+    for &p in periods_ns {
+        h = fnv1a64(h, &p.to_bits().to_le_bytes());
+    }
+    format!("sweep/{}periods/{h:016x}", periods_ns.len())
+}
+
+/// [`PeriodSweep::run`] under supervision: each period's engine replay is
+/// one case, checkpointed so an interrupted sweep resumes at the first
+/// unreplayed period and reassembles (via [`PeriodSweep::from_points`])
+/// bit-identically to an uninterrupted [`PeriodSweep::run`].
+///
+/// Replays are pure in-memory engine math (no gate-level simulation), so
+/// deadlines rarely matter here; panic isolation and checkpointing are the
+/// point — a paper-scale sweep grid is hours of replays at `--paper`
+/// workload sizes.
+///
+/// # Errors
+///
+/// Checkpoint/decode failures, and [`HarnessError::NoUsableCases`] when
+/// every period was quarantined (an empty sweep has no meaning).
+///
+/// # Panics
+///
+/// Panics if `periods_ns` is empty or contains a non-positive period,
+/// matching [`PeriodSweep::run`]'s contract.
+pub fn run_sweep_supervised(
+    profile: &PatternProfile,
+    config: &EngineConfig,
+    periods_ns: &[f64],
+    sup: &SupervisorConfig,
+    checkpoint: Option<&Path>,
+    resume: Resume,
+) -> Result<SupervisedSweep, HarnessError> {
+    assert!(!periods_ns.is_empty(), "sweep needs at least one period");
+    for &p in periods_ns {
+        assert!(
+            p.is_finite() && p > 0.0,
+            "period must be finite and positive, got {p}"
+        );
+    }
+    let labels = periods_ns
+        .iter()
+        .map(|p| format!("period {p} ns"))
+        .collect();
+    let supervisor = Supervisor::new(
+        sweep_run_key(profile, config, periods_ns),
+        labels,
+        sup.clone(),
+    );
+    let worker = |attempt: &Attempt| -> Result<Json, CaseError> {
+        let cfg = EngineConfig {
+            cycle_ns: periods_ns[attempt.index],
+            ..*config
+        };
+        Ok(metrics_to_json(&run_engine(profile, &cfg)))
+    };
+    let ledger = supervisor.run(&worker, checkpoint, resume)?;
+
+    let mut points = Vec::with_capacity(periods_ns.len());
+    let mut quarantined_periods = Vec::new();
+    for (i, &period) in periods_ns.iter().enumerate() {
+        match &ledger.records[i].status {
+            CaseStatus::Done { value } => {
+                let metrics = metrics_from_json(value).map_err(|reason| HarnessError::Decode {
+                    what: format!("metrics for period {period}"),
+                    reason,
+                })?;
+                points.push((period, metrics));
+            }
+            CaseStatus::Quarantined { .. } => quarantined_periods.push(period),
+        }
+    }
+    if points.is_empty() {
+        return Err(HarnessError::NoUsableCases);
+    }
+    Ok(SupervisedSweep {
+        sweep: PeriodSweep::from_points(points),
+        quarantined_periods,
+        ledger,
+    })
+}

@@ -1,0 +1,186 @@
+//! Resume identity: a supervised run interrupted at any point and resumed
+//! from its checkpoint produces results **bit-identical** to an
+//! uninterrupted run — the tentpole guarantee of the harness.
+//!
+//! The tests simulate the interruption by truncating the checkpoint file
+//! (exactly what a SIGKILL between snapshot writes leaves behind) and
+//! resuming with [`Resume::Require`], then compare rendered reports byte
+//! for byte. `just soak-smoke` repeats the experiment with a real SIGKILL
+//! against the `soak` binary.
+
+use std::path::PathBuf;
+
+use agemul::{EngineConfig, MultiplierDesign, PatternSet, PeriodSweep};
+use agemul_circuits::MultiplierKind;
+use agemul_faults::{Campaign, FaultSpec};
+use agemul_harness::{
+    run_campaign_supervised, run_sweep_supervised, Checkpoint, Resume, SupervisorConfig,
+};
+use proptest::prelude::*;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("agemul-resume-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("ckpt.json")
+}
+
+fn design() -> MultiplierDesign {
+    MultiplierDesign::new(MultiplierKind::ColumnBypass, 4).unwrap()
+}
+
+fn config() -> SupervisorConfig {
+    SupervisorConfig {
+        checkpoint_every: 1,
+        retry_backoff: std::time::Duration::ZERO,
+        ..SupervisorConfig::default()
+    }
+}
+
+#[test]
+fn supervised_campaign_matches_unsupervised_batch_path() {
+    let d = design();
+    let patterns = PatternSet::uniform(4, 24, 7);
+    let faults = FaultSpec::sample(&d, 24, 5, 11);
+
+    let batch = Campaign::prepare(&d, patterns.pairs(), &faults).unwrap();
+    let supervised = run_campaign_supervised(
+        &d,
+        patterns.pairs(),
+        &faults,
+        &config(),
+        None,
+        Resume::Fresh,
+    )
+    .unwrap();
+
+    let cfg = EngineConfig::adaptive(1.0, 2);
+    assert_eq!(
+        supervised.campaign.run(&cfg).to_json(),
+        batch.run(&cfg).to_json(),
+        "per-case supervised evidence must be bit-identical to the 64-lane batch path"
+    );
+}
+
+#[test]
+fn campaign_resumed_from_truncated_checkpoint_is_bit_identical() {
+    let d = design();
+    let patterns = PatternSet::uniform(4, 20, 3);
+    let faults = FaultSpec::sample(&d, 20, 6, 5);
+    let cfg = EngineConfig::adaptive(1.0, 2);
+
+    let path = temp_path("campaign");
+    let full = run_campaign_supervised(
+        &d,
+        patterns.pairs(),
+        &faults,
+        &config(),
+        Some(&path),
+        Resume::Fresh,
+    )
+    .unwrap();
+    let full_json = full.campaign.run(&cfg).to_json();
+
+    // Interrupt at every possible point: 0 completed cases .. all-but-one.
+    for survivors in 0..full.ledger.records.len() {
+        let mut ck = Checkpoint::load(&path, None).unwrap();
+        let run_key = ck.run_key.clone();
+        ck.entries.truncate(survivors);
+        let cut = temp_path(&format!("campaign-cut{survivors}"));
+        ck.save_atomic(&cut).unwrap();
+
+        let resumed = run_campaign_supervised(
+            &d,
+            patterns.pairs(),
+            &faults,
+            &config(),
+            Some(&cut),
+            Resume::Require,
+        )
+        .unwrap();
+        assert_eq!(resumed.ledger, full.ledger, "survivors={survivors}");
+        assert_eq!(resumed.campaign.run(&cfg).to_json(), full_json);
+        // The rewritten checkpoint is complete and still keyed to the run.
+        let after = Checkpoint::load(&cut, Some(&run_key)).unwrap();
+        assert_eq!(after.entries.len(), full.ledger.records.len());
+    }
+}
+
+#[test]
+fn sweep_resumed_mid_grid_matches_uninterrupted_sweep() {
+    let d = design();
+    let patterns = PatternSet::uniform(4, 40, 9);
+    let profile = d.profile(patterns.pairs(), None).unwrap();
+    let cfg = EngineConfig::adaptive(1.0, 2);
+    let periods: Vec<f64> = (0..8).map(|i| 0.6 + 0.1 * f64::from(i)).collect();
+
+    let reference = PeriodSweep::run(&profile, &cfg, &periods);
+
+    let path = temp_path("sweep");
+    let full = run_sweep_supervised(
+        &profile,
+        &cfg,
+        &periods,
+        &config(),
+        Some(&path),
+        Resume::Fresh,
+    )
+    .unwrap();
+    assert_eq!(full.sweep.points(), reference.points());
+    assert!(full.quarantined_periods.is_empty());
+
+    let mut ck = Checkpoint::load(&path, None).unwrap();
+    ck.entries.truncate(3);
+    ck.save_atomic(&path).unwrap();
+    let resumed = run_sweep_supervised(
+        &profile,
+        &cfg,
+        &periods,
+        &config(),
+        Some(&path),
+        Resume::Require,
+    )
+    .unwrap();
+    assert_eq!(resumed.sweep.points(), reference.points());
+    assert_eq!(resumed.ledger, full.ledger);
+    // Bit-level spot check on the floats that crossed the JSON boundary.
+    for (a, b) in resumed.sweep.points().iter().zip(reference.points()) {
+        assert_eq!(a.0.to_bits(), b.0.to_bits());
+        assert_eq!(a.1.cycle_ns.to_bits(), b.1.cycle_ns.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized workload seeds and cut points: the resumed ledger always
+    /// equals the uninterrupted one, and so does the rendered report.
+    #[test]
+    fn resume_identity_holds_for_random_seeds_and_cuts(
+        seed in any::<u64>(),
+        cut_pick in any::<u16>(),
+    ) {
+        let d = design();
+        let patterns = PatternSet::uniform(4, 12, seed);
+        let faults = FaultSpec::sample(&d, 12, 3, seed ^ 0xA5A5);
+        let cfg = EngineConfig::adaptive(1.0, 2);
+
+        let path = temp_path(&format!("prop-{seed:x}"));
+        let full = run_campaign_supervised(
+            &d, patterns.pairs(), &faults, &config(), Some(&path), Resume::Fresh,
+        ).unwrap();
+
+        let mut ck = Checkpoint::load(&path, None).unwrap();
+        let survivors = usize::from(cut_pick) % ck.entries.len();
+        ck.entries.truncate(survivors);
+        ck.save_atomic(&path).unwrap();
+
+        let resumed = run_campaign_supervised(
+            &d, patterns.pairs(), &faults, &config(), Some(&path), Resume::Require,
+        ).unwrap();
+        prop_assert_eq!(&resumed.ledger, &full.ledger);
+        prop_assert_eq!(
+            resumed.campaign.run(&cfg).to_json(),
+            full.campaign.run(&cfg).to_json()
+        );
+    }
+}

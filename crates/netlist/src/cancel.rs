@@ -1,0 +1,155 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle shared between a supervisor
+//! and a worker. The supervisor either calls [`CancelToken::cancel`] or arms
+//! the token with a wall-clock deadline; the worker polls
+//! [`CancelToken::check`] at loop boundaries and unwinds with
+//! [`NetlistError::Cancelled`] when the token fires. Both [`EventSim`] and
+//! [`LevelSim`] poll a token installed via their `set_cancel_token` methods,
+//! which makes every profiling and sweep path in the workspace cancellable
+//! without busy-killing threads.
+//!
+//! [`EventSim`]: crate::EventSim
+//! [`LevelSim`]: crate::LevelSim
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::NetlistError;
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A clonable cancellation handle with an optional wall-clock deadline.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same state.
+/// A token fires when either [`cancel`](CancelToken::cancel) has been called
+/// on any clone or the deadline (if armed) has passed.
+///
+/// # Example
+///
+/// ```
+/// use agemul_netlist::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(token.check().is_ok());
+/// token.cancel();
+/// assert!(token.check().is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// Creates a token that only fires on an explicit [`cancel`] call.
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// Creates a token that fires once `budget` wall-clock time has elapsed
+    /// (or earlier, on an explicit [`cancel`] call).
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    #[must_use]
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+            }),
+        }
+    }
+
+    /// Fires the token; all clones observe the cancellation.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// Returns `true` once the token has fired (explicitly or by deadline).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+
+    /// Polls the token: `Err(NetlistError::Cancelled)` once it has fired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cancelled`] after [`cancel`] or past the
+    /// deadline.
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn check(&self) -> Result<(), NetlistError> {
+        if self.is_cancelled() {
+            Err(NetlistError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_clear() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn cancel_is_visible_through_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(NetlistError::Cancelled));
+    }
+
+    #[test]
+    fn deadline_fires_after_budget() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        // A zero budget is already expired by the time we poll.
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire_early() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn default_matches_new() {
+        assert!(!CancelToken::default().is_cancelled());
+    }
+}

@@ -56,6 +56,27 @@ pub enum NetlistError {
         /// The number of patterns supplied.
         got: usize,
     },
+    /// An export or import path failed on the underlying I/O stream.
+    ///
+    /// Carries the rendered [`std::io::Error`] message so the error stays
+    /// `Clone`/`Eq` (raw `io::Error` is neither).
+    Io {
+        /// The rendered I/O error message.
+        message: String,
+    },
+    /// A simulation was cooperatively cancelled via a
+    /// [`CancelToken`](crate::CancelToken) (explicit cancel or expired
+    /// deadline). Simulator state is unspecified after a cancelled step;
+    /// re-`settle` before reuse.
+    Cancelled,
+}
+
+impl From<std::io::Error> for NetlistError {
+    fn from(e: std::io::Error) -> Self {
+        NetlistError::Io {
+            message: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for NetlistError {
@@ -78,6 +99,15 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::BatchSize { got } => {
                 write!(f, "batch needs 1..=64 patterns, got {got}")
+            }
+            NetlistError::Io { message } => {
+                write!(f, "i/o failure: {message}")
+            }
+            NetlistError::Cancelled => {
+                write!(
+                    f,
+                    "simulation cancelled (deadline expired or cancel requested)"
+                )
             }
         }
     }
@@ -104,6 +134,10 @@ mod tests {
                 got: 3,
             },
             NetlistError::BatchSize { got: 65 },
+            NetlistError::Io {
+                message: "disk full".into(),
+            },
+            NetlistError::Cancelled,
         ];
         for e in cases {
             let msg = e.to_string();

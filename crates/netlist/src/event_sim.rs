@@ -263,7 +263,16 @@ pub struct EventSim<'a> {
     /// Fault overlay (None = fault-free): every settled net value is passed
     /// through its scalar (lane-0) coercion.
     overlay: Option<crate::FaultOverlay>,
+    /// Cooperative cancellation (None = never cancelled): polled every
+    /// [`CANCEL_POLL_INTERVAL`] processed timestamps during a step.
+    cancel: Option<crate::CancelToken>,
 }
+
+/// Timestamps processed between cancellation polls. Polling reads a clock
+/// (`Instant::now`), so it is kept off the per-event fast path; at typical
+/// event densities this bounds the overrun past a deadline to well under a
+/// millisecond.
+const CANCEL_POLL_INTERVAL: u32 = 512;
 
 #[derive(Debug)]
 struct TraceState {
@@ -330,7 +339,18 @@ impl<'a> EventSim<'a> {
             affected: Vec::new(),
             trace: None,
             overlay: None,
+            cancel: None,
         }
+    }
+
+    /// Installs a [`CancelToken`](crate::CancelToken): subsequent
+    /// [`step`](Self::step)/[`settle`](Self::settle) calls poll it
+    /// periodically and abort with [`NetlistError::Cancelled`] once it
+    /// fires. Pass `None` to detach. After a cancelled step the settled
+    /// values are unspecified; [`settle`](Self::settle) (with a fresh or
+    /// cleared token) before measuring again.
+    pub fn set_cancel_token(&mut self, token: Option<crate::CancelToken>) {
+        self.cancel = token;
     }
 
     /// Attaches a [`FaultOverlay`](crate::FaultOverlay): from now on every
@@ -464,7 +484,22 @@ impl<'a> EventSim<'a> {
         // timestamp before re-evaluating any fanout gate, so simultaneous
         // transitions (e.g. a tri-state's data and enable flipping on the
         // same input vector) are seen atomically.
+        let mut poll_countdown = CANCEL_POLL_INTERVAL;
         while let Some(&Reverse(head)) = self.queue.peek() {
+            if let Some(token) = &self.cancel {
+                poll_countdown -= 1;
+                if poll_countdown == 0 {
+                    poll_countdown = CANCEL_POLL_INTERVAL;
+                    if token.is_cancelled() {
+                        // Leave the simulator structurally reusable (empty
+                        // queue, no pending transitions); settled values are
+                        // unspecified until the next `settle`.
+                        self.queue.clear();
+                        self.pending.fill(None);
+                        return Err(NetlistError::Cancelled);
+                    }
+                }
+            }
             let now_fs = head.time_fs;
             self.epoch += 1;
             self.affected.clear();
@@ -869,6 +904,37 @@ mod tests {
         assert_eq!(sim.value(y), Logic::Zero);
         let expect = 2.0 * model.delay_ns(GateKind::Not);
         assert!((timing.delay_ns - expect).abs() < 1e-9, "{timing:?}");
+    }
+
+    #[test]
+    fn cancelled_token_aborts_step_and_sim_recovers() {
+        use crate::CancelToken;
+        // A chain long enough to cross the poll interval (one timestamp per
+        // inverter), so the pre-fired token is observed mid-step.
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let mut x = a;
+        for _ in 0..2_000 {
+            x = n.add_gate(GateKind::Not, &[x]).unwrap();
+        }
+        n.mark_output(x, "y");
+        let t = n.topology().unwrap();
+        let d = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let mut sim = EventSim::new(&n, &t, d);
+        sim.settle(&[Logic::Zero]).unwrap();
+
+        let token = CancelToken::new();
+        token.cancel();
+        sim.set_cancel_token(Some(token));
+        let err = sim.step(&[Logic::One]).unwrap_err();
+        assert_eq!(err, NetlistError::Cancelled);
+
+        // Detaching the token and re-settling restores normal behaviour.
+        sim.set_cancel_token(None);
+        sim.settle(&[Logic::Zero]).unwrap();
+        let timing = sim.step(&[Logic::One]).unwrap();
+        assert!(timing.delay_ns > 0.0);
+        assert_eq!(sim.value(n.outputs()[0]), Logic::One);
     }
 
     #[test]

@@ -118,6 +118,9 @@ pub struct LevelSim<'a> {
     lut1: [[Logic; 4]; GateKind::ALL.len()],
     lut2: [[Logic; 16]; GateKind::ALL.len()],
     lut3: [[Logic; 64]; GateKind::ALL.len()],
+    /// Cooperative cancellation (None = never cancelled): polled once per
+    /// dirty level during a step.
+    cancel: Option<crate::CancelToken>,
 }
 
 /// All four [`Logic`] levels, indexed by enum discriminant.
@@ -220,9 +223,19 @@ impl<'a> LevelSim<'a> {
             lut1,
             lut2,
             lut3,
+            cancel: None,
         };
         sim.reinit_values();
         sim
+    }
+
+    /// Installs a [`CancelToken`](crate::CancelToken): subsequent
+    /// [`step`](Self::step)/[`settle`](Self::settle) calls poll it once per
+    /// dirty level and abort with [`NetlistError::Cancelled`] once it fires.
+    /// Pass `None` to detach. After a cancelled step the settled values are
+    /// unspecified; [`settle`](Self::settle) before measuring again.
+    pub fn set_cancel_token(&mut self, token: Option<crate::CancelToken>) {
+        self.cancel = token;
     }
 
     /// Attaches a [`FaultOverlay`](crate::FaultOverlay); every net value is
@@ -342,6 +355,21 @@ impl<'a> LevelSim<'a> {
             if queue.is_empty() {
                 self.queues[lvl] = queue;
                 continue;
+            }
+
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    // Leave the simulator structurally reusable: drop all
+                    // dirty queues and scratch. Settled values are
+                    // unspecified until the next `settle`.
+                    queue.clear();
+                    self.queues[lvl] = queue;
+                    for q in &mut self.queues {
+                        q.clear();
+                    }
+                    self.out_scratch = out_buf;
+                    return Err(NetlistError::Cancelled);
+                }
             }
 
             // Gates on one level never feed each other, so a level's dirty
@@ -859,6 +887,28 @@ mod tests {
         let tl = level.step(&[Logic::One]).unwrap();
         let te = event.step(&[Logic::One]).unwrap();
         assert_eq!(tl, te);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_step_and_sim_recovers() {
+        use crate::CancelToken;
+        let n = inverter_chain();
+        let t = n.topology().unwrap();
+        let d = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let mut sim = LevelSim::new(&n, &t, d);
+        sim.settle(&[Logic::Zero]).unwrap();
+
+        let token = CancelToken::new();
+        token.cancel();
+        sim.set_cancel_token(Some(token));
+        let err = sim.step(&[Logic::One]).unwrap_err();
+        assert_eq!(err, NetlistError::Cancelled);
+
+        sim.set_cancel_token(None);
+        sim.settle(&[Logic::Zero]).unwrap();
+        let timing = sim.step(&[Logic::One]).unwrap();
+        assert!(timing.delay_ns > 0.0);
+        assert_eq!(sim.value(n.outputs()[0]), Logic::One);
     }
 
     #[test]

@@ -66,6 +66,7 @@
 
 mod batch_sim;
 mod bus;
+mod cancel;
 mod error;
 mod event_sim;
 mod fault;
@@ -83,6 +84,7 @@ mod verilog;
 
 pub use batch_sim::BatchSim;
 pub use bus::Bus;
+pub use cancel::CancelToken;
 pub use error::NetlistError;
 pub use event_sim::{DelayAssignment, EventSim, PatternTiming, TraceEvent};
 pub use fault::{FaultKind, FaultOverlay};

@@ -1,10 +1,10 @@
 //! Value-change-dump (VCD) waveform export.
 
-use std::io::{self, Write};
+use std::io::Write;
 
 use agemul_logic::Logic;
 
-use crate::{NetId, Netlist, TraceEvent};
+use crate::{NetId, Netlist, NetlistError, TraceEvent};
 
 /// Writes a standard VCD file from a recorded simulation trace.
 ///
@@ -15,7 +15,8 @@ use crate::{NetId, Netlist, TraceEvent};
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from `out`.
+/// Returns [`NetlistError::Io`] when writing to `out` fails; the variant
+/// carries the rendered I/O error message.
 ///
 /// # Example
 ///
@@ -40,7 +41,11 @@ use crate::{NetId, Netlist, TraceEvent};
 /// assert!(text.contains("$var wire 1"));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn write_vcd(netlist: &Netlist, events: &[TraceEvent], mut out: impl Write) -> io::Result<()> {
+pub fn write_vcd(
+    netlist: &Netlist,
+    events: &[TraceEvent],
+    mut out: impl Write,
+) -> Result<(), NetlistError> {
     // Identifier codes: printable ASCII 33..=126, multi-character base-94.
     fn id_code(mut index: usize) -> String {
         let mut s = String::new();
@@ -193,6 +198,27 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), 200);
+    }
+
+    #[test]
+    fn write_failure_surfaces_as_typed_io_error() {
+        struct FailingWriter;
+        impl std::io::Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink rejected write"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let (n, events) = traced_fixture();
+        let err = write_vcd(&n, &events, FailingWriter).unwrap_err();
+        match err {
+            crate::NetlistError::Io { message } => {
+                assert!(message.contains("sink rejected write"), "{message}");
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use agemul::{MultiplierDesign, PatternProfile, PatternSet};
+use agemul::{CancelToken, MultiplierDesign, PatternProfile, PatternSet, SimEngine};
 use agemul_aging::{aging_factors, BtiModel};
 use agemul_circuits::MultiplierKind;
 use agemul_logic::Technology;
@@ -118,6 +118,8 @@ fn years_key(years: f64) -> u32 {
 /// paper reuses one measured dataset across Figs. 13–24.
 pub struct Context {
     scale: Scale,
+    engine: SimEngine,
+    cancel: Option<CancelToken>,
     bti: BtiModel,
     designs: HashMap<(MultiplierKind, usize), Rc<MultiplierDesign>>,
     workloads: HashMap<(usize, usize), Rc<PatternSet>>,
@@ -135,6 +137,8 @@ impl Context {
     pub fn new(scale: Scale) -> Self {
         Context {
             scale,
+            engine: SimEngine::Level,
+            cancel: None,
             bti: BtiModel::calibrated(Technology::ptm_32nm_hk(), REFERENCE_GATE_7Y_FACTOR),
             designs: HashMap::new(),
             workloads: HashMap::new(),
@@ -148,6 +152,21 @@ impl Context {
     /// The configured scale.
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// Places the context under supervision: profiles are simulated on
+    /// `engine` and the optional deadline token is threaded into the
+    /// timing kernels, so a supervisor's deadline aborts an experiment
+    /// cooperatively instead of leaving it wedged.
+    ///
+    /// Intended for a *fresh* context per supervised attempt — caches are
+    /// keyed without the engine, so mixing engines in one context would
+    /// serve profiles computed on whichever engine ran first (they are
+    /// equivalent by the conformance gate, but bit-identity of a resumed
+    /// run is only pinned per attempt).
+    pub fn set_supervision(&mut self, engine: SimEngine, cancel: Option<CancelToken>) {
+        self.engine = engine;
+        self.cancel = cancel;
     }
 
     /// The calibrated BTI model.
@@ -233,7 +252,12 @@ impl Context {
         } else {
             None
         };
-        let p = Rc::new(design.profile(workload.pairs(), factors.as_ref().map(|f| f.as_slice()))?);
+        let p = Rc::new(design.profile_supervised(
+            workload.pairs(),
+            factors.as_ref().map(|f| f.as_slice()),
+            self.engine,
+            self.cancel.as_ref(),
+        )?);
         self.profiles.insert(key, Rc::clone(&p));
         Ok(p)
     }

@@ -1,17 +1,35 @@
 //! `repro` — regenerate the paper's tables and figures from simulation.
 //!
 //! ```text
-//! repro [--quick | --paper] [--csv <dir>] [--list] <experiment>... | all
+//! repro [--quick | --paper] [--csv <dir>] [--list]
+//!       [--resume <ckpt>] [--deadline-ms <N>] [--max-retries <N>]
+//!       <experiment>... | all
 //! ```
+//!
+//! A failing experiment no longer aborts the batch: every requested
+//! experiment runs, a per-experiment pass/fail summary is printed at the
+//! end, and the exit code is nonzero if *any* failed. With `--resume` (or
+//! a deadline/retry budget) the batch runs under the `agemul-harness`
+//! supervisor: completed experiments are checkpointed to the given path —
+//! a killed `repro all` picks up where it died — panicking experiments are
+//! quarantined instead of taking the batch down, and deadline overruns
+//! degrade to the event-driven reference engine before giving up.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use agemul_repro::{experiments, Context, Scale};
+use agemul_conformance::Json;
+use agemul_harness::{
+    is_cancellation, Attempt, CaseError, CaseStatus, Resume, Supervisor, SupervisorConfig,
+};
+use agemul_repro::{experiments, Context, Report, Scale};
 
 fn usage() {
-    eprintln!("usage: repro [--quick | --paper] [--csv <dir>] [--list] <experiment>... | all");
+    eprintln!(
+        "usage: repro [--quick | --paper] [--csv <dir>] [--list] \
+         [--resume <ckpt>] [--deadline-ms <N>] [--max-retries <N>] <experiment>... | all"
+    );
     eprintln!("experiments: {}", experiments::ALL_IDS.join(", "));
 }
 
@@ -19,9 +37,9 @@ fn usage() {
 /// if the experiment failed or a CSV could not be written.
 fn emit(
     id: &str,
-    outcome: agemul_repro::Result<agemul_repro::Report>,
+    outcome: agemul_repro::Result<Report>,
     secs: f64,
-    csv_dir: Option<&std::path::Path>,
+    csv_dir: Option<&Path>,
 ) -> bool {
     match outcome {
         Ok(report) => {
@@ -49,21 +67,219 @@ fn emit(
     }
 }
 
+/// One line per experiment, then the aggregate verdict. Returns the exit
+/// code: success only if every experiment passed.
+fn summarize(results: &[(String, bool, f64)]) -> ExitCode {
+    let failed: Vec<&str> = results
+        .iter()
+        .filter(|(_, ok, _)| !ok)
+        .map(|(id, _, _)| id.as_str())
+        .collect();
+    eprintln!("summary:");
+    for (id, ok, secs) in results {
+        eprintln!(
+            "  {id:<20} {} ({secs:.1}s)",
+            if *ok { "ok" } else { "FAILED" }
+        );
+    }
+    if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{}/{} experiment(s) failed: {}",
+            failed.len(),
+            results.len(),
+            failed.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Serializes a finished report (rendered text + CSV tables) as the
+/// supervised case's checkpoint value, so a resumed run can re-emit it
+/// without recomputing the experiment.
+fn report_to_json(report: &Report) -> Json {
+    let tables = report
+        .tables
+        .iter()
+        .map(|t| {
+            Json::Obj(vec![
+                ("slug".into(), Json::Str(t.slug())),
+                ("csv".into(), Json::Str(t.to_csv())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("id".into(), Json::Str(report.id.clone())),
+        ("text".into(), Json::Str(report.to_string())),
+        ("tables".into(), Json::Arr(tables)),
+    ])
+}
+
+/// Re-emits a checkpointed report value; returns `false` on decode or CSV
+/// failures.
+fn emit_json(id: &str, value: &Json, csv_dir: Option<&Path>) -> bool {
+    let Some(text) = value.get("text").and_then(Json::as_str) else {
+        eprintln!("experiment {id}: checkpointed value has no text");
+        return false;
+    };
+    println!("{text}");
+    if let Some(dir) = csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return false;
+        }
+        for t in value.get("tables").and_then(Json::as_arr).unwrap_or(&[]) {
+            let (Some(slug), Some(csv)) = (
+                t.get("slug").and_then(Json::as_str),
+                t.get("csv").and_then(Json::as_str),
+            ) else {
+                eprintln!("experiment {id}: malformed checkpointed table");
+                return false;
+            };
+            let path = dir.join(format!("{id}__{slug}.csv"));
+            if let Err(e) = std::fs::write(&path, csv) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return false;
+            }
+        }
+    }
+    true
+}
+
+struct Supervision {
+    checkpoint: Option<PathBuf>,
+    deadline: Option<Duration>,
+    max_retries: u32,
+}
+
+/// Runs the batch under the harness supervisor: one case per experiment,
+/// each on a fresh [`Context`] with the attempt's engine and deadline
+/// token installed.
+fn run_supervised(
+    ids: &[String],
+    scale: Scale,
+    csv_dir: Option<&Path>,
+    sup: &Supervision,
+) -> ExitCode {
+    let config = SupervisorConfig {
+        deadline: sup.deadline,
+        max_retries: sup.max_retries,
+        // Serial builds checkpoint after every experiment; parallel builds
+        // widen the batch so the fan-out has cases to spread (the batch is
+        // both the snapshot interval and the unit of parallelism).
+        #[cfg(feature = "parallel")]
+        checkpoint_every: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        #[cfg(not(feature = "parallel"))]
+        checkpoint_every: 1,
+        ..SupervisorConfig::default()
+    };
+    let supervisor = Supervisor::new(
+        format!("repro/{scale:?}/{}", ids.join("+")),
+        ids.to_vec(),
+        config,
+    );
+    let worker = |attempt: &Attempt| -> Result<Json, CaseError> {
+        let id = &ids[attempt.index];
+        let mut ctx = Context::new(scale);
+        ctx.set_supervision(attempt.engine, attempt.cancel.clone());
+        let report = experiments::run_by_id(&mut ctx, id).map_err(|e| {
+            if is_cancellation(&*e) {
+                CaseError::Cancelled
+            } else {
+                CaseError::Failed(e.to_string())
+            }
+        })?;
+        Ok(report_to_json(&report))
+    };
+
+    let start = Instant::now();
+    let ledger = match supervisor.run(
+        &worker,
+        sup.checkpoint.as_deref(),
+        if sup.checkpoint.is_some() {
+            Resume::Attempt
+        } else {
+            Resume::Fresh
+        },
+    ) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("supervised run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let secs = start.elapsed().as_secs_f64();
+
+    let mut results = Vec::with_capacity(ids.len());
+    for rec in &ledger.records {
+        let ok = match &rec.status {
+            CaseStatus::Done { value } => {
+                let ok = emit_json(&rec.label, value, csv_dir);
+                if rec.degraded {
+                    eprintln!(
+                        "note: {} completed on the event-driven reference engine \
+                         after exhausting its levelized-kernel budget",
+                        rec.label
+                    );
+                }
+                ok
+            }
+            CaseStatus::Quarantined { reason } => {
+                eprintln!("experiment {} quarantined: {reason}", rec.label);
+                false
+            }
+        };
+        // Per-case timing is not tracked through the checkpoint; report
+        // the batch total on the last line instead.
+        results.push((rec.label.clone(), ok, 0.0));
+    }
+    eprintln!(
+        "all {} experiment(s) done in {secs:.1}s (scale: {scale:?}, supervised)",
+        ids.len()
+    );
+    summarize(&results)
+}
+
 fn main() -> ExitCode {
     let mut scale = Scale::Standard;
     let mut ids: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
-    let mut expect_csv_dir = false;
+    let mut resume_ckpt: Option<PathBuf> = None;
+    let mut deadline: Option<Duration> = None;
+    let mut max_retries: Option<u32> = None;
+    let mut pending_value: Option<&'static str> = None;
+
     for arg in std::env::args().skip(1) {
-        if expect_csv_dir {
-            csv_dir = Some(PathBuf::from(&arg));
-            expect_csv_dir = false;
+        if let Some(flag) = pending_value.take() {
+            match flag {
+                "--csv" => csv_dir = Some(PathBuf::from(&arg)),
+                "--resume" => resume_ckpt = Some(PathBuf::from(&arg)),
+                "--deadline-ms" => match arg.parse() {
+                    Ok(ms) => deadline = Some(Duration::from_millis(ms)),
+                    Err(e) => {
+                        eprintln!("--deadline-ms: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                "--max-retries" => match arg.parse() {
+                    Ok(n) => max_retries = Some(n),
+                    Err(e) => {
+                        eprintln!("--max-retries: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                _ => unreachable!(),
+            }
             continue;
         }
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
             "--paper" => scale = Scale::Paper,
-            "--csv" => expect_csv_dir = true,
+            "--csv" => pending_value = Some("--csv"),
+            "--resume" => pending_value = Some("--resume"),
+            "--deadline-ms" => pending_value = Some("--deadline-ms"),
+            "--max-retries" => pending_value = Some("--max-retries"),
             "--list" => {
                 for id in experiments::ALL_IDS {
                     println!("{id}");
@@ -83,13 +299,34 @@ fn main() -> ExitCode {
             other => ids.push(other.to_string()),
         }
     }
+    if let Some(flag) = pending_value {
+        eprintln!("{flag} needs a value");
+        usage();
+        return ExitCode::FAILURE;
+    }
     if ids.is_empty() {
         usage();
         return ExitCode::FAILURE;
     }
     ids.dedup();
 
+    if resume_ckpt.is_some() || deadline.is_some() || max_retries.is_some() {
+        return run_supervised(
+            &ids,
+            scale,
+            csv_dir.as_deref(),
+            &Supervision {
+                checkpoint: resume_ckpt,
+                deadline,
+                // Experiments are deterministic, so a failure repeats;
+                // retries only pay off against deadline jitter.
+                max_retries: max_retries.unwrap_or(0),
+            },
+        );
+    }
+
     let overall = Instant::now();
+    let mut results: Vec<(String, bool, f64)> = Vec::with_capacity(ids.len());
 
     // With the `parallel` feature each experiment runs on its own thread
     // with a private Context (the caches are not shareable across threads),
@@ -107,9 +344,8 @@ fn main() -> ExitCode {
             (result, start.elapsed().as_secs_f64())
         });
         for (id, (outcome, secs)) in ids.iter().zip(outcomes) {
-            if !emit(id, outcome, secs, csv_dir.as_deref()) {
-                return ExitCode::FAILURE;
-            }
+            let ok = emit(id, outcome, secs, csv_dir.as_deref());
+            results.push((id.clone(), ok, secs));
         }
     }
     #[cfg(not(feature = "parallel"))]
@@ -118,14 +354,9 @@ fn main() -> ExitCode {
         for id in &ids {
             let start = Instant::now();
             let outcome = experiments::run_by_id(&mut ctx, id);
-            if !emit(
-                id,
-                outcome,
-                start.elapsed().as_secs_f64(),
-                csv_dir.as_deref(),
-            ) {
-                return ExitCode::FAILURE;
-            }
+            let secs = start.elapsed().as_secs_f64();
+            let ok = emit(id, outcome, secs, csv_dir.as_deref());
+            results.push((id.clone(), ok, secs));
         }
     }
     eprintln!(
@@ -133,5 +364,5 @@ fn main() -> ExitCode {
         ids.len(),
         overall.elapsed().as_secs_f64()
     );
-    ExitCode::SUCCESS
+    summarize(&results)
 }

@@ -3,8 +3,9 @@
 
 # Format check + clippy (all features, warnings fatal) + full test suite +
 # a quick fault-injection campaign smoke run + the timing-kernel
-# equivalence smoke + the seeded cross-engine conformance smoke.
-verify: fmt-check clippy test fault-smoke timing-equiv conformance
+# equivalence smoke + the seeded cross-engine conformance smoke + the
+# supervised kill/resume soak smoke.
+verify: fmt-check clippy test fault-smoke timing-equiv conformance soak-smoke
 
 fmt-check:
 	cargo fmt --all -- --check
@@ -19,7 +20,14 @@ test:
 
 # Tests again with the parallel fan-out compiled in.
 test-parallel:
-	cargo test -q -p agemul -p agemul-faults -p agemul-repro --features parallel
+	cargo test -q -p agemul -p agemul-faults -p agemul-repro -p agemul-harness --features parallel
+
+# Crash-safety soak: run a supervised fault campaign, SIGKILL it mid-run,
+# resume from the surviving checkpoint, and require the resumed report to
+# be byte-identical to an uninterrupted run — serial and parallel.
+soak-smoke:
+	scripts/soak_smoke.sh
+	scripts/soak_smoke.sh --features parallel
 
 # Quick fault-campaign smoke: regenerates the `faults` experiment at reduced
 # scale so a broken overlay or classifier fails the gate, not the archive.

@@ -17,3 +17,7 @@ cargo test -q -p agemul --test level_equiv timing_equiv_smoke_cb8
 # differential oracle + the metamorphic invariants; divergences shrink to
 # minimal JSON repros and fail the gate.
 cargo run --release -p agemul-repro -- --quick conformance >/dev/null
+# Supervised kill/resume soak: SIGKILL a checkpointed campaign mid-run,
+# resume, and require byte-identical results — serial and parallel.
+scripts/soak_smoke.sh
+scripts/soak_smoke.sh --features parallel
