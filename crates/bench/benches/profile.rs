@@ -12,7 +12,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use agemul::{calibrated_delay_model, MultiplierDesign, PatternSet, ProfileCache, SimEngine};
+use agemul::{
+    calibrated_delay_model, LaneWidth, MultiplierDesign, PatternSet, ProfileCache, SimEngine,
+};
 use agemul_circuits::{MultiplierCircuit, MultiplierKind};
 use agemul_logic::Logic;
 use agemul_netlist::{DelayAssignment, EventSim, LevelSim};
@@ -59,6 +61,14 @@ fn bench_profile(c: &mut Criterion) {
         g.bench_function(format!("{label}_cached"), |b| {
             b.iter(|| cache.profile(&design, pairs, None).unwrap())
         });
+
+        // The wide-lane batch kernel under profiling's functional
+        // verification sweep: 64, 256, and 512 lanes per block.
+        for lanes in LaneWidth::ALL {
+            g.bench_function(format!("{label}_verify_wide{}", lanes.lanes()), |b| {
+                b.iter(|| design.verify_functional_wide(pairs, lanes).unwrap())
+            });
+        }
     }
     g.finish();
 }

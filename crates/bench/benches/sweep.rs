@@ -1,0 +1,95 @@
+//! Aging-sweep driver throughput: incremental re-profiling vs the
+//! cache-less from-scratch driver over the 7-year × 17-period
+//! configuration grid on the 32×32 bypassing multipliers.
+//!
+//! Mirrors the `repro sweep` experiment: the grid is walked year-major
+//! and the driver is asked for a profile once per configuration. The
+//! `7yr_full_*` rows recompute every request (136 full profiles); the
+//! `7yr_incremental_*` rows run one [`AgingSweep`], which answers the
+//! period axis from factor identity and year boundaries from dirty-cone
+//! re-simulation. Both produce byte-identical profiles (asserted by the
+//! workspace tests), so the ratio of the two rows is the sweep speedup.
+//!
+//! Run with `cargo bench -p agemul-bench --bench sweep`; set
+//! `CRITERION_JSON=<file>` to append machine-readable results (see
+//! `BENCH_sim.json` at the workspace root).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use agemul::{quantize_factors, AgingSweep, MultiplierDesign, PatternSet};
+use agemul_aging::{aging_factors, BtiModel};
+use agemul_circuits::MultiplierKind;
+use agemul_logic::Technology;
+
+/// Patterns per year — small enough that the 136-profile baseline stays
+/// benchable, large enough that per-pattern kernel work dominates.
+const OPS: usize = 64;
+
+/// Cycle periods in the grid (the fig14 sweep's cardinality; the period
+/// never enters profiling, which is exactly what the incremental driver
+/// discovers and the from-scratch driver cannot).
+const PERIODS: usize = 17;
+
+/// The workspace's calibrated per-gate seven-year factor target (see
+/// `agemul-repro`'s context calibration).
+const GATE_7Y_FACTOR: f64 = 1.132;
+
+/// One factor vector per year 0..=7 (`None` = fresh delays), derived from
+/// the real BTI pipeline so the per-gate drift density matches what the
+/// repro sweep sees.
+fn year_factors(design: &MultiplierDesign, pairs: &[(u64, u64)]) -> Vec<Option<Vec<f64>>> {
+    let stats = design
+        .workload_stats(pairs)
+        .expect("workload statistics succeed on a valid design");
+    let bti = BtiModel::calibrated(Technology::ptm_32nm_hk(), GATE_7Y_FACTOR);
+    (0..=7)
+        .map(|y| {
+            (y > 0).then(|| aging_factors(design.circuit().netlist(), &stats, &bti, f64::from(y)))
+        })
+        .collect()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    for (label, kind) in [
+        ("CB32", MultiplierKind::ColumnBypass),
+        ("RB32", MultiplierKind::RowBypass),
+    ] {
+        let design = MultiplierDesign::new(kind, 32).unwrap();
+        let patterns = PatternSet::uniform(32, OPS, 7);
+        let pairs = patterns.pairs();
+        let factors = year_factors(&design, pairs);
+        // The from-scratch driver profiles under pre-quantized factors so
+        // both rows compute identical profiles on the same delay grid.
+        let quant: Vec<Option<Vec<f64>>> = factors
+            .iter()
+            .map(|f| f.as_ref().map(|v| quantize_factors(v)))
+            .collect();
+
+        g.bench_function(format!("7yr_full_{label}"), |b| {
+            b.iter(|| {
+                for f in &quant {
+                    for _ in 0..PERIODS {
+                        black_box(design.profile(pairs, f.as_deref()).unwrap());
+                    }
+                }
+            })
+        });
+
+        g.bench_function(format!("7yr_incremental_{label}"), |b| {
+            b.iter(|| {
+                let mut sweep = AgingSweep::new(&design, pairs).unwrap();
+                for f in &factors {
+                    for _ in 0..PERIODS {
+                        black_box(sweep.profile_year(f.as_deref()).unwrap());
+                    }
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,479 @@
+//! Incremental year-over-year aging re-profiling.
+//!
+//! A multi-year aging study profiles the *same* workload under a slowly
+//! drifting delay assignment: each year's BTI ΔVth step inflates a subset
+//! of the per-gate aging factors by a fraction of a percent. Re-simulating
+//! every pattern from scratch at every year repeats almost all of the
+//! work — the sensitized cone of a typical pattern misses most of the
+//! gates whose delay moved, and most delays barely move at all.
+//!
+//! [`AgingSweep`] exploits both facts:
+//!
+//! 1. **Factor quantization** — aging factors are snapped onto the shared
+//!    [`AGING_FACTOR_GRID`](crate::AGING_FACTOR_GRID) before a delay
+//!    assignment is built, so a ΔVth step too small to cross a grid line
+//!    yields an *identical* assignment and the whole year is answered from
+//!    the previous year's profile (the same rule makes it a
+//!    [`ProfileCache`](crate::ProfileCache) hit).
+//! 2. **Dirty-cone pattern skipping** — for a year that does change some
+//!    gates, the sweep replays only the patterns whose recorded *touched
+//!    set* (the gates the levelized kernel actually visited for that
+//!    pattern) intersects the set of changed-delay gates. Every other
+//!    pattern's record is reused verbatim.
+//!
+//! # Why skipping is exact
+//!
+//! Let pattern `i` start from settled state `S` and let `T` be the set of
+//! gates [`LevelSim`] visited while simulating it (a gate is visited iff
+//! one of its input nets carried an event). The input events at `t = 0`
+//! depend only on `S` and the applied vector, not on any delay. By
+//! induction over topological levels, every visited gate sees identical
+//! input waveforms and — if its own delay is unchanged — produces an
+//! identical output waveform; every unvisited gate produces none either
+//! way. So if no gate in `T` changed delay and the pre-state `S` matches
+//! the recorded one, the pattern's timing, toggle count, and settled
+//! post-state are all bit-identical to the recorded year — including
+//! glitches and inertial filtering, which is why the rule keys on the
+//! *visited* set rather than any static cone approximation.
+//!
+//! The pre-state condition is tracked dynamically: the sweep stores each
+//! pattern's packed settled state (2 bits/net via
+//! [`LevelSim::snapshot_values`]) and, after every replayed pattern,
+//! compares the new post-state against the recorded one. On a mismatch it
+//! enters *cascade* mode — subsequent patterns are replayed regardless of
+//! their touched sets (their recorded pre-state is stale) — and leaves it
+//! as soon as a replayed pattern's post-state reconverges. Skipped
+//! patterns keep their recorded state; before the next replay the kernel
+//! is rewound with [`LevelSim::restore_values`].
+//!
+//! The result is byte-identical to a from-scratch
+//! [`MultiplierDesign::profile`] of the same (quantized) factors — the
+//! property `just incremental-equiv` locks in — at a fraction of the
+//! simulated work, which [`SweepCounters`] quantifies.
+
+use std::sync::Arc;
+
+use agemul_logic::Logic;
+use agemul_netlist::LevelSim;
+
+use crate::{
+    count_zeros, quantize_factors, CoreError, MultiplierDesign, PatternProfile, PatternRecord,
+};
+
+/// Work accounting for an [`AgingSweep`]: how much simulation the
+/// incremental path actually performed versus reused.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepCounters {
+    /// Years profiled (one per [`AgingSweep::profile_year`] call).
+    pub years: u64,
+    /// Years answered by a full from-scratch profile (the first year, or
+    /// any call before state exists).
+    pub full_profiles: u64,
+    /// Years answered entirely from the previous year's profile because
+    /// the quantized factor vectors were identical.
+    pub identical_years: u64,
+    /// Patterns replayed because their touched set intersected a
+    /// changed-delay cone.
+    pub cone_resims: u64,
+    /// Patterns replayed because a preceding replay diverged the settled
+    /// trajectory (cascade mode).
+    pub cascade_resims: u64,
+    /// Pattern records reused verbatim from the previous year.
+    pub patterns_reused: u64,
+}
+
+impl SweepCounters {
+    /// Total patterns replayed through the timing kernel across all
+    /// incremental years (cone + cascade).
+    pub fn patterns_resimulated(&self) -> u64 {
+        self.cone_resims + self.cascade_resims
+    }
+}
+
+/// Per-year state carried between [`AgingSweep::profile_year`] calls.
+struct SweepState {
+    /// Quantized factor vector of the profiled year (`None` = fresh).
+    quantized: Option<Vec<f64>>,
+    profile: Arc<PatternProfile>,
+    /// `snapshots[0]` is the post-settle state; `snapshots[i + 1]` the
+    /// settled state after pattern `i`. Packed 2 bits/net.
+    snapshots: Vec<Vec<u64>>,
+    /// `touched[0]` is the settle's visited-gate set; `touched[i + 1]`
+    /// pattern `i`'s. Ascending gate indices.
+    touched: Vec<Vec<u32>>,
+    /// Per-pattern gate-output toggles, so the workload mean reconstructs
+    /// from the exact integer sum regardless of which patterns replayed.
+    toggles: Vec<u64>,
+}
+
+/// Incremental multi-year profiling driver over one design + workload.
+///
+/// # Example
+///
+/// ```no_run
+/// use agemul::{AgingSweep, MultiplierDesign, PatternSet};
+/// use agemul_circuits::MultiplierKind;
+///
+/// let design = MultiplierDesign::new(MultiplierKind::ColumnBypass, 16)?;
+/// let patterns = PatternSet::uniform(16, 1_500, 7);
+/// let mut sweep = AgingSweep::new(&design, patterns.pairs())?;
+/// for year in 0..=7 {
+///     let factors: Vec<f64> = /* agemul_aging::aging_factors(...) */
+///     # vec![1.0 + 0.01 * year as f64; design.circuit().netlist().gate_count()];
+///     let profile = sweep.profile_year(Some(&factors))?;
+///     println!("year {year}: avg {:.3} ns", profile.avg_delay_ns());
+/// }
+/// println!("replayed {} patterns", sweep.counters().patterns_resimulated());
+/// # Ok::<(), agemul::CoreError>(())
+/// ```
+pub struct AgingSweep<'a> {
+    design: &'a MultiplierDesign,
+    pairs: Vec<(u64, u64)>,
+    /// Pre-encoded input vectors, one per pair (encoding is
+    /// delay-independent, so it is paid once for the whole sweep).
+    encoded: Vec<Vec<Logic>>,
+    /// The all-zeros settle vector.
+    zeros: Vec<Logic>,
+    state: Option<SweepState>,
+    counters: SweepCounters,
+}
+
+impl<'a> AgingSweep<'a> {
+    /// Prepares a sweep over `pairs`: verifies the circuit functionally
+    /// (once — products are delay-independent) and pre-encodes every
+    /// input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Circuit`] if an operand overflows the width,
+    /// or [`CoreError::FunctionalMismatch`] if the circuit miscomputes a
+    /// product.
+    pub fn new(design: &'a MultiplierDesign, pairs: &[(u64, u64)]) -> Result<Self, CoreError> {
+        Self::with_lanes(design, pairs, crate::LaneWidth::default())
+    }
+
+    /// [`new`](Self::new) with an explicit batch width for the one-time
+    /// functional verification sweep.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`new`](Self::new).
+    pub fn with_lanes(
+        design: &'a MultiplierDesign,
+        pairs: &[(u64, u64)],
+        lanes: crate::LaneWidth,
+    ) -> Result<Self, CoreError> {
+        design.verify_functional_wide(pairs, lanes)?;
+        let encoded: Result<Vec<Vec<Logic>>, CoreError> = pairs
+            .iter()
+            .map(|&(a, b)| {
+                design
+                    .circuit()
+                    .encode_inputs(a, b)
+                    .map_err(CoreError::from)
+            })
+            .collect();
+        let mut zeros = Vec::with_capacity(2 * design.width());
+        design.circuit().encode_inputs_into(0, 0, &mut zeros)?;
+        Ok(AgingSweep {
+            design,
+            pairs: pairs.to_vec(),
+            encoded: encoded?,
+            zeros,
+            state: None,
+            counters: SweepCounters::default(),
+        })
+    }
+
+    /// The accumulated work counters.
+    #[inline]
+    pub fn counters(&self) -> SweepCounters {
+        self.counters
+    }
+
+    /// Profiles the workload under `factors` (quantized onto the shared
+    /// grid; `None` = fresh delays), reusing every pattern whose sensitized
+    /// cone provably avoided the gates that changed since the previous
+    /// call. The returned profile is byte-identical to
+    /// [`MultiplierDesign::profile`] of the same quantized factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Netlist`] on a malformed factor vector.
+    pub fn profile_year(
+        &mut self,
+        factors: Option<&[f64]>,
+    ) -> Result<Arc<PatternProfile>, CoreError> {
+        let quantized = factors.map(quantize_factors);
+        self.counters.years += 1;
+
+        if let Some(prev) = &self.state {
+            if prev.quantized == quantized {
+                self.counters.identical_years += 1;
+                self.counters.patterns_reused += self.pairs.len() as u64;
+                return Ok(prev.profile.clone());
+            }
+        }
+
+        let delays = self.design.delay_assignment(quantized.as_deref())?;
+        let gate_count = self.design.circuit().netlist().gate_count();
+        match self.state.take() {
+            None => {
+                self.counters.full_profiles += 1;
+                self.run_full(quantized, delays)
+            }
+            Some(prev) => {
+                // Per-gate diff of the quantized factor vectors; a `None`
+                // side reads as the uniform factor 1.0.
+                let at = |q: &Option<Vec<f64>>, g: usize| q.as_ref().map_or(1.0, |v| v[g]);
+                let changed: Vec<bool> = (0..gate_count)
+                    .map(|g| at(&prev.quantized, g) != at(&quantized, g))
+                    .collect();
+                self.run_incremental(prev, quantized, delays, &changed)
+            }
+        }
+    }
+
+    /// From-scratch year: simulate every pattern, recording the per-pattern
+    /// state the incremental path needs (touched sets, packed snapshots,
+    /// toggle counts).
+    fn run_full(
+        &mut self,
+        quantized: Option<Vec<f64>>,
+        delays: agemul_netlist::DelayAssignment,
+    ) -> Result<Arc<PatternProfile>, CoreError> {
+        let n = self.pairs.len();
+        let mut sim = LevelSim::new(
+            self.design.circuit().netlist(),
+            self.design.topology(),
+            delays,
+        );
+        let mut snapshots = Vec::with_capacity(n + 1);
+        let mut touched = Vec::with_capacity(n + 1);
+        let mut toggles = Vec::with_capacity(n);
+        let mut records = Vec::with_capacity(n);
+
+        sim.settle(&self.zeros)?;
+        touched.push(collect_touched(&sim));
+        snapshots.push(sim.snapshot_values());
+
+        for (i, &(a, b)) in self.pairs.iter().enumerate() {
+            let timing = sim.step(&self.encoded[i])?;
+            touched.push(collect_touched(&sim));
+            snapshots.push(sim.snapshot_values());
+            toggles.push(timing.gate_toggles);
+            records.push(self.record(a, b, timing.delay_ns));
+        }
+
+        Ok(self.commit(quantized, records, snapshots, touched, toggles))
+    }
+
+    /// Incremental year: replay only dirty-cone (and cascaded) patterns,
+    /// splicing everything else from the recorded state.
+    fn run_incremental(
+        &mut self,
+        prev: SweepState,
+        quantized: Option<Vec<f64>>,
+        delays: agemul_netlist::DelayAssignment,
+        changed: &[bool],
+    ) -> Result<Arc<PatternProfile>, CoreError> {
+        let n = self.pairs.len();
+        let mut sim = LevelSim::new(
+            self.design.circuit().netlist(),
+            self.design.topology(),
+            delays,
+        );
+        let SweepState {
+            mut snapshots,
+            mut touched,
+            mut toggles,
+            profile: prev_profile,
+            ..
+        } = prev;
+        let prev_records = prev_profile.records();
+        let mut records = Vec::with_capacity(n);
+
+        let hits = |set: &[u32]| set.iter().any(|&g| changed[g as usize]);
+
+        // Whether the settled trajectory under the new delays still matches
+        // the recorded one (reuse is only sound while it does).
+        let mut in_sync;
+        // Snapshot index whose state the kernel currently holds: `Some(i)`
+        // = the post-state of snapshot `i`; `None` = the freshly
+        // initialized pre-settle state.
+        let mut sim_at: Option<usize> = None;
+
+        // The initial settle is "pattern −1": its pre-state (functional
+        // re-initialization) is delay-independent, so only its own touched
+        // set gates whether it must be replayed.
+        if hits(&touched[0]) {
+            sim.settle(&self.zeros)?;
+            let snap = sim.snapshot_values();
+            in_sync = snap == snapshots[0];
+            touched[0] = collect_touched(&sim);
+            snapshots[0] = snap;
+            sim_at = Some(0);
+        } else {
+            in_sync = true;
+        }
+
+        for (i, &(a, b)) in self.pairs.iter().enumerate() {
+            if in_sync && !hits(&touched[i + 1]) {
+                self.counters.patterns_reused += 1;
+                records.push(prev_records[i]);
+                continue;
+            }
+            if in_sync {
+                self.counters.cone_resims += 1;
+            } else {
+                self.counters.cascade_resims += 1;
+            }
+            if sim_at != Some(i) {
+                sim.restore_values(&snapshots[i]);
+            }
+            let timing = sim.step(&self.encoded[i])?;
+            let snap = sim.snapshot_values();
+            in_sync = snap == snapshots[i + 1];
+            touched[i + 1] = collect_touched(&sim);
+            snapshots[i + 1] = snap;
+            toggles[i] = timing.gate_toggles;
+            records.push(self.record(a, b, timing.delay_ns));
+            sim_at = Some(i + 1);
+        }
+
+        Ok(self.commit(quantized, records, snapshots, touched, toggles))
+    }
+
+    fn record(&self, a: u64, b: u64, delay_ns: f64) -> PatternRecord {
+        let judged = match self.design.kind().judged_operand() {
+            agemul_circuits::Operand::Multiplicand => a,
+            agemul_circuits::Operand::Multiplicator => b,
+        };
+        PatternRecord {
+            a,
+            b,
+            zeros: count_zeros(judged, self.design.width()),
+            delay_ns,
+        }
+    }
+
+    /// Folds the year's results into a [`PatternProfile`] (the toggle mean
+    /// is computed from the exact integer sum, so replayed and reused
+    /// patterns combine byte-identically to a from-scratch run) and stores
+    /// the state for the next year.
+    fn commit(
+        &mut self,
+        quantized: Option<Vec<f64>>,
+        records: Vec<PatternRecord>,
+        snapshots: Vec<Vec<u64>>,
+        touched: Vec<Vec<u32>>,
+        toggles: Vec<u64>,
+    ) -> Arc<PatternProfile> {
+        let avg_toggles = if records.is_empty() {
+            0.0
+        } else {
+            toggles.iter().sum::<u64>() as f64 / records.len() as f64
+        };
+        let profile = Arc::new(PatternProfile::new(
+            self.design.kind(),
+            self.design.width(),
+            records,
+            avg_toggles,
+        ));
+        self.state = Some(SweepState {
+            quantized,
+            profile: profile.clone(),
+            snapshots,
+            touched,
+            toggles,
+        });
+        profile
+    }
+}
+
+/// The gates the kernel visited in its most recent step, ascending.
+fn collect_touched(sim: &LevelSim<'_>) -> Vec<u32> {
+    let mut v = Vec::new();
+    sim.for_each_touched_gate(|g| v.push(g as u32));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use agemul_circuits::MultiplierKind;
+
+    use super::*;
+    use crate::PatternSet;
+
+    /// Drifting years on a small design: every year's profile must be
+    /// byte-identical to a from-scratch profile of the same quantized
+    /// factors. The workload repeats each pair twice back to back, so the
+    /// second application is a no-transition pattern with an *empty*
+    /// touched set — reusable even when every gate in the design ages.
+    #[test]
+    fn incremental_years_match_from_scratch() {
+        let d = MultiplierDesign::new(MultiplierKind::ColumnBypass, 8).unwrap();
+        let gates = d.circuit().netlist().gate_count();
+        let base = PatternSet::uniform(8, 30, 9);
+        let pairs: Vec<(u64, u64)> = base.pairs().iter().flat_map(|&p| [p, p]).collect();
+        let mut sweep = AgingSweep::new(&d, &pairs).unwrap();
+
+        for year in 0..=4u32 {
+            // Dense drift: every third gate ages fast, the rest slowly —
+            // the hostile case where most sensitized cones go dirty.
+            let factors: Vec<f64> = (0..gates)
+                .map(|g| 1.0 + (0.012 + 0.004 * ((g % 3) as f64)) * f64::from(year))
+                .collect();
+            let inc = sweep.profile_year(Some(&factors)).unwrap();
+            let scratch = d
+                .profile(&pairs, Some(&quantize_factors(&factors)))
+                .unwrap();
+            assert_eq!(inc.records(), scratch.records(), "year {year}");
+            assert_eq!(
+                inc.avg_gate_toggles().to_bits(),
+                scratch.avg_gate_toggles().to_bits(),
+                "year {year}"
+            );
+        }
+        let c = sweep.counters();
+        assert_eq!(c.full_profiles, 1);
+        // The 4 incremental years each reuse at least the 30 repeated
+        // (no-transition) patterns.
+        assert!(c.patterns_reused >= 4 * 30, "{c:?}");
+        assert!(c.cone_resims > 0, "{c:?}");
+    }
+
+    /// A sub-grid ΔVth step reuses the entire previous year.
+    #[test]
+    fn sub_threshold_year_is_fully_reused() {
+        let d = MultiplierDesign::new(MultiplierKind::RowBypass, 8).unwrap();
+        let gates = d.circuit().netlist().gate_count();
+        let patterns = PatternSet::uniform(8, 25, 3);
+        let mut sweep = AgingSweep::new(&d, patterns.pairs()).unwrap();
+
+        let base = vec![1.05; gates];
+        let nudged: Vec<f64> = base
+            .iter()
+            .map(|f| f + 0.1 / crate::AGING_FACTOR_GRID)
+            .collect();
+        let y0 = sweep.profile_year(Some(&base)).unwrap();
+        let y1 = sweep.profile_year(Some(&nudged)).unwrap();
+        assert!(Arc::ptr_eq(&y0, &y1));
+        let c = sweep.counters();
+        assert_eq!(c.identical_years, 1);
+        assert_eq!(c.patterns_resimulated(), 0);
+    }
+
+    /// `None` factors and explicit uniform-1.0 factors describe the same
+    /// delays; stepping between them replays nothing.
+    #[test]
+    fn none_and_unit_factors_are_one_year() {
+        let d = MultiplierDesign::new(MultiplierKind::Array, 4).unwrap();
+        let gates = d.circuit().netlist().gate_count();
+        let patterns = PatternSet::uniform(4, 20, 1);
+        let mut sweep = AgingSweep::new(&d, patterns.pairs()).unwrap();
+        sweep.profile_year(None).unwrap();
+        sweep.profile_year(Some(&vec![1.0; gates])).unwrap();
+        assert_eq!(sweep.counters().patterns_resimulated(), 0);
+    }
+}

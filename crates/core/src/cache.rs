@@ -29,6 +29,28 @@ use agemul_netlist::DelayAssignment;
 
 use crate::{MultiplierDesign, PatternProfile};
 
+/// Reciprocal of the aging-factor quantization step: factors are snapped to
+/// a `1/4096` grid (≈ 2.4e-4 relative delay resolution — far below any
+/// observable timing difference at femtosecond rounding) before a delay
+/// assignment is built from them.
+///
+/// Both the cache key and the incremental sweep's year-over-year diff
+/// ([`AgingSweep`](crate::AgingSweep)) operate on *quantized* factors, so
+/// the two agree by construction: a ΔVth step too small to move any factor
+/// across a grid line is a cache hit *and* a zero-gate diff.
+pub const AGING_FACTOR_GRID: f64 = 4096.0;
+
+/// Snaps one aging factor onto the shared quantization grid.
+#[inline]
+pub fn quantize_factor(f: f64) -> f64 {
+    (f * AGING_FACTOR_GRID).round() / AGING_FACTOR_GRID
+}
+
+/// Snaps a per-gate aging-factor vector onto the shared quantization grid.
+pub fn quantize_factors(factors: &[f64]) -> Vec<f64> {
+    factors.iter().map(|&f| quantize_factor(f)).collect()
+}
+
 /// FNV-1a over the ordered operand pairs; the workload half of a cache key.
 fn workload_fingerprint(pairs: &[(u64, u64)]) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -118,6 +140,13 @@ impl ProfileCache {
     /// returns the cached profile, a miss profiles `pairs` (levelized
     /// kernel, functional verification included) and caches the result.
     ///
+    /// Aging factors are snapped onto the [`AGING_FACTOR_GRID`] before the
+    /// delay assignment is built, so two factor vectors that differ by less
+    /// than the grid step produce the *same* assignment (and fingerprint):
+    /// a sub-threshold ΔVth aging step is an honest cache hit, not a
+    /// near-duplicate entry. This is the same grid the incremental
+    /// [`AgingSweep`](crate::AgingSweep) diff uses.
+    ///
     /// # Errors
     ///
     /// Propagates [`MultiplierDesign::profile`] errors on a miss; errors
@@ -128,6 +157,8 @@ impl ProfileCache {
         pairs: &[(u64, u64)],
         factors: Option<&[f64]>,
     ) -> Result<Arc<PatternProfile>, crate::CoreError> {
+        let quantized = factors.map(quantize_factors);
+        let factors = quantized.as_deref();
         let delays = design.delay_assignment(factors)?;
         self.get_or_insert_with(design, &delays, pairs, || design.profile(pairs, factors))
     }
@@ -221,6 +252,44 @@ mod tests {
         let aged2 = cache.profile(&d, patterns.pairs(), Some(&factors)).unwrap();
         assert!(Arc::ptr_eq(&aged, &aged2));
         assert_eq!(cache.hits(), 1);
+    }
+
+    /// A ΔVth step smaller than the quantization grid must be a cache hit,
+    /// and the hit must be coherent: the cached profile is byte-identical
+    /// to what a fresh (miss) build of the perturbed factors would produce,
+    /// because both snap to the same grid point before simulating.
+    #[test]
+    fn sub_threshold_aging_step_hits_coherently() {
+        let d = MultiplierDesign::new(MultiplierKind::ColumnBypass, 8).unwrap();
+        let patterns = PatternSet::uniform(8, 30, 11);
+        let gates = d.circuit().netlist().gate_count();
+        let cache = ProfileCache::new();
+
+        let year_y = vec![1.08; gates];
+        // Perturb by a tenth of the grid step: same grid point.
+        let eps = 0.1 / super::AGING_FACTOR_GRID;
+        let year_y1: Vec<f64> = year_y.iter().map(|f| f + eps).collect();
+        assert_eq!(quantize_factors(&year_y), quantize_factors(&year_y1));
+
+        let base = cache.profile(&d, patterns.pairs(), Some(&year_y)).unwrap();
+        let stepped = cache.profile(&d, patterns.pairs(), Some(&year_y1)).unwrap();
+        assert!(Arc::ptr_eq(&base, &stepped), "sub-threshold step must hit");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        // Coherence: a from-scratch build of the perturbed vector (through
+        // the same quantization) reproduces the cached records exactly.
+        let direct = d
+            .profile(patterns.pairs(), Some(&quantize_factors(&year_y1)))
+            .unwrap();
+        assert_eq!(base.records(), direct.records());
+
+        // A step that does cross a grid line still misses.
+        let coarse: Vec<f64> = year_y
+            .iter()
+            .map(|f| f + 2.0 / super::AGING_FACTOR_GRID)
+            .collect();
+        cache.profile(&d, patterns.pairs(), Some(&coarse)).unwrap();
+        assert_eq!(cache.misses(), 2);
     }
 
     #[test]

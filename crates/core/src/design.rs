@@ -3,7 +3,7 @@
 use agemul_circuits::{MultiplierCircuit, MultiplierKind, Operand};
 use agemul_logic::{DelayModel, Logic};
 use agemul_netlist::{
-    BatchSim, CancelToken, DelayAssignment, EventSim, LevelSim, PatternTiming, Topology,
+    BlockSim, CancelToken, DelayAssignment, EventSim, LevelSim, PatternTiming, Topology,
     WorkloadStats,
 };
 
@@ -23,6 +23,51 @@ pub enum SimEngine {
     /// Levelized incremental kernel ([`LevelSim`]) — the fast default.
     #[default]
     Level,
+}
+
+/// Batch width for the bit-parallel functional sweeps: how many patterns
+/// one [`BlockSim`](agemul_netlist::BlockSim) pass carries.
+///
+/// The three widths are bit-identical (the wide kernels are per-chunk
+/// replicas of the 64-lane one — property-tested in `agemul-netlist` and
+/// `agemul-conformance`); they trade register pressure for fewer sweep
+/// passes. 64 lanes is the conservative default; 256/512 let the
+/// auto-vectorizer issue full-width SIMD loads on AVX2/AVX-512-class
+/// cores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LaneWidth {
+    /// 64 patterns per pass (one `u64` chunk per plane).
+    #[default]
+    W64,
+    /// 256 patterns per pass (4 chunks — auto-vectorizes to 256-bit ops).
+    W256,
+    /// 512 patterns per pass (8 chunks — auto-vectorizes to 512-bit ops).
+    W512,
+}
+
+impl LaneWidth {
+    /// Every supported width, narrowest first.
+    pub const ALL: [LaneWidth; 3] = [LaneWidth::W64, LaneWidth::W256, LaneWidth::W512];
+
+    /// The number of lanes this width carries per pass.
+    #[inline]
+    pub fn lanes(self) -> usize {
+        match self {
+            LaneWidth::W64 => 64,
+            LaneWidth::W256 => 256,
+            LaneWidth::W512 => 512,
+        }
+    }
+
+    /// Parses a lane count (`64`, `256`, `512`).
+    pub fn from_lanes(lanes: usize) -> Option<LaneWidth> {
+        match lanes {
+            64 => Some(LaneWidth::W64),
+            256 => Some(LaneWidth::W256),
+            512 => Some(LaneWidth::W512),
+            _ => None,
+        }
+    }
 }
 
 /// Enum dispatch over the two timing kernels, so the profiling loop is
@@ -365,7 +410,7 @@ impl MultiplierDesign {
     }
 
     /// Checks that the gate-level circuit computes `a × b` for every pair,
-    /// using one bit-parallel [`BatchSim`] sweep per 64 pairs (~64× cheaper
+    /// using one bit-parallel [`BlockSim`] sweep per 64 pairs (~64× cheaper
     /// than a scalar functional simulation of the same workload).
     ///
     /// With the `parallel` feature the pairs are additionally fanned out
@@ -377,28 +422,52 @@ impl MultiplierDesign {
     /// Returns [`CoreError::Circuit`] if an operand overflows the width, or
     /// [`CoreError::FunctionalMismatch`] naming the first offending pair.
     pub fn verify_functional(&self, pairs: &[(u64, u64)]) -> Result<(), CoreError> {
+        self.verify_functional_wide(pairs, LaneWidth::default())
+    }
+
+    /// [`verify_functional`](Self::verify_functional) with an explicit
+    /// batch width: 256/512 lanes carry 4×/8× more patterns per sweep
+    /// pass with identical results (the wide kernels are per-chunk
+    /// replicas of the 64-lane one).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`verify_functional`](Self::verify_functional).
+    pub fn verify_functional_wide(
+        &self,
+        pairs: &[(u64, u64)],
+        width: LaneWidth,
+    ) -> Result<(), CoreError> {
+        match width {
+            LaneWidth::W64 => self.verify_pairs_fanout::<1>(pairs),
+            LaneWidth::W256 => self.verify_pairs_fanout::<4>(pairs),
+            LaneWidth::W512 => self.verify_pairs_fanout::<8>(pairs),
+        }
+    }
+
+    fn verify_pairs_fanout<const W: usize>(&self, pairs: &[(u64, u64)]) -> Result<(), CoreError> {
         #[cfg(feature = "parallel")]
         {
-            let threads = agemul_par::thread_count(pairs.len().div_ceil(BatchSim::LANES));
+            let threads = agemul_par::thread_count(pairs.len().div_ceil(BlockSim::<W>::LANES));
             if threads > 1 {
                 let per = pairs.len().div_ceil(threads);
                 let chunks: Vec<&[(u64, u64)]> = pairs.chunks(per.max(1)).collect();
-                return agemul_par::par_map(&chunks, |chunk| self.verify_pairs_serial(chunk))
+                return agemul_par::par_map(&chunks, |chunk| self.verify_pairs_serial::<W>(chunk))
                     .into_iter()
                     .collect();
             }
         }
-        self.verify_pairs_serial(pairs)
+        self.verify_pairs_serial::<W>(pairs)
     }
 
-    fn verify_pairs_serial(&self, pairs: &[(u64, u64)]) -> Result<(), CoreError> {
-        let mut sim = BatchSim::new(self.circuit.netlist(), &self.topology);
+    fn verify_pairs_serial<const W: usize>(&self, pairs: &[(u64, u64)]) -> Result<(), CoreError> {
+        let mut sim = BlockSim::<W>::new(self.circuit.netlist(), &self.topology);
         let product = self.circuit.product();
         // One lane-slot buffer set for the whole workload: each chunk
         // re-encodes into the same allocations.
-        let lanes = BatchSim::LANES.min(pairs.len().max(1));
+        let lanes = BlockSim::<W>::LANES.min(pairs.len().max(1));
         let mut patterns: Vec<Vec<Logic>> = vec![Vec::with_capacity(2 * self.width()); lanes];
-        for chunk in pairs.chunks(BatchSim::LANES) {
+        for chunk in pairs.chunks(BlockSim::<W>::LANES) {
             for (slot, &(a, b)) in patterns.iter_mut().zip(chunk) {
                 self.circuit.encode_inputs_into(a, b, slot)?;
             }
@@ -430,13 +499,34 @@ impl MultiplierDesign {
     ///
     /// Returns [`CoreError::Circuit`] if an operand overflows the width.
     pub fn workload_stats(&self, pairs: &[(u64, u64)]) -> Result<WorkloadStats, CoreError> {
+        self.workload_stats_wide(pairs, LaneWidth::default())
+    }
+
+    /// [`workload_stats`](Self::workload_stats) with an explicit batch
+    /// width for the bit-parallel probability sweep. All widths accumulate
+    /// bit-identical statistics (the per-net weights are exact multiples
+    /// of 0.5, so the wide and chunked sums agree exactly); the timed
+    /// toggle pass is width-independent.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`workload_stats`](Self::workload_stats).
+    pub fn workload_stats_wide(
+        &self,
+        pairs: &[(u64, u64)],
+        width: LaneWidth,
+    ) -> Result<WorkloadStats, CoreError> {
         let mut stats = WorkloadStats::new(self.circuit.netlist());
         let encoded: Result<Vec<Vec<Logic>>, CoreError> = pairs
             .iter()
             .map(|&(a, b)| self.circuit.encode_inputs(a, b).map_err(CoreError::from))
             .collect();
         let encoded = encoded?;
-        self.observe_probabilities(&mut stats, &encoded)?;
+        match width {
+            LaneWidth::W64 => self.observe_probabilities::<1>(&mut stats, &encoded)?,
+            LaneWidth::W256 => self.observe_probabilities::<4>(&mut stats, &encoded)?,
+            LaneWidth::W512 => self.observe_probabilities::<8>(&mut stats, &encoded)?,
+        }
 
         let delays = self.delay_assignment(None)?;
         let mut sim = LevelSim::new(self.circuit.netlist(), &self.topology, delays);
@@ -456,7 +546,7 @@ impl MultiplierDesign {
     /// chunked across threads under the `parallel` feature, serial
     /// otherwise. Identical results either way: partial accumulators are
     /// merged in chunk order and the weights sum exactly (multiples of 0.5).
-    fn observe_probabilities(
+    fn observe_probabilities<const W: usize>(
         &self,
         stats: &mut WorkloadStats,
         encoded: &[Vec<Logic>],
@@ -469,8 +559,12 @@ impl MultiplierDesign {
                 let chunks: Vec<&[Vec<Logic>]> = encoded.chunks(per.max(1)).collect();
                 let parts = agemul_par::par_map(&chunks, |chunk| {
                     let mut part = WorkloadStats::new(self.circuit.netlist());
-                    part.observe_patterns(self.circuit.netlist(), &self.topology, chunk.iter())
-                        .map(|()| part)
+                    part.observe_patterns_wide::<W, _, _>(
+                        self.circuit.netlist(),
+                        &self.topology,
+                        chunk.iter(),
+                    )
+                    .map(|()| part)
                 });
                 for part in parts {
                     stats.merge(&part?)?;
@@ -478,7 +572,11 @@ impl MultiplierDesign {
                 return Ok(());
             }
         }
-        stats.observe_patterns(self.circuit.netlist(), &self.topology, encoded.iter())?;
+        stats.observe_patterns_wide::<W, _, _>(
+            self.circuit.netlist(),
+            &self.topology,
+            encoded.iter(),
+        )?;
         Ok(())
     }
 }

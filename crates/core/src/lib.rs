@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod aging_sweep;
 mod ahl;
 mod ahl_netlist;
 mod area;
@@ -72,12 +73,13 @@ mod razor;
 mod sweep;
 mod validate;
 
+pub use aging_sweep::{AgingSweep, SweepCounters};
 pub use ahl::{Ahl, AhlConfig, CycleDecision};
 pub use ahl_netlist::GateLevelAhl;
 pub use area::{area_report, Architecture, AreaReport};
-pub use cache::ProfileCache;
+pub use cache::{quantize_factor, quantize_factors, ProfileCache, AGING_FACTOR_GRID};
 pub use calibrate::{calibrated_delay_model, measure_critical_delay, PAPER_AM16_CRITICAL_NS};
-pub use design::{MultiplierDesign, SimEngine};
+pub use design::{LaneWidth, MultiplierDesign, SimEngine};
 pub use energy::{energy_report, EnergyInputs};
 pub use engine::{run_engine, run_engine_traced, run_fixed_latency, EngineConfig, EngineTrace};
 pub use error::CoreError;

@@ -678,6 +678,54 @@ impl<'a> LevelSim<'a> {
         self.values[net.index()]
     }
 
+    /// Packs every net's settled value into 2 bits (the [`Logic`]
+    /// discriminant), 32 nets per `u64` — the compact state record the
+    /// incremental aging sweep stores per pattern so it can
+    /// [`restore_values`](Self::restore_values) across skipped patterns.
+    pub fn snapshot_values(&self) -> Vec<u64> {
+        let mut packed = vec![0u64; self.values.len().div_ceil(32)];
+        for (idx, &v) in self.values.iter().enumerate() {
+            packed[idx / 32] |= (v as u64) << ((idx % 32) * 2);
+        }
+        packed
+    }
+
+    /// Restores every net's settled value from a
+    /// [`snapshot_values`](Self::snapshot_values) record taken on a
+    /// simulator over the same netlist. Pending per-step scratch is
+    /// invalidated; the next [`step`](Self::step) treats the restored
+    /// values as the previous vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed` was taken from a different-sized netlist.
+    pub fn restore_values(&mut self, packed: &[u64]) {
+        assert_eq!(
+            packed.len(),
+            self.values.len().div_ceil(32),
+            "snapshot size mismatch"
+        );
+        for (idx, v) in self.values.iter_mut().enumerate() {
+            *v = LEVELS[((packed[idx / 32] >> ((idx % 32) * 2)) & 3) as usize];
+        }
+        // Stale waveforms must not leak into the next step's merges.
+        self.epoch += 1;
+    }
+
+    /// Calls `f` with the index of every gate whose output waveform was
+    /// (re)computed during the most recent [`step`](Self::step) — the
+    /// pattern's *touched set*. A gate outside this set saw no input event,
+    /// so its contribution to timing and toggles is independent of its own
+    /// delay; the incremental aging sweep uses this to prove a pattern's
+    /// profile is unchanged when no touched gate's delay changed.
+    pub fn for_each_touched_gate(&self, mut f: impl FnMut(usize)) {
+        for (g, &e) in self.gate_epoch.iter().enumerate() {
+            if e == self.epoch {
+                f(g);
+            }
+        }
+    }
+
     /// Settled primary output values in declaration order.
     pub fn output_values(&self) -> Vec<Logic> {
         self.netlist
@@ -909,6 +957,54 @@ mod tests {
         let timing = sim.step(&[Logic::One]).unwrap();
         assert!(timing.delay_ns > 0.0);
         assert_eq!(sim.value(n.outputs()[0]), Logic::One);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_settled_state() {
+        let n = inverter_chain();
+        let t = n.topology().unwrap();
+        let d = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let mut sim = LevelSim::new(&n, &t, d);
+        sim.settle(&[Logic::Zero]).unwrap();
+        let snap = sim.snapshot_values();
+        let before: Vec<Logic> = (0..n.net_count())
+            .map(|i| sim.value(NetId::from_index(i)))
+            .collect();
+
+        // Perturb the state, then restore: the next step must behave as if
+        // the perturbation never happened.
+        sim.step(&[Logic::One]).unwrap();
+        sim.restore_values(&snap);
+        for (i, &v) in before.iter().enumerate() {
+            assert_eq!(sim.value(NetId::from_index(i)), v);
+        }
+        let t_restored = sim.step(&[Logic::One]).unwrap();
+
+        let mut fresh = LevelSim::new(&n, &t, DelayAssignment::uniform(&n, &DelayModel::nominal()));
+        fresh.settle(&[Logic::Zero]).unwrap();
+        let t_fresh = fresh.step(&[Logic::One]).unwrap();
+        assert_eq!(t_restored, t_fresh);
+    }
+
+    #[test]
+    fn touched_gates_cover_exactly_the_resimulated_cone() {
+        // Two independent inverter chains; toggling only the first input
+        // must touch only the first chain's gates.
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_gate(GateKind::Not, &[a]).unwrap();
+        let y = n.add_gate(GateKind::Not, &[b]).unwrap();
+        n.mark_output(x, "x");
+        n.mark_output(y, "y");
+        let t = n.topology().unwrap();
+        let d = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let mut sim = LevelSim::new(&n, &t, d);
+        sim.settle(&[Logic::Zero, Logic::Zero]).unwrap();
+        sim.step(&[Logic::One, Logic::Zero]).unwrap();
+        let mut touched = Vec::new();
+        sim.for_each_touched_gate(|g| touched.push(g));
+        assert_eq!(touched, vec![0]);
     }
 
     #[test]

@@ -82,7 +82,7 @@ mod topology;
 mod vcd;
 mod verilog;
 
-pub use batch_sim::BatchSim;
+pub use batch_sim::{BatchSim, BlockSim};
 pub use bus::Bus;
 pub use cancel::CancelToken;
 pub use error::NetlistError;

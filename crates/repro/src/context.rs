@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use agemul::{CancelToken, MultiplierDesign, PatternProfile, PatternSet, SimEngine};
+use agemul::{CancelToken, LaneWidth, MultiplierDesign, PatternProfile, PatternSet, SimEngine};
 use agemul_aging::{aging_factors, BtiModel};
 use agemul_circuits::MultiplierKind;
 use agemul_logic::Technology;
@@ -120,6 +120,8 @@ pub struct Context {
     scale: Scale,
     engine: SimEngine,
     cancel: Option<CancelToken>,
+    lanes: LaneWidth,
+    incremental: bool,
     bti: BtiModel,
     designs: HashMap<(MultiplierKind, usize), Rc<MultiplierDesign>>,
     workloads: HashMap<(usize, usize), Rc<PatternSet>>,
@@ -139,6 +141,8 @@ impl Context {
             scale,
             engine: SimEngine::Level,
             cancel: None,
+            lanes: LaneWidth::default(),
+            incremental: false,
             bti: BtiModel::calibrated(Technology::ptm_32nm_hk(), REFERENCE_GATE_7Y_FACTOR),
             designs: HashMap::new(),
             workloads: HashMap::new(),
@@ -174,6 +178,40 @@ impl Context {
         &self.bti
     }
 
+    /// Selects the batch width for the wide-lane kernels (functional
+    /// verification sweeps and workload statistics). Defaults to 64 lanes.
+    pub fn set_lanes(&mut self, lanes: LaneWidth) {
+        self.lanes = lanes;
+    }
+
+    /// The configured batch width.
+    pub fn lanes(&self) -> LaneWidth {
+        self.lanes
+    }
+
+    /// Switches the aging-sweep experiments to the incremental
+    /// re-profiling driver (see `agemul::AgingSweep`). Off by default:
+    /// the baseline re-profiles every sweep configuration from scratch.
+    pub fn set_incremental(&mut self, incremental: bool) {
+        self.incremental = incremental;
+    }
+
+    /// Whether incremental aging re-profiling is enabled.
+    pub fn incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// The simulation engine profiles run on (levelized by default,
+    /// event-driven when a supervisor degrades the attempt).
+    pub fn engine(&self) -> SimEngine {
+        self.engine
+    }
+
+    /// The supervisor's deadline token, if any.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
     /// The design for `kind` × `width` (cached).
     pub fn design(&mut self, kind: MultiplierKind, width: usize) -> Result<Rc<MultiplierDesign>> {
         if let Some(d) = self.designs.get(&(kind, width)) {
@@ -204,7 +242,7 @@ impl Context {
         // Statistics stabilize quickly; a moderate sample keeps this cheap.
         let count = self.scale.year_patterns(width);
         let workload = self.uniform_workload(width, count);
-        let s = Rc::new(design.workload_stats(workload.pairs())?);
+        let s = Rc::new(design.workload_stats_wide(workload.pairs(), self.lanes)?);
         self.stats.insert((kind, width), Rc::clone(&s));
         Ok(s)
     }

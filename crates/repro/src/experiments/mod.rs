@@ -20,6 +20,7 @@
 //! | `fig25` | [`fig25`] | area in transistors |
 //! | `fig26` | [`fig26`] | latency/power/EDP over 7 years, 16×16 |
 //! | `fig27` | [`fig27`] | latency/power/EDP over 7 years, 32×32 |
+//! | `sweep` | [`sweep`] | 7-year × multi-period profiling-driver study, 32×32 |
 
 mod aged;
 mod aging_trend;
@@ -29,6 +30,7 @@ mod dist;
 mod extras;
 mod fault_campaigns;
 mod ratios;
+mod sweep_aging;
 mod sweeps;
 mod years;
 
@@ -40,6 +42,7 @@ pub use dist::{fig5, fig6, fig9_10};
 pub use extras::{ablations, extensions};
 pub use fault_campaigns::faults;
 pub use ratios::{table1, table2};
+pub use sweep_aging::sweep;
 pub use sweeps::{fig13, fig14, fig15, fig16, fig17, fig18};
 pub use years::{fig26, fig27};
 
@@ -47,7 +50,7 @@ use crate::{Context, Report, Result};
 
 /// All experiment ids: the paper's artifacts in paper order, then the
 /// repository's own ablation and extension studies.
-pub const ALL_IDS: [&str; 22] = [
+pub const ALL_IDS: [&str; 23] = [
     "fig5",
     "fig6",
     "fig7",
@@ -70,6 +73,7 @@ pub const ALL_IDS: [&str; 22] = [
     "extensions",
     "faults",
     "conformance",
+    "sweep",
 ];
 
 /// Runs an experiment by id (see [`ALL_IDS`]).
@@ -101,6 +105,7 @@ pub fn run_by_id(ctx: &mut Context, id: &str) -> Result<Report> {
         "extensions" => extensions(ctx),
         "faults" => faults(ctx),
         "conformance" => conformance(ctx),
+        "sweep" => sweep(ctx),
         other => Err(format!("unknown experiment id: {other}").into()),
     }
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--quick | --paper] [--csv <dir>] [--list]
+//!       [--lanes <64|256|512>] [--incremental]
 //!       [--resume <ckpt>] [--deadline-ms <N>] [--max-retries <N>]
 //!       <experiment>... | all
 //! ```
@@ -19,6 +20,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use agemul::LaneWidth;
 use agemul_conformance::Json;
 use agemul_harness::{
     is_cancellation, Attempt, CaseError, CaseStatus, Resume, Supervisor, SupervisorConfig,
@@ -28,6 +30,7 @@ use agemul_repro::{experiments, Context, Report, Scale};
 fn usage() {
     eprintln!(
         "usage: repro [--quick | --paper] [--csv <dir>] [--list] \
+         [--lanes <64|256|512>] [--incremental] \
          [--resume <ckpt>] [--deadline-ms <N>] [--max-retries <N>] <experiment>... | all"
     );
     eprintln!("experiments: {}", experiments::ALL_IDS.join(", "));
@@ -153,12 +156,28 @@ struct Supervision {
     max_retries: u32,
 }
 
+/// Kernel tuning shared by every experiment context: batch width for the
+/// wide-lane sweeps and the incremental aging re-profiling driver.
+#[derive(Clone, Copy)]
+struct Tuning {
+    lanes: LaneWidth,
+    incremental: bool,
+}
+
+impl Tuning {
+    fn apply(self, ctx: &mut Context) {
+        ctx.set_lanes(self.lanes);
+        ctx.set_incremental(self.incremental);
+    }
+}
+
 /// Runs the batch under the harness supervisor: one case per experiment,
 /// each on a fresh [`Context`] with the attempt's engine and deadline
 /// token installed.
 fn run_supervised(
     ids: &[String],
     scale: Scale,
+    tuning: Tuning,
     csv_dir: Option<&Path>,
     sup: &Supervision,
 ) -> ExitCode {
@@ -182,6 +201,7 @@ fn run_supervised(
     let worker = |attempt: &Attempt| -> Result<Json, CaseError> {
         let id = &ids[attempt.index];
         let mut ctx = Context::new(scale);
+        tuning.apply(&mut ctx);
         ctx.set_supervision(attempt.engine, attempt.cancel.clone());
         let report = experiments::run_by_id(&mut ctx, id).map_err(|e| {
             if is_cancellation(&*e) {
@@ -248,6 +268,10 @@ fn main() -> ExitCode {
     let mut resume_ckpt: Option<PathBuf> = None;
     let mut deadline: Option<Duration> = None;
     let mut max_retries: Option<u32> = None;
+    let mut tuning = Tuning {
+        lanes: LaneWidth::default(),
+        incremental: false,
+    };
     let mut pending_value: Option<&'static str> = None;
 
     for arg in std::env::args().skip(1) {
@@ -269,6 +293,13 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 },
+                "--lanes" => match arg.parse::<usize>().ok().and_then(LaneWidth::from_lanes) {
+                    Some(w) => tuning.lanes = w,
+                    None => {
+                        eprintln!("--lanes: want 64, 256, or 512, got {arg}");
+                        return ExitCode::FAILURE;
+                    }
+                },
                 _ => unreachable!(),
             }
             continue;
@@ -277,6 +308,8 @@ fn main() -> ExitCode {
             "--quick" => scale = Scale::Quick,
             "--paper" => scale = Scale::Paper,
             "--csv" => pending_value = Some("--csv"),
+            "--lanes" => pending_value = Some("--lanes"),
+            "--incremental" => tuning.incremental = true,
             "--resume" => pending_value = Some("--resume"),
             "--deadline-ms" => pending_value = Some("--deadline-ms"),
             "--max-retries" => pending_value = Some("--max-retries"),
@@ -314,6 +347,7 @@ fn main() -> ExitCode {
         return run_supervised(
             &ids,
             scale,
+            tuning,
             csv_dir.as_deref(),
             &Supervision {
                 checkpoint: resume_ckpt,
@@ -340,6 +374,7 @@ fn main() -> ExitCode {
         let outcomes = agemul_par::par_map(&ids, |id| {
             let start = Instant::now();
             let mut ctx = Context::new(scale);
+            tuning.apply(&mut ctx);
             let result = experiments::run_by_id(&mut ctx, id);
             (result, start.elapsed().as_secs_f64())
         });
@@ -351,6 +386,7 @@ fn main() -> ExitCode {
     #[cfg(not(feature = "parallel"))]
     {
         let mut ctx = Context::new(scale);
+        tuning.apply(&mut ctx);
         for id in &ids {
             let start = Instant::now();
             let outcome = experiments::run_by_id(&mut ctx, id);

@@ -3,9 +3,10 @@
 
 # Format check + clippy (all features, warnings fatal) + full test suite +
 # a quick fault-injection campaign smoke run + the timing-kernel
-# equivalence smoke + the seeded cross-engine conformance smoke + the
-# supervised kill/resume soak smoke.
-verify: fmt-check clippy test fault-smoke timing-equiv conformance soak-smoke
+# equivalence smoke + the incremental-vs-full re-profiling equivalence +
+# the seeded cross-engine conformance smoke + the incremental sweep smoke
+# + the supervised kill/resume soak smoke.
+verify: fmt-check clippy test fault-smoke timing-equiv incremental-equiv conformance sweep-smoke soak-smoke
 
 fmt-check:
 	cargo fmt --all -- --check
@@ -39,6 +40,23 @@ fault-smoke:
 timing-equiv:
 	cargo test -q -p agemul --test level_equiv timing_equiv_smoke_cb8
 
+# Incremental-vs-full equivalence: the AgingSweep year stepper must be
+# byte-identical to from-scratch profiling, the quantized cache key must
+# agree with the sweep's diff threshold, and the repro sweep drivers must
+# emit identical tables.
+incremental-equiv:
+	cargo test -q -p agemul aging_sweep
+	cargo test -q -p agemul sub_threshold_aging_step_hits_coherently
+	cargo test -q -p agemul-repro incremental_and_baseline_drivers_agree
+
+# Incremental sweep smoke: the 7-year × 17-period driver study at reduced
+# scale. The experiment itself asserts the sweep counters (exactly one
+# full profile per design, dirty-cone re-simulations present, the period
+# axis answered by factor identity) and re-derives its final year from
+# scratch, failing on any divergence.
+sweep-smoke:
+	cargo run --release -p agemul-repro -- --quick --incremental sweep
+
 # Conformance smoke: 200 fixed-seed cases through the differential oracle
 # (func/batch/event/level, with fault overlays and traced replays) plus
 # the metamorphic invariants on the paper architectures. Divergent cases
@@ -50,6 +68,12 @@ conformance:
 bench-sim:
 	cargo bench -p agemul-bench --bench batch_sim
 
-# Profiling-path benches: event-driven vs levelized vs memoized.
+# Profiling-path benches: event-driven vs levelized vs memoized, plus the
+# wide-lane verification rows.
 bench-profile:
 	cargo bench -p agemul-bench --bench profile
+
+# Aging-sweep driver benches: incremental vs from-scratch over the
+# 7-year × 17-period grid; see BENCH_sim.json for the record.
+bench-sweep:
+	cargo bench -p agemul-bench --bench sweep

@@ -13,10 +13,18 @@ cargo run --release -p agemul-repro -- --quick faults >/dev/null
 # Timing-kernel equivalence smoke: LevelSim vs EventSim on an 8×8
 # column-bypass workload (bit-identical profiles).
 cargo test -q -p agemul --test level_equiv timing_equiv_smoke_cb8
+# Incremental-vs-full equivalence: AgingSweep byte-identity, quantized
+# cache-key coherence, and repro sweep-driver table agreement.
+cargo test -q -p agemul aging_sweep
+cargo test -q -p agemul sub_threshold_aging_step_hits_coherently
+cargo test -q -p agemul-repro incremental_and_baseline_drivers_agree
 # Conformance smoke: 200 fixed-seed cases through the cross-engine
 # differential oracle + the metamorphic invariants; divergences shrink to
 # minimal JSON repros and fail the gate.
 cargo run --release -p agemul-repro -- --quick conformance >/dev/null
+# Incremental sweep smoke: the experiment asserts its own sweep counters
+# and re-derives the final year from scratch, failing on divergence.
+cargo run --release -p agemul-repro -- --quick --incremental sweep >/dev/null
 # Supervised kill/resume soak: SIGKILL a checkpointed campaign mid-run,
 # resume, and require byte-identical results — serial and parallel.
 scripts/soak_smoke.sh
