@@ -16,13 +16,37 @@
 //!
 //! Equal keys therefore mean equal profiles (up to 64-bit fingerprint
 //! collision), and a hit returns the cached [`Arc`] without touching a
-//! simulator. The cache is `Mutex`-guarded and shared by reference, so
-//! campaign preparation can consult it from worker threads under the
-//! `parallel` feature.
+//! simulator.
+//!
+//! # Sharding, bounding, and poison recovery
+//!
+//! The cache is built for a *resident* process (`agemul-serve`), not just
+//! one-shot experiment runs, which imposes three requirements a single
+//! unbounded `Mutex<HashMap>` cannot meet:
+//!
+//! * **sharding** — entries live in [`SHARD_COUNT`] independently locked
+//!   shards selected by hashing (kind, width), so concurrent requests for
+//!   different designs never contend on one global lock (and a campaign's
+//!   per-fault inserts only serialize against their own design's shard);
+//! * **bounding** — [`ProfileCache::with_capacity`] arms a per-shard LRU
+//!   bound: once a shard is full, inserting a fresh key evicts the
+//!   least-recently-*used* entry (hits refresh recency), so a long-lived
+//!   server's memory is `SHARD_COUNT × capacity` profiles at worst;
+//! * **poison recovery** — every lock acquisition recovers from a poisoned
+//!   mutex via [`std::sync::PoisonError::into_inner`]. A worker thread
+//!   that panics while holding a shard lock leaves the shard's map fully
+//!   consistent (all map mutations are single calls that either happen or
+//!   don't), so propagating the poison would turn one quarantined request
+//!   into a permanent denial of service for every later request that
+//!   hashes to the shard.
+//!
+//! [`ProfileCache::new`] keeps the historical unbounded behaviour, so the
+//! experiment flows (and the `cache_keys` / hit≡miss coherence suites that
+//! pin them) are unchanged.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use agemul_circuits::MultiplierKind;
 use agemul_netlist::DelayAssignment;
@@ -40,6 +64,14 @@ use crate::{MultiplierDesign, PatternProfile};
 /// across a grid line is a cache hit *and* a zero-gate diff.
 pub const AGING_FACTOR_GRID: f64 = 4096.0;
 
+/// Number of independently locked shards in a [`ProfileCache`].
+///
+/// Shard selection hashes (kind, width), so every profile of one design
+/// lands in one shard and designs spread across the others. 16 shards
+/// cover the workspace's design population (5 kinds × a handful of
+/// widths) with low collision while keeping an empty cache small.
+pub const SHARD_COUNT: usize = 16;
+
 /// Snaps one aging factor onto the shared quantization grid.
 #[inline]
 pub fn quantize_factor(f: f64) -> f64 {
@@ -51,22 +83,35 @@ pub fn quantize_factors(factors: &[f64]) -> Vec<f64> {
     factors.iter().map(|&f| quantize_factor(f)).collect()
 }
 
-/// FNV-1a over the ordered operand pairs; the workload half of a cache key.
-fn workload_fingerprint(pairs: &[(u64, u64)]) -> u64 {
+/// FNV-1a over a `u64` stream — both the workload fingerprint and the
+/// shard-selection hash use it (tiny, deterministic, dependency-free).
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = FNV_OFFSET;
-    let mut mix = |word: u64| {
+    for word in words {
         for b in word.to_le_bytes() {
             h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
         }
-    };
-    mix(pairs.len() as u64);
-    for &(a, b) in pairs {
-        mix(a);
-        mix(b);
     }
     h
+}
+
+/// FNV-1a over the ordered operand pairs; the workload half of a cache key.
+fn workload_fingerprint(pairs: &[(u64, u64)]) -> u64 {
+    fnv1a(std::iter::once(pairs.len() as u64).chain(pairs.iter().flat_map(|&(a, b)| [a, b])))
+}
+
+/// Stable per-kind tag for shard selection (independent of discriminant
+/// layout, so the shard map never silently moves across refactors).
+fn kind_tag(kind: MultiplierKind) -> u64 {
+    match kind {
+        MultiplierKind::Array => 1,
+        MultiplierKind::ColumnBypass => 2,
+        MultiplierKind::RowBypass => 3,
+        MultiplierKind::Wallace => 4,
+        MultiplierKind::Booth => 5,
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -77,8 +122,47 @@ struct CacheKey {
     workload_fingerprint: u64,
 }
 
+/// One cached profile plus its LRU stamp (larger = more recently used).
+struct Entry {
+    profile: Arc<PatternProfile>,
+    stamp: u64,
+}
+
+/// One shard: a map plus the shard-local LRU clock.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    clock: u64,
+}
+
+impl Shard {
+    /// Advances the clock and returns the new stamp.
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// One exported cache entry — the unit of the on-disk warm-start snapshot
+/// (see [`ProfileCache::entries`] / [`ProfileCache::seed_entry`]).
+#[derive(Clone)]
+pub struct CacheEntry {
+    /// Multiplier architecture of the cached profile.
+    pub kind: MultiplierKind,
+    /// Operand width in bits.
+    pub width: usize,
+    /// [`DelayAssignment::fingerprint`] the profile was simulated under.
+    pub delay_fingerprint: u64,
+    /// Fingerprint of the ordered operand pairs.
+    pub workload_fingerprint: u64,
+    /// The cached profile.
+    pub profile: Arc<PatternProfile>,
+}
+
 /// A memoization cache for timing profiles, keyed by (kind, width,
-/// delay-assignment fingerprint, workload fingerprint).
+/// delay-assignment fingerprint, workload fingerprint) and sharded by
+/// (kind, width). See the module docs for the sharding, bounding, and
+/// poison-recovery model.
 ///
 /// # Example
 ///
@@ -96,17 +180,55 @@ struct CacheKey {
 /// assert_eq!(cache.hits(), 1);
 /// # Ok::<(), agemul::CoreError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ProfileCache {
-    map: Mutex<HashMap<CacheKey, Arc<PatternProfile>>>,
+    shards: [Mutex<Shard>; SHARD_COUNT],
+    /// Per-shard entry bound; 0 = unbounded.
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for ProfileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfileCache")
+            .field("len", &self.len())
+            .field("shard_capacity", &self.shard_capacity())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
+            .finish()
+    }
 }
 
 impl ProfileCache {
-    /// An empty cache.
+    /// An empty, *unbounded* cache — the historical behaviour, right for
+    /// bounded-lifetime experiment runs.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `per_shard` profiles in each of its
+    /// [`SHARD_COUNT`] shards; a full shard evicts its least-recently-used
+    /// entry on insert. The configuration for resident processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_shard` is zero (a cache that can hold nothing cannot
+    /// honour the hit≡miss coherence contract).
+    pub fn with_capacity(per_shard: usize) -> Self {
+        assert!(per_shard > 0, "per-shard capacity must be at least 1");
+        ProfileCache {
+            capacity: per_shard,
+            ..Self::default()
+        }
+    }
+
+    /// The per-shard entry bound, if this cache is bounded.
+    #[inline]
+    pub fn shard_capacity(&self) -> Option<usize> {
+        (self.capacity > 0).then_some(self.capacity)
     }
 
     /// Number of lookups answered from the cache.
@@ -121,9 +243,29 @@ impl ProfileCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of cached profiles.
+    /// Number of entries evicted by the per-shard LRU bound.
+    #[inline]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Locks one shard, recovering from poison: a panic while the lock was
+    /// held cannot corrupt the map (every mutation is a single `HashMap`
+    /// call), so the data is trusted and the shard stays serviceable.
+    fn lock_shard(&self, index: usize) -> MutexGuard<'_, Shard> {
+        self.shards[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The shard every profile of (`kind`, `width`) lives in.
+    fn shard_index(kind: MultiplierKind, width: usize) -> usize {
+        (fnv1a([kind_tag(kind), width as u64]) % SHARD_COUNT as u64) as usize
+    }
+
+    /// Number of cached profiles across all shards.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache mutex poisoned").len()
+        (0..SHARD_COUNT).map(|i| self.lock_shard(i).map.len()).sum()
     }
 
     /// Whether the cache holds no profiles.
@@ -133,7 +275,73 @@ impl ProfileCache {
 
     /// Drops every cached profile (counters are kept).
     pub fn clear(&self) {
-        self.map.lock().expect("cache mutex poisoned").clear();
+        for i in 0..SHARD_COUNT {
+            self.lock_shard(i).map.clear();
+        }
+    }
+
+    /// Exports every cached entry (key parts + profile `Arc`), shard by
+    /// shard — the producer side of a warm-start snapshot. Recency order
+    /// is not preserved; a reloaded cache starts with a fresh LRU clock.
+    pub fn entries(&self) -> Vec<CacheEntry> {
+        let mut out = Vec::new();
+        for i in 0..SHARD_COUNT {
+            let shard = self.lock_shard(i);
+            out.extend(shard.map.iter().map(|(k, e)| CacheEntry {
+                kind: k.kind,
+                width: k.width,
+                delay_fingerprint: k.delay_fingerprint,
+                workload_fingerprint: k.workload_fingerprint,
+                profile: Arc::clone(&e.profile),
+            }));
+        }
+        out
+    }
+
+    /// Inserts a profile under externally recorded key parts — the
+    /// consumer side of a warm-start snapshot.
+    ///
+    /// The caller promises the entry was produced by this workspace's
+    /// profiling path for exactly that key (snapshot loaders get this for
+    /// free: the fingerprints were recorded next to the profile). Neither
+    /// the hit/miss counters nor eviction stats count the insert; a full
+    /// shard evicts as usual.
+    pub fn seed_entry(&self, entry: &CacheEntry) {
+        let key = CacheKey {
+            kind: entry.kind,
+            width: entry.width,
+            delay_fingerprint: entry.delay_fingerprint,
+            workload_fingerprint: entry.workload_fingerprint,
+        };
+        let mut shard = self.lock_shard(Self::shard_index(entry.kind, entry.width));
+        let stamp = shard.tick();
+        self.evict_if_full(&mut shard, &key);
+        shard.map.insert(
+            key,
+            Entry {
+                profile: Arc::clone(&entry.profile),
+                stamp,
+            },
+        );
+    }
+
+    /// Evicts the least-recently-used entry if inserting `incoming` would
+    /// overflow a bounded shard. (No-op when `incoming` is already
+    /// present — a replace does not grow the map.)
+    fn evict_if_full(&self, shard: &mut Shard, incoming: &CacheKey) {
+        if self.capacity == 0 || shard.map.len() < self.capacity || shard.map.contains_key(incoming)
+        {
+            return;
+        }
+        if let Some(victim) = shard
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(k, _)| *k)
+        {
+            shard.map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// The memoized equivalent of [`MultiplierDesign::profile`]: a hit
@@ -170,8 +378,11 @@ impl ProfileCache {
     /// this workload under exactly `delays` — campaign preparation uses
     /// this with its verification-free delay-fault profiler. The build runs
     /// outside the cache lock, so concurrent callers (parallel campaign
-    /// tasks) never serialize their simulations; if two race on the same
-    /// key, the first inserted profile wins and both get the same `Arc`.
+    /// tasks, server workers) never serialize their simulations; if two
+    /// race on the same key, the first inserted profile wins and both get
+    /// the same `Arc`. For flows where N identical cold requests must cost
+    /// *one* simulation rather than N racing ones, put a single-flight
+    /// coalescer in front (the `agemul-serve` crate does).
     ///
     /// # Errors
     ///
@@ -189,25 +400,56 @@ impl ProfileCache {
             delay_fingerprint: delays.fingerprint(),
             workload_fingerprint: workload_fingerprint(pairs),
         };
-        if let Some(hit) = self
-            .map
-            .lock()
-            .expect("cache mutex poisoned")
-            .get(&key)
-            .cloned()
+        let index = Self::shard_index(key.kind, key.width);
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit);
+            let mut shard = self.lock_shard(index);
+            let stamp = shard.tick();
+            if let Some(entry) = shard.map.get_mut(&key) {
+                entry.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.profile));
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(build()?);
-        Ok(self
-            .map
-            .lock()
-            .expect("cache mutex poisoned")
-            .entry(key)
-            .or_insert(built)
-            .clone())
+        let mut shard = self.lock_shard(index);
+        let stamp = shard.tick();
+        if let Some(entry) = shard.map.get_mut(&key) {
+            // A racing build won while ours simulated; keep the incumbent
+            // so both callers share one Arc.
+            entry.stamp = stamp;
+            return Ok(Arc::clone(&entry.profile));
+        }
+        self.evict_if_full(&mut shard, &key);
+        shard.map.insert(
+            key,
+            Entry {
+                profile: Arc::clone(&built),
+                stamp,
+            },
+        );
+        Ok(built)
+    }
+
+    /// Test hook: poisons the shard that (`kind`, `width`) hashes to, by
+    /// panicking on a helper thread while it holds the shard lock.
+    ///
+    /// Exists so the poison-recovery regression suite can drive the exact
+    /// failure a panicking worker produces in a resident server; nothing
+    /// outside tests should call it.
+    #[doc(hidden)]
+    pub fn poison_shard_for_test(&self, kind: MultiplierKind, width: usize) {
+        let index = Self::shard_index(kind, width);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let _guard = self.shards[index]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                panic!("poisoning ProfileCache shard {index} for test");
+            });
+            // The panic is the point; swallow the propagated Err.
+            let _ = handle.join();
+        });
     }
 }
 
@@ -316,5 +558,42 @@ mod tests {
         assert!(cache.is_empty());
         cache.profile(&d, &[(1, 2), (3, 3)], None).unwrap();
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn entries_round_trip_through_seed_entry() {
+        let d = MultiplierDesign::new(MultiplierKind::ColumnBypass, 8).unwrap();
+        let patterns = PatternSet::uniform(8, 12, 9);
+        let warm = ProfileCache::new();
+        let original = warm.profile(&d, patterns.pairs(), None).unwrap();
+
+        // Export from the warm cache, import into a cold one: the replayed
+        // lookup must hit and serve the seeded profile.
+        let cold = ProfileCache::new();
+        for entry in warm.entries() {
+            cold.seed_entry(&entry);
+        }
+        assert_eq!(cold.len(), 1);
+        assert_eq!((cold.hits(), cold.misses()), (0, 0), "seeding is untallied");
+        let served = cold.profile(&d, patterns.pairs(), None).unwrap();
+        assert_eq!((cold.hits(), cold.misses()), (1, 0));
+        assert_eq!(served.records(), original.records());
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let d = MultiplierDesign::new(MultiplierKind::Array, 4).unwrap();
+        let cache = ProfileCache::new();
+        for i in 0..40u64 {
+            cache.profile(&d, &[(i % 16, (i / 16) % 16)], None).unwrap();
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.shard_capacity().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = ProfileCache::with_capacity(0);
     }
 }

@@ -77,7 +77,10 @@ pub use aging_sweep::{AgingSweep, SweepCounters};
 pub use ahl::{Ahl, AhlConfig, CycleDecision};
 pub use ahl_netlist::GateLevelAhl;
 pub use area::{area_report, Architecture, AreaReport};
-pub use cache::{quantize_factor, quantize_factors, ProfileCache, AGING_FACTOR_GRID};
+pub use cache::{
+    quantize_factor, quantize_factors, CacheEntry, ProfileCache, AGING_FACTOR_GRID,
+    SHARD_COUNT as CACHE_SHARD_COUNT,
+};
 pub use calibrate::{calibrated_delay_model, measure_critical_delay, PAPER_AM16_CRITICAL_NS};
 pub use design::{LaneWidth, MultiplierDesign, SimEngine};
 pub use energy::{energy_report, EnergyInputs};

@@ -67,6 +67,7 @@ mod campaign;
 mod checkpoint;
 mod conformance;
 mod error;
+mod request;
 mod snapshot;
 mod supervisor;
 mod sweep;
@@ -75,6 +76,7 @@ pub use campaign::{campaign_run_key, run_campaign_supervised, SupervisedCampaign
 pub use checkpoint::{crc32, CaseRecord, CaseStatus, Checkpoint, CheckpointError, SCHEMA};
 pub use conformance::{run_gate_supervised, SupervisedGateOutcome};
 pub use error::HarnessError;
+pub use request::run_request_supervised;
 pub use snapshot::{
     evidence_from_json, evidence_to_json, is_cancellation, metrics_from_json, metrics_to_json,
     profile_from_json, profile_to_json,

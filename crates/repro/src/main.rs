@@ -1,10 +1,17 @@
-//! `repro` — regenerate the paper's tables and figures from simulation.
+//! `repro` — regenerate the paper's tables and figures from simulation,
+//! or talk to a resident `agemul-serve` instance.
 //!
 //! ```text
 //! repro [--quick | --paper] [--csv <dir>] [--list]
 //!       [--lanes <64|256|512>] [--incremental]
 //!       [--resume <ckpt>] [--deadline-ms <N>] [--max-retries <N>]
 //!       <experiment>... | all
+//! repro serve [--addr <host:port> | --unix <path>] [--workers <N>]
+//!       [--shard-cap <N>] [--snapshot <path>] [--max-retries <N>]
+//! repro query [--addr <host:port> | --unix <path>] --op <op>
+//!       [--kind <K>] [--width <N>] [--years <Y>] [--patterns <N>]
+//!       [--seed <N>] [--periods <a,b,..>] [--skip <N>]
+//!       [--faults <N>] [--fault-seed <N>] [--deadline-ms <N>]
 //! ```
 //!
 //! A failing experiment no longer aborts the batch: every requested
@@ -15,7 +22,14 @@
 //! a killed `repro all` picks up where it died — panicking experiments are
 //! quarantined instead of taking the batch down, and deadline overruns
 //! degrade to the event-driven reference engine before giving up.
+//!
+//! Every value-taking flag may be given at most once — `--lanes 64
+//! --lanes 512` is rejected instead of silently keeping the last value —
+//! and `--deadline-ms 0` is rejected (a zero budget would quarantine
+//! every experiment; omit the flag to disable the deadline).
 
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -26,6 +40,9 @@ use agemul_harness::{
     is_cancellation, Attempt, CaseError, CaseStatus, Resume, Supervisor, SupervisorConfig,
 };
 use agemul_repro::{experiments, Context, Report, Scale};
+use agemul_serve::{
+    parse_kind, roundtrip, DesignQuery, Endpoint, Request, RequestBody, ServeConfig,
+};
 
 fn usage() {
     eprintln!(
@@ -33,8 +50,428 @@ fn usage() {
          [--lanes <64|256|512>] [--incremental] \
          [--resume <ckpt>] [--deadline-ms <N>] [--max-retries <N>] <experiment>... | all"
     );
+    eprintln!(
+        "       repro serve [--addr <host:port> | --unix <path>] [--workers <N>] \
+         [--shard-cap <N>] [--snapshot <path>] [--max-retries <N>]"
+    );
+    eprintln!(
+        "       repro query [--addr <host:port> | --unix <path>] --op \
+         <profile|sweep|campaign|stats|shutdown> [op fields...]"
+    );
     eprintln!("experiments: {}", experiments::ALL_IDS.join(", "));
 }
+
+// ---------------------------------------------------------------------------
+// CLI model + parser (unit-tested below)
+// ---------------------------------------------------------------------------
+
+/// Batch-run arguments (the original `repro` mode).
+#[derive(Debug)]
+struct RunArgs {
+    scale: Scale,
+    ids: Vec<String>,
+    csv_dir: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    deadline: Option<Duration>,
+    max_retries: Option<u32>,
+    lanes: LaneWidth,
+    incremental: bool,
+}
+
+/// `repro serve` arguments.
+#[derive(Debug)]
+struct ServeArgs {
+    endpoint: Endpoint,
+    workers: usize,
+    shard_capacity: Option<usize>,
+    snapshot: Option<PathBuf>,
+    max_retries: u32,
+}
+
+/// `repro query` arguments: where to connect and the request to send.
+#[derive(Debug)]
+struct QueryArgs {
+    endpoint: Endpoint,
+    request: Request,
+}
+
+/// What the command line asked for.
+#[derive(Debug)]
+enum Command {
+    Help,
+    List,
+    Run(RunArgs),
+    Serve(ServeArgs),
+    Query(Box<QueryArgs>),
+}
+
+/// Sets a value-taking flag exactly once; a repeat is a parse error
+/// instead of a silent keep-last.
+fn set_once<T>(slot: &mut Option<T>, flag: &str, value: T) -> Result<(), String> {
+    if slot.is_some() {
+        return Err(format!(
+            "flag {flag} given more than once; each value-taking flag may appear only once"
+        ));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+/// Consumes the flag's value from the argument list.
+fn next_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_deadline_ms(raw: &str) -> Result<Duration, String> {
+    let ms: u64 = raw
+        .parse()
+        .map_err(|e| format!("--deadline-ms: {e} (got {raw:?})"))?;
+    if ms == 0 {
+        return Err(
+            "--deadline-ms 0 would quarantine every case; omit the flag to disable the deadline"
+                .into(),
+        );
+    }
+    Ok(Duration::from_millis(ms))
+}
+
+fn parse_usize(flag: &str, raw: &str) -> Result<usize, String> {
+    raw.parse()
+        .map_err(|e| format!("{flag}: {e} (got {raw:?})"))
+}
+
+fn parse_u64(flag: &str, raw: &str) -> Result<u64, String> {
+    raw.parse()
+        .map_err(|e| format!("{flag}: {e} (got {raw:?})"))
+}
+
+/// Parses the full command line (without argv[0]).
+fn parse_cli(args: &[String]) -> Result<Command, String> {
+    match args.first().map(String::as_str) {
+        Some("serve") => parse_serve(&args[1..]),
+        Some("query") => parse_query(&args[1..]),
+        _ => parse_run(args),
+    }
+}
+
+fn parse_run(args: &[String]) -> Result<Command, String> {
+    let mut scale: Option<Scale> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut deadline: Option<Duration> = None;
+    let mut max_retries: Option<u32> = None;
+    let mut lanes: Option<LaneWidth> = None;
+    let mut incremental = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--quick" | "--paper" => {
+                let s = if arg == "--quick" {
+                    Scale::Quick
+                } else {
+                    Scale::Paper
+                };
+                if scale.is_some() {
+                    return Err("scale (--quick/--paper) given more than once".into());
+                }
+                scale = Some(s);
+            }
+            "--csv" => {
+                let v = next_value(args, &mut i, "--csv")?;
+                set_once(&mut csv_dir, "--csv", PathBuf::from(v))?;
+            }
+            "--resume" => {
+                let v = next_value(args, &mut i, "--resume")?;
+                set_once(&mut resume, "--resume", PathBuf::from(v))?;
+            }
+            "--deadline-ms" => {
+                let v = next_value(args, &mut i, "--deadline-ms")?;
+                let d = parse_deadline_ms(v)?;
+                set_once(&mut deadline, "--deadline-ms", d)?;
+            }
+            "--max-retries" => {
+                let v = next_value(args, &mut i, "--max-retries")?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e} (got {v:?})"))?;
+                set_once(&mut max_retries, "--max-retries", n)?;
+            }
+            "--lanes" => {
+                let v = next_value(args, &mut i, "--lanes")?;
+                let w = v
+                    .parse::<usize>()
+                    .ok()
+                    .and_then(LaneWidth::from_lanes)
+                    .ok_or_else(|| format!("--lanes: want 64, 256, or 512, got {v}"))?;
+                set_once(&mut lanes, "--lanes", w)?;
+            }
+            "--incremental" => incremental = true,
+            "--list" => return Ok(Command::List),
+            "--help" | "-h" => return Ok(Command::Help),
+            "all" => ids.extend(experiments::ALL_IDS.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => return Err(format!("unknown flag: {other}")),
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        return Err("no experiments requested".into());
+    }
+    ids.dedup();
+    Ok(Command::Run(RunArgs {
+        scale: scale.unwrap_or(Scale::Standard),
+        ids,
+        csv_dir,
+        resume,
+        deadline,
+        max_retries,
+        lanes: lanes.unwrap_or_default(),
+        incremental,
+    }))
+}
+
+/// Parses the shared `--addr`/`--unix` endpoint flags (mutually
+/// exclusive); `default_addr` applies when neither is given.
+fn parse_endpoint(
+    addr: Option<String>,
+    unix: Option<PathBuf>,
+    default_addr: &str,
+) -> Result<Endpoint, String> {
+    match (addr, unix) {
+        (Some(_), Some(_)) => Err("--addr and --unix are mutually exclusive".into()),
+        (Some(addr), None) => Ok(Endpoint::Tcp(addr)),
+        (None, Some(path)) => Ok(Endpoint::Unix(path)),
+        (None, None) => Ok(Endpoint::Tcp(default_addr.into())),
+    }
+}
+
+fn parse_serve(args: &[String]) -> Result<Command, String> {
+    let mut addr: Option<String> = None;
+    let mut unix: Option<PathBuf> = None;
+    let mut workers: Option<usize> = None;
+    let mut shard_cap: Option<usize> = None;
+    let mut snapshot: Option<PathBuf> = None;
+    let mut max_retries: Option<u32> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                let v = next_value(args, &mut i, "--addr")?;
+                set_once(&mut addr, "--addr", v.to_string())?;
+            }
+            "--unix" => {
+                let v = next_value(args, &mut i, "--unix")?;
+                set_once(&mut unix, "--unix", PathBuf::from(v))?;
+            }
+            "--workers" => {
+                let v = next_value(args, &mut i, "--workers")?;
+                let n = parse_usize("--workers", v)?;
+                if n == 0 {
+                    return Err("--workers must be positive".into());
+                }
+                set_once(&mut workers, "--workers", n)?;
+            }
+            "--shard-cap" => {
+                let v = next_value(args, &mut i, "--shard-cap")?;
+                let n = parse_usize("--shard-cap", v)?;
+                if n == 0 {
+                    return Err("--shard-cap must be positive (it bounds each cache shard)".into());
+                }
+                set_once(&mut shard_cap, "--shard-cap", n)?;
+            }
+            "--snapshot" => {
+                let v = next_value(args, &mut i, "--snapshot")?;
+                set_once(&mut snapshot, "--snapshot", PathBuf::from(v))?;
+            }
+            "--max-retries" => {
+                let v = next_value(args, &mut i, "--max-retries")?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e} (got {v:?})"))?;
+                set_once(&mut max_retries, "--max-retries", n)?;
+            }
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("serve: unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(Command::Serve(ServeArgs {
+        endpoint: parse_endpoint(addr, unix, "127.0.0.1:7171")?,
+        workers: workers.unwrap_or(4),
+        shard_capacity: Some(shard_cap.unwrap_or(64)),
+        snapshot,
+        max_retries: max_retries.unwrap_or(1),
+    }))
+}
+
+fn parse_query(args: &[String]) -> Result<Command, String> {
+    let mut addr: Option<String> = None;
+    let mut unix: Option<PathBuf> = None;
+    let mut op: Option<String> = None;
+    let mut kind: Option<String> = None;
+    let mut width: Option<usize> = None;
+    let mut years: Option<f64> = None;
+    let mut patterns: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut periods: Option<Vec<f64>> = None;
+    let mut skip: Option<u32> = None;
+    let mut faults: Option<usize> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut deadline: Option<Duration> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                let v = next_value(args, &mut i, "--addr")?;
+                set_once(&mut addr, "--addr", v.to_string())?;
+            }
+            "--unix" => {
+                let v = next_value(args, &mut i, "--unix")?;
+                set_once(&mut unix, "--unix", PathBuf::from(v))?;
+            }
+            "--op" => {
+                let v = next_value(args, &mut i, "--op")?;
+                set_once(&mut op, "--op", v.to_string())?;
+            }
+            "--kind" => {
+                let v = next_value(args, &mut i, "--kind")?;
+                set_once(&mut kind, "--kind", v.to_string())?;
+            }
+            "--width" => {
+                let v = next_value(args, &mut i, "--width")?;
+                let n = parse_usize("--width", v)?;
+                if n == 0 {
+                    return Err("--width must be positive".into());
+                }
+                set_once(&mut width, "--width", n)?;
+            }
+            "--years" => {
+                let v = next_value(args, &mut i, "--years")?;
+                let y: f64 = v.parse().map_err(|e| format!("--years: {e} (got {v:?})"))?;
+                if !y.is_finite() || y < 0.0 {
+                    return Err(format!("--years must be finite and non-negative, got {v}"));
+                }
+                set_once(&mut years, "--years", y)?;
+            }
+            "--patterns" => {
+                let v = next_value(args, &mut i, "--patterns")?;
+                let n = parse_usize("--patterns", v)?;
+                if n == 0 {
+                    return Err("--patterns must be positive".into());
+                }
+                set_once(&mut patterns, "--patterns", n)?;
+            }
+            "--seed" => {
+                let v = next_value(args, &mut i, "--seed")?;
+                set_once(&mut seed, "--seed", parse_u64("--seed", v)?)?;
+            }
+            "--periods" => {
+                let v = next_value(args, &mut i, "--periods")?;
+                let mut parsed = Vec::new();
+                for part in v.split(',') {
+                    let p: f64 = part
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("--periods: {e} (got {part:?})"))?;
+                    if !p.is_finite() || p <= 0.0 {
+                        return Err(format!(
+                            "--periods: want finite positive values, got {part}"
+                        ));
+                    }
+                    parsed.push(p);
+                }
+                if parsed.is_empty() {
+                    return Err("--periods needs at least one value".into());
+                }
+                set_once(&mut periods, "--periods", parsed)?;
+            }
+            "--skip" => {
+                let v = next_value(args, &mut i, "--skip")?;
+                let n: u32 = v.parse().map_err(|e| format!("--skip: {e} (got {v:?})"))?;
+                set_once(&mut skip, "--skip", n)?;
+            }
+            "--faults" => {
+                let v = next_value(args, &mut i, "--faults")?;
+                let n = parse_usize("--faults", v)?;
+                if n == 0 {
+                    return Err("--faults must be positive".into());
+                }
+                set_once(&mut faults, "--faults", n)?;
+            }
+            "--fault-seed" => {
+                let v = next_value(args, &mut i, "--fault-seed")?;
+                set_once(
+                    &mut fault_seed,
+                    "--fault-seed",
+                    parse_u64("--fault-seed", v)?,
+                )?;
+            }
+            "--deadline-ms" => {
+                let v = next_value(args, &mut i, "--deadline-ms")?;
+                let d = parse_deadline_ms(v)?;
+                set_once(&mut deadline, "--deadline-ms", d)?;
+            }
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(format!("query: unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    let op = op.ok_or("query needs --op <profile|sweep|campaign|stats|shutdown>")?;
+    let design_query = |kind: &Option<String>| -> Result<DesignQuery, String> {
+        let label = kind
+            .as_deref()
+            .ok_or_else(|| format!("--op {op} needs --kind"))?;
+        Ok(DesignQuery {
+            kind: parse_kind(label)?,
+            width: width.ok_or_else(|| format!("--op {op} needs --width"))?,
+            years: years.unwrap_or(0.0),
+            patterns: patterns.unwrap_or(1_000),
+            seed: seed.unwrap_or(42),
+        })
+    };
+    let body = match op.as_str() {
+        "profile" => RequestBody::Profile(design_query(&kind)?),
+        "sweep" => RequestBody::Sweep {
+            query: design_query(&kind)?,
+            periods: periods.ok_or("--op sweep needs --periods <a,b,..>")?,
+            skip: skip.unwrap_or(7),
+        },
+        "campaign" => RequestBody::Campaign {
+            query: design_query(&kind)?,
+            faults: faults.ok_or("--op campaign needs --faults")?,
+            fault_seed: fault_seed.unwrap_or(1),
+            skip: skip.unwrap_or(7),
+        },
+        "stats" => RequestBody::Stats,
+        "shutdown" => RequestBody::Shutdown,
+        other => {
+            return Err(format!(
+                "unknown op {other:?} (want profile, sweep, campaign, stats, or shutdown)"
+            ))
+        }
+    };
+    Ok(Command::Query(Box::new(QueryArgs {
+        endpoint: parse_endpoint(addr, unix, "127.0.0.1:7171")?,
+        request: Request {
+            id: 1,
+            deadline_ms: deadline.map(|d| d.as_millis() as u64),
+            body,
+        },
+    })))
+}
+
+// ---------------------------------------------------------------------------
+// Batch-run machinery (unchanged behaviour)
+// ---------------------------------------------------------------------------
 
 /// Prints one experiment's report (and optional CSV dump); returns `false`
 /// if the experiment failed or a CSV could not be written.
@@ -150,12 +587,6 @@ fn emit_json(id: &str, value: &Json, csv_dir: Option<&Path>) -> bool {
     true
 }
 
-struct Supervision {
-    checkpoint: Option<PathBuf>,
-    deadline: Option<Duration>,
-    max_retries: u32,
-}
-
 /// Kernel tuning shared by every experiment context: batch width for the
 /// wide-lane sweeps and the incremental aging re-profiling driver.
 #[derive(Clone, Copy)]
@@ -174,16 +605,15 @@ impl Tuning {
 /// Runs the batch under the harness supervisor: one case per experiment,
 /// each on a fresh [`Context`] with the attempt's engine and deadline
 /// token installed.
-fn run_supervised(
-    ids: &[String],
-    scale: Scale,
-    tuning: Tuning,
-    csv_dir: Option<&Path>,
-    sup: &Supervision,
-) -> ExitCode {
+fn run_supervised(run: &RunArgs, tuning: Tuning) -> ExitCode {
+    let ids = &run.ids;
+    let scale = run.scale;
+    let csv_dir = run.csv_dir.as_deref();
     let config = SupervisorConfig {
-        deadline: sup.deadline,
-        max_retries: sup.max_retries,
+        deadline: run.deadline,
+        // Experiments are deterministic, so a failure repeats; retries
+        // only pay off against deadline jitter.
+        max_retries: run.max_retries.unwrap_or(0),
         // Serial builds checkpoint after every experiment; parallel builds
         // widen the batch so the fan-out has cases to spread (the batch is
         // both the snapshot interval and the unit of parallelism).
@@ -216,8 +646,8 @@ fn run_supervised(
     let start = Instant::now();
     let ledger = match supervisor.run(
         &worker,
-        sup.checkpoint.as_deref(),
-        if sup.checkpoint.is_some() {
+        run.resume.as_deref(),
+        if run.resume.is_some() {
             Resume::Attempt
         } else {
             Resume::Fresh
@@ -261,104 +691,18 @@ fn run_supervised(
     summarize(&results)
 }
 
-fn main() -> ExitCode {
-    let mut scale = Scale::Standard;
-    let mut ids: Vec<String> = Vec::new();
-    let mut csv_dir: Option<PathBuf> = None;
-    let mut resume_ckpt: Option<PathBuf> = None;
-    let mut deadline: Option<Duration> = None;
-    let mut max_retries: Option<u32> = None;
-    let mut tuning = Tuning {
-        lanes: LaneWidth::default(),
-        incremental: false,
+fn run_batch(run: RunArgs) -> ExitCode {
+    let tuning = Tuning {
+        lanes: run.lanes,
+        incremental: run.incremental,
     };
-    let mut pending_value: Option<&'static str> = None;
-
-    for arg in std::env::args().skip(1) {
-        if let Some(flag) = pending_value.take() {
-            match flag {
-                "--csv" => csv_dir = Some(PathBuf::from(&arg)),
-                "--resume" => resume_ckpt = Some(PathBuf::from(&arg)),
-                "--deadline-ms" => match arg.parse() {
-                    Ok(ms) => deadline = Some(Duration::from_millis(ms)),
-                    Err(e) => {
-                        eprintln!("--deadline-ms: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                },
-                "--max-retries" => match arg.parse() {
-                    Ok(n) => max_retries = Some(n),
-                    Err(e) => {
-                        eprintln!("--max-retries: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                },
-                "--lanes" => match arg.parse::<usize>().ok().and_then(LaneWidth::from_lanes) {
-                    Some(w) => tuning.lanes = w,
-                    None => {
-                        eprintln!("--lanes: want 64, 256, or 512, got {arg}");
-                        return ExitCode::FAILURE;
-                    }
-                },
-                _ => unreachable!(),
-            }
-            continue;
-        }
-        match arg.as_str() {
-            "--quick" => scale = Scale::Quick,
-            "--paper" => scale = Scale::Paper,
-            "--csv" => pending_value = Some("--csv"),
-            "--lanes" => pending_value = Some("--lanes"),
-            "--incremental" => tuning.incremental = true,
-            "--resume" => pending_value = Some("--resume"),
-            "--deadline-ms" => pending_value = Some("--deadline-ms"),
-            "--max-retries" => pending_value = Some("--max-retries"),
-            "--list" => {
-                for id in experiments::ALL_IDS {
-                    println!("{id}");
-                }
-                return ExitCode::SUCCESS;
-            }
-            "--help" | "-h" => {
-                usage();
-                return ExitCode::SUCCESS;
-            }
-            "all" => ids.extend(experiments::ALL_IDS.iter().map(|s| s.to_string())),
-            other if other.starts_with('-') => {
-                eprintln!("unknown flag: {other}");
-                usage();
-                return ExitCode::FAILURE;
-            }
-            other => ids.push(other.to_string()),
-        }
-    }
-    if let Some(flag) = pending_value {
-        eprintln!("{flag} needs a value");
-        usage();
-        return ExitCode::FAILURE;
-    }
-    if ids.is_empty() {
-        usage();
-        return ExitCode::FAILURE;
-    }
-    ids.dedup();
-
-    if resume_ckpt.is_some() || deadline.is_some() || max_retries.is_some() {
-        return run_supervised(
-            &ids,
-            scale,
-            tuning,
-            csv_dir.as_deref(),
-            &Supervision {
-                checkpoint: resume_ckpt,
-                deadline,
-                // Experiments are deterministic, so a failure repeats;
-                // retries only pay off against deadline jitter.
-                max_retries: max_retries.unwrap_or(0),
-            },
-        );
+    if run.resume.is_some() || run.deadline.is_some() || run.max_retries.is_some() {
+        return run_supervised(&run, tuning);
     }
 
+    let scale = run.scale;
+    let ids = run.ids;
+    let csv_dir = run.csv_dir;
     let overall = Instant::now();
     let mut results: Vec<(String, bool, f64)> = Vec::with_capacity(ids.len());
 
@@ -401,4 +745,231 @@ fn main() -> ExitCode {
         overall.elapsed().as_secs_f64()
     );
     summarize(&results)
+}
+
+// ---------------------------------------------------------------------------
+// serve / query
+// ---------------------------------------------------------------------------
+
+fn run_serve(args: ServeArgs) -> ExitCode {
+    let describe = match &args.endpoint {
+        Endpoint::Tcp(addr) => format!("tcp {addr}"),
+        Endpoint::Unix(path) => format!("unix {}", path.display()),
+    };
+    let handle = match agemul_serve::spawn(ServeConfig {
+        endpoint: args.endpoint,
+        workers: args.workers,
+        shard_capacity: args.shard_capacity,
+        snapshot: args.snapshot,
+        max_retries: args.max_retries,
+    }) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("repro serve: cannot start on {describe}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match handle.tcp_addr() {
+        Some(addr) => eprintln!("repro serve: listening on {addr}"),
+        None => eprintln!("repro serve: listening on {describe}"),
+    }
+    eprintln!("repro serve: stop with a shutdown op (repro query --op shutdown)");
+    match handle.run_until_shutdown() {
+        Ok(()) => {
+            eprintln!("repro serve: stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("repro serve: shutdown error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_query(args: QueryArgs) -> ExitCode {
+    let frame = args.request.to_json();
+    let response = match &args.endpoint {
+        Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str())
+            .map_err(|e| format!("connect {addr}: {e}"))
+            .and_then(|mut s| {
+                let _ = s.set_nodelay(true);
+                roundtrip(&mut s, &frame).map_err(|e| e.to_string())
+            }),
+        Endpoint::Unix(path) => UnixStream::connect(path)
+            .map_err(|e| format!("connect {}: {e}", path.display()))
+            .and_then(|mut s| roundtrip(&mut s, &frame).map_err(|e| e.to_string())),
+    };
+    match response {
+        Ok(response) => {
+            println!("{response}");
+            if response.get("ok").and_then(Json::as_bool) == Some(true) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("repro query: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_cli(&args) {
+        Ok(Command::Help) => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        Ok(Command::List) => {
+            for id in experiments::ALL_IDS {
+                println!("{id}");
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Run(run)) => run_batch(run),
+        Ok(Command::Serve(serve)) => run_serve(serve),
+        Ok(Command::Query(query)) => run_query(*query),
+        Err(e) => {
+            eprintln!("repro: {e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn duplicate_value_flags_are_rejected_not_kept_last() {
+        // The old parser silently kept the last value of a repeated flag;
+        // each of these must now fail with a message naming the flag.
+        let cases = [
+            argv(&["--lanes", "64", "--lanes", "512", "all"]),
+            argv(&["--csv", "a", "--csv", "b", "all"]),
+            argv(&["--resume", "x.json", "--resume", "y.json", "all"]),
+            argv(&["--deadline-ms", "100", "--deadline-ms", "200", "all"]),
+            argv(&["--max-retries", "1", "--max-retries", "2", "all"]),
+        ];
+        for args in cases {
+            let err = parse_cli(&args).unwrap_err();
+            assert!(err.contains("more than once"), "{args:?} gave {err:?}");
+            assert!(
+                err.contains(&args[0]),
+                "{err:?} does not name {:?}",
+                args[0]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected_with_guidance() {
+        let err = parse_cli(&argv(&["--deadline-ms", "0", "all"])).unwrap_err();
+        assert!(err.contains("quarantine"), "{err}");
+        assert!(err.contains("omit"), "{err}");
+    }
+
+    #[test]
+    fn single_flags_still_parse() {
+        let cmd = parse_cli(&argv(&[
+            "--quick",
+            "--lanes",
+            "512",
+            "--deadline-ms",
+            "250",
+            "--csv",
+            "out",
+            "table4",
+        ]))
+        .unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run command");
+        };
+        assert_eq!(run.scale, Scale::Quick);
+        assert_eq!(run.lanes, LaneWidth::from_lanes(512).unwrap());
+        assert_eq!(run.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(run.csv_dir.as_deref(), Some(Path::new("out")));
+        assert_eq!(run.ids, vec!["table4".to_string()]);
+    }
+
+    #[test]
+    fn conflicting_scales_are_rejected() {
+        let err = parse_cli(&argv(&["--quick", "--paper", "all"])).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn trailing_flag_without_value_is_an_error() {
+        let err = parse_cli(&argv(&["all", "--lanes"])).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn serve_defaults_and_duplicates() {
+        let cmd = parse_cli(&argv(&["serve"])).unwrap();
+        let Command::Serve(serve) = cmd else {
+            panic!("expected serve command");
+        };
+        assert!(matches!(serve.endpoint, Endpoint::Tcp(ref a) if a == "127.0.0.1:7171"));
+        assert_eq!(serve.workers, 4);
+        assert_eq!(serve.shard_capacity, Some(64));
+
+        let err = parse_cli(&argv(&["serve", "--workers", "2", "--workers", "3"])).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+        let err = parse_cli(&argv(&["serve", "--addr", "x:1", "--unix", "/tmp/s"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = parse_cli(&argv(&["serve", "--workers", "0"])).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn query_builds_a_profile_request() {
+        let cmd = parse_cli(&argv(&[
+            "query",
+            "--op",
+            "profile",
+            "--kind",
+            "CB",
+            "--width",
+            "8",
+            "--years",
+            "7",
+            "--deadline-ms",
+            "500",
+        ]))
+        .unwrap();
+        let Command::Query(query) = cmd else {
+            panic!("expected query command");
+        };
+        assert_eq!(query.request.deadline_ms, Some(500));
+        let RequestBody::Profile(q) = &query.request.body else {
+            panic!("expected profile body");
+        };
+        assert_eq!(q.width, 8);
+        assert_eq!(q.years, 7.0);
+        assert_eq!(q.patterns, 1_000, "default patterns");
+        assert_eq!(q.seed, 42, "default seed");
+    }
+
+    #[test]
+    fn query_validates_ops_and_deadlines() {
+        let err = parse_cli(&argv(&["query", "--op", "bogus"])).unwrap_err();
+        assert!(err.contains("unknown op"), "{err}");
+        let err = parse_cli(&argv(&["query", "--op", "profile"])).unwrap_err();
+        assert!(err.contains("--kind"), "{err}");
+        let err = parse_cli(&argv(&[
+            "query", "--op", "sweep", "--kind", "CB", "--width", "8",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--periods"), "{err}");
+        let err = parse_cli(&argv(&["query", "--op", "stats", "--deadline-ms", "0"])).unwrap_err();
+        assert!(err.contains("quarantine"), "{err}");
+    }
 }

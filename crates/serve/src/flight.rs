@@ -1,0 +1,303 @@
+//! Single-flight coalescing of duplicate in-flight work.
+//!
+//! The [`ProfileCache`](agemul::ProfileCache) deduplicates *finished*
+//! work: its build step runs outside the shard lock, so N concurrent
+//! requests for the same cold key race N full simulations and the first
+//! insert wins. Acceptable in a batch run; in a resident server a popular
+//! cold key (every client asking for the same design at boot) would
+//! multiply the most expensive operation in the system by the fan-in.
+//!
+//! [`SingleFlight`] closes that gap: the first caller of a key becomes
+//! the *leader* and runs the build; every caller that arrives while the
+//! build is in flight blocks on the leader's slot and receives a clone of
+//! the leader's result. Keys are removed **before** the result is
+//! published, so failures are never cached — a request that arrives after
+//! a failed build starts a fresh one. A leader that panics mid-build
+//! publishes [`FlightError::LeaderPanicked`] to its waiters from a drop
+//! guard instead of stranding them on the condvar forever.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks with poison recovery: a leader that panicked has already been
+/// handled by the publish guard, and every map/slot mutation is a single
+/// call, so the data behind a poisoned lock is consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Why a coalesced build produced no value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlightError {
+    /// The build failed; the leader's rendered error.
+    Build(String),
+    /// The build observed its cancellation token fire (deadline).
+    Cancelled,
+    /// The leader panicked before publishing a result. Waiters receive
+    /// this instead of hanging; the key is free again, so a retry leads a
+    /// fresh build.
+    LeaderPanicked,
+}
+
+impl std::fmt::Display for FlightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlightError::Build(msg) => write!(f, "build failed: {msg}"),
+            FlightError::Cancelled => f.write_str("build cancelled by deadline"),
+            FlightError::LeaderPanicked => f.write_str("in-flight leader panicked"),
+        }
+    }
+}
+
+impl std::error::Error for FlightError {}
+
+/// How a caller's lookup through [`SingleFlight::run`] was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightRole {
+    /// This caller ran the build itself.
+    Leader,
+    /// This caller waited on another caller's in-flight build and shares
+    /// its result.
+    Coalesced,
+}
+
+/// One in-flight build: waiters block on `ready` until `result` is set.
+struct Slot<V> {
+    result: Mutex<Option<Result<V, FlightError>>>,
+    ready: Condvar,
+}
+
+/// A single-flight map: at most one build per key is in flight at a time;
+/// concurrent demand for the same key coalesces onto the leader's result.
+///
+/// `V` is cloned to every waiter, so it should be cheap to clone (the
+/// server uses `Arc<PatternProfile>`).
+pub struct SingleFlight<K, V> {
+    slots: Mutex<HashMap<K, Arc<Slot<V>>>>,
+    led: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Publishes the leader's result on drop — including the unwind path, so
+/// a panicking build releases its waiters with
+/// [`FlightError::LeaderPanicked`] rather than stranding them.
+struct Publish<'a, K: Eq + Hash, V> {
+    slots: &'a Mutex<HashMap<K, Arc<Slot<V>>>>,
+    key: &'a K,
+    slot: &'a Slot<V>,
+    value: Option<Result<V, FlightError>>,
+}
+
+impl<K: Eq + Hash, V> Drop for Publish<'_, K, V> {
+    fn drop(&mut self) {
+        let value = self
+            .value
+            .take()
+            .unwrap_or(Err(FlightError::LeaderPanicked));
+        // Remove the key first: once the outcome is decided, the next
+        // request for this key must lead a fresh build (failures are
+        // never cached), while existing waiters still hold the slot Arc.
+        lock(self.slots).remove(self.key);
+        *lock(&self.slot.result) = Some(value);
+        self.slot.ready.notify_all();
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
+    /// An empty single-flight map.
+    pub fn new() -> Self {
+        SingleFlight {
+            slots: Mutex::new(HashMap::new()),
+            led: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of calls that led a build.
+    pub fn led(&self) -> u64 {
+        self.led.load(Ordering::Relaxed)
+    }
+
+    /// Number of calls that coalesced onto another caller's build.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Number of builds currently in flight.
+    pub fn in_flight(&self) -> usize {
+        lock(&self.slots).len()
+    }
+
+    /// Runs `build` for `key`, coalescing with any in-flight build of the
+    /// same key: exactly one concurrent caller executes `build`; the rest
+    /// block and receive a clone of its outcome, tagged with their
+    /// [`FlightRole`].
+    pub fn run<F>(&self, key: K, build: F) -> (Result<V, FlightError>, FlightRole)
+    where
+        F: FnOnce() -> Result<V, FlightError>,
+    {
+        let slot = {
+            let mut slots = lock(&self.slots);
+            if let Some(slot) = slots.get(&key) {
+                let slot = Arc::clone(slot);
+                drop(slots);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                let mut result = lock(&slot.result);
+                while result.is_none() {
+                    result = slot
+                        .ready
+                        .wait(result)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                let outcome = result.clone().unwrap_or(Err(FlightError::LeaderPanicked));
+                return (outcome, FlightRole::Coalesced);
+            }
+            let slot = Arc::new(Slot {
+                result: Mutex::new(None),
+                ready: Condvar::new(),
+            });
+            slots.insert(key.clone(), Arc::clone(&slot));
+            slot
+        };
+        self.led.fetch_add(1, Ordering::Relaxed);
+        let mut publish = Publish {
+            slots: &self.slots,
+            key: &key,
+            slot: &slot,
+            value: None,
+        };
+        let outcome = build();
+        publish.value = Some(outcome.clone());
+        drop(publish);
+        (outcome, FlightRole::Leader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    use super::*;
+
+    /// N threads demand the same cold key; the leader's build holds until
+    /// every other thread has coalesced, so exactly one build happens and
+    /// all N results are the same `Arc`.
+    #[test]
+    fn n_threads_one_build_identical_arcs() {
+        const N: usize = 8;
+        let flight: SingleFlight<&'static str, Arc<u64>> = SingleFlight::new();
+        let builds = AtomicUsize::new(0);
+
+        let results: Vec<(Result<Arc<u64>, FlightError>, FlightRole)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..N)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            flight.run("profile/CB16@7y", || {
+                                builds.fetch_add(1, Ordering::Relaxed);
+                                // Complete only after every other thread
+                                // has arrived and coalesced, making the
+                                // single-build guarantee deterministic.
+                                while flight.coalesced() < (N - 1) as u64 {
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                                Ok(Arc::new(42))
+                            })
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "exactly one build");
+        let leaders = results
+            .iter()
+            .filter(|(_, role)| *role == FlightRole::Leader)
+            .count();
+        assert_eq!((leaders, results.len()), (1, N));
+        let first = results[0].0.as_ref().unwrap();
+        for (outcome, _) in &results {
+            assert!(Arc::ptr_eq(first, outcome.as_ref().unwrap()));
+        }
+        assert_eq!(flight.led(), 1);
+        assert_eq!(flight.coalesced(), (N - 1) as u64);
+        assert_eq!(flight.in_flight(), 0, "slot removed after publish");
+    }
+
+    /// Failures propagate to every concurrent waiter but are not cached:
+    /// the next call leads a fresh build.
+    #[test]
+    fn errors_are_shared_but_never_cached() {
+        let flight: SingleFlight<u32, u64> = SingleFlight::new();
+        let (err, role) = flight.run(7, || Err(FlightError::Build("boom".into())));
+        assert_eq!(role, FlightRole::Leader);
+        assert_eq!(err, Err(FlightError::Build("boom".into())));
+
+        // The failed key is gone; a retry runs a fresh (now successful)
+        // build rather than replaying the error.
+        let (ok, role) = flight.run(7, || Ok(99));
+        assert_eq!(role, FlightRole::Leader);
+        assert_eq!(ok, Ok(99));
+        assert_eq!(flight.led(), 2);
+    }
+
+    /// A leader that panics releases its waiters with `LeaderPanicked`
+    /// instead of stranding them, and frees the key.
+    #[test]
+    fn panicking_leader_releases_waiters() {
+        let flight: Arc<SingleFlight<u8, u64>> = Arc::new(SingleFlight::new());
+
+        let waiter = {
+            let flight = Arc::clone(&flight);
+            std::thread::spawn(move || {
+                // Wait until the leader below is in flight, then coalesce.
+                while flight.in_flight() == 0 {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                flight.run(1, || Ok(0))
+            })
+        };
+
+        let leader = {
+            let flight = Arc::clone(&flight);
+            std::thread::spawn(move || {
+                let _ = flight.run(1, || -> Result<u64, FlightError> {
+                    // Hold the flight until the waiter thread exists, so
+                    // it deterministically coalesces onto this build.
+                    while flight.coalesced() == 0 {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                    panic!("leader dies mid-build");
+                });
+            })
+        };
+
+        assert!(leader.join().is_err(), "leader thread panicked");
+        let (outcome, role) = waiter.join().unwrap();
+        assert_eq!(outcome, Err(FlightError::LeaderPanicked));
+        assert_eq!(role, FlightRole::Coalesced);
+        assert_eq!(flight.in_flight(), 0, "key freed for a fresh build");
+        assert_eq!(flight.run(1, || Ok(5)).0, Ok(5));
+    }
+
+    /// Distinct keys never coalesce.
+    #[test]
+    fn distinct_keys_run_independently() {
+        let flight: SingleFlight<u32, u32> = SingleFlight::new();
+        for k in 0..4 {
+            let (v, role) = flight.run(k, || Ok(k * 10));
+            assert_eq!(v, Ok(k * 10));
+            assert_eq!(role, FlightRole::Leader);
+        }
+        assert_eq!(flight.coalesced(), 0);
+    }
+}

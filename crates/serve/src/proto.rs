@@ -1,0 +1,486 @@
+//! Length-prefixed JSON wire protocol.
+//!
+//! Each frame is a big-endian `u32` byte length followed by one UTF-8
+//! JSON document (the dependency-free [`Json`] model from
+//! `agemul-conformance`, whose distinct `u64` variant keeps workload
+//! seeds lossless). A frame carries either a single request object or a
+//! `{"op":"batch","requests":[...]}` envelope; responses mirror the
+//! shape. Frames above [`MAX_FRAME_BYTES`] are rejected before any
+//! allocation, so a corrupt length prefix cannot balloon the server.
+
+use std::io::{self, Read, Write};
+
+use agemul_circuits::MultiplierKind;
+use agemul_conformance::Json;
+
+/// Upper bound on one frame's payload (16 MiB) — far above any legitimate
+/// request or response, small enough that a garbage length prefix fails
+/// fast instead of allocating gigabytes.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Writes one frame: big-endian `u32` length, then the JSON text.
+///
+/// # Errors
+///
+/// Propagates transport errors; a document over [`MAX_FRAME_BYTES`] is
+/// `InvalidData`.
+pub fn write_frame<W: Write>(w: &mut W, msg: &Json) -> io::Result<()> {
+    let text = msg.to_string();
+    if text.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds {MAX_FRAME_BYTES}", text.len()),
+        ));
+    }
+    // One buffered write per frame: a separate length-prefix write would
+    // put two small segments on the wire and let Nagle + delayed-ACK
+    // stretch every round trip to tens of milliseconds.
+    let len = text.len() as u32;
+    let mut buf = Vec::with_capacity(4 + text.len());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(text.as_bytes());
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer closed
+/// between frames); EOF mid-frame, an oversized length prefix, or
+/// malformed JSON are `InvalidData` errors.
+///
+/// # Errors
+///
+/// Transport errors (including read timeouts, surfaced as `WouldBlock` /
+/// `TimedOut`) and the malformed-frame cases above.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Json>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    let text = String::from_utf8(buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Json::parse(&text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Parses a multiplier-kind label (`AM`, `CB`, `RB`, `WAL`, `BOOTH`).
+///
+/// # Errors
+///
+/// Describes the unknown label and lists the valid ones.
+pub fn parse_kind(label: &str) -> Result<MultiplierKind, String> {
+    MultiplierKind::ALL
+        .into_iter()
+        .find(|k| k.label() == label)
+        .ok_or_else(|| {
+            let valid: Vec<&str> = MultiplierKind::ALL.iter().map(|k| k.label()).collect();
+            format!("unknown kind {label:?} (want one of {})", valid.join(", "))
+        })
+}
+
+/// The design/workload coordinates shared by every simulation op: which
+/// multiplier, how aged, and which seed-derived uniform workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DesignQuery {
+    /// Multiplier architecture.
+    pub kind: MultiplierKind,
+    /// Operand width in bits.
+    pub width: usize,
+    /// Aging epoch in years (0 = fresh).
+    pub years: f64,
+    /// Number of uniform operand pairs in the workload.
+    pub patterns: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// One request's operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestBody {
+    /// Profile the design at its aging epoch; returns a delay summary.
+    Profile(DesignQuery),
+    /// Profile, then replay the profile across a cycle-period grid.
+    Sweep {
+        /// Design/workload coordinates.
+        query: DesignQuery,
+        /// Cycle periods to replay, nanoseconds.
+        periods: Vec<f64>,
+        /// AHL skip threshold for the replays.
+        skip: u32,
+    },
+    /// Run a fault-injection campaign on the design.
+    Campaign {
+        /// Design/workload coordinates.
+        query: DesignQuery,
+        /// Number of faults to sample.
+        faults: usize,
+        /// Fault-sampling seed.
+        fault_seed: u64,
+        /// AHL skip threshold for the evaluation replays.
+        skip: u32,
+    },
+    /// Server cache/coalescer statistics.
+    Stats,
+    /// Graceful shutdown: the server finishes in-flight work, saves its
+    /// snapshot (if configured), and stops accepting.
+    Shutdown,
+}
+
+/// One decoded request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client correlation id, echoed in the response.
+    pub id: u64,
+    /// Per-request wall-clock budget in milliseconds; must be positive
+    /// when present (omit the field to disable the deadline).
+    pub deadline_ms: Option<u64>,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+fn get_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn get_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+fn query_from_json(v: &Json) -> Result<DesignQuery, String> {
+    let kind = parse_kind(
+        v.get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing or non-string field \"kind\"".to_string())?,
+    )?;
+    let width = get_u64(v, "width")? as usize;
+    if width == 0 {
+        return Err("width must be positive".into());
+    }
+    let years = get_f64(v, "years")?;
+    if !years.is_finite() || years < 0.0 {
+        return Err(format!(
+            "years must be finite and non-negative, got {years}"
+        ));
+    }
+    let patterns = get_u64(v, "patterns")? as usize;
+    if patterns == 0 {
+        return Err("patterns must be positive".into());
+    }
+    let seed = get_u64(v, "seed")?;
+    Ok(DesignQuery {
+        kind,
+        width,
+        years,
+        patterns,
+        seed,
+    })
+}
+
+fn query_to_json(q: &DesignQuery) -> Vec<(String, Json)> {
+    vec![
+        ("kind".into(), Json::Str(q.kind.label().into())),
+        ("width".into(), Json::UInt(q.width as u64)),
+        ("years".into(), Json::Num(q.years)),
+        ("patterns".into(), Json::UInt(q.patterns as u64)),
+        ("seed".into(), Json::UInt(q.seed)),
+    ]
+}
+
+impl Request {
+    /// Decodes a request object (not a batch envelope).
+    ///
+    /// # Errors
+    ///
+    /// A rendered description of the first missing, mistyped, or
+    /// out-of-range field. A `deadline_ms` of 0 is rejected — a budget of
+    /// nothing would quarantine every attempt; omit the field to disable
+    /// the deadline.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let id = get_u64(v, "id")?;
+        let deadline_ms = match v.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(x) => {
+                let ms = x
+                    .as_u64()
+                    .ok_or_else(|| "non-integer deadline_ms".to_string())?;
+                if ms == 0 {
+                    return Err(
+                        "deadline_ms must be positive (omit the field to disable the deadline)"
+                            .into(),
+                    );
+                }
+                Some(ms)
+            }
+        };
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing or non-string field \"op\"".to_string())?;
+        let body = match op {
+            "profile" => RequestBody::Profile(query_from_json(v)?),
+            "sweep" => {
+                let raw = v
+                    .get("periods")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| "sweep needs a periods array".to_string())?;
+                if raw.is_empty() {
+                    return Err("sweep needs at least one period".into());
+                }
+                let mut periods = Vec::with_capacity(raw.len());
+                for p in raw {
+                    let p = p.as_f64().ok_or_else(|| "non-numeric period".to_string())?;
+                    if !p.is_finite() || p <= 0.0 {
+                        return Err(format!("periods must be finite and positive, got {p}"));
+                    }
+                    periods.push(p);
+                }
+                RequestBody::Sweep {
+                    query: query_from_json(v)?,
+                    periods,
+                    skip: u32::try_from(get_u64(v, "skip")?)
+                        .map_err(|_| "skip out of u32 range".to_string())?,
+                }
+            }
+            "campaign" => {
+                let faults = get_u64(v, "faults")? as usize;
+                if faults == 0 {
+                    return Err("campaign needs at least one fault".into());
+                }
+                RequestBody::Campaign {
+                    query: query_from_json(v)?,
+                    faults,
+                    fault_seed: get_u64(v, "fault_seed")?,
+                    skip: u32::try_from(get_u64(v, "skip")?)
+                        .map_err(|_| "skip out of u32 range".to_string())?,
+                }
+            }
+            "stats" => RequestBody::Stats,
+            "shutdown" => RequestBody::Shutdown,
+            other => return Err(format!("unknown op {other:?}")),
+        };
+        Ok(Request {
+            id,
+            deadline_ms,
+            body,
+        })
+    }
+
+    /// Encodes the request as its wire object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("id".into(), Json::UInt(self.id))];
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline_ms".into(), Json::UInt(ms)));
+        }
+        match &self.body {
+            RequestBody::Profile(q) => {
+                pairs.push(("op".into(), Json::Str("profile".into())));
+                pairs.extend(query_to_json(q));
+            }
+            RequestBody::Sweep {
+                query,
+                periods,
+                skip,
+            } => {
+                pairs.push(("op".into(), Json::Str("sweep".into())));
+                pairs.extend(query_to_json(query));
+                pairs.push((
+                    "periods".into(),
+                    Json::Arr(periods.iter().map(|&p| Json::Num(p)).collect()),
+                ));
+                pairs.push(("skip".into(), Json::UInt(u64::from(*skip))));
+            }
+            RequestBody::Campaign {
+                query,
+                faults,
+                fault_seed,
+                skip,
+            } => {
+                pairs.push(("op".into(), Json::Str("campaign".into())));
+                pairs.extend(query_to_json(query));
+                pairs.push(("faults".into(), Json::UInt(*faults as u64)));
+                pairs.push(("fault_seed".into(), Json::UInt(*fault_seed)));
+                pairs.push(("skip".into(), Json::UInt(u64::from(*skip))));
+            }
+            RequestBody::Stats => pairs.push(("op".into(), Json::Str("stats".into()))),
+            RequestBody::Shutdown => pairs.push(("op".into(), Json::Str("shutdown".into()))),
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// A successful response: the request id, how the supervised attempt ran
+/// (engine, retries, degradation), and the op's result payload.
+pub fn response_ok(id: u64, engine: &str, retries: u32, degraded: bool, result: Json) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::UInt(id)),
+        ("ok".into(), Json::Bool(true)),
+        ("engine".into(), Json::Str(engine.into())),
+        ("retries".into(), Json::UInt(u64::from(retries))),
+        ("degraded".into(), Json::Bool(degraded)),
+        ("result".into(), result),
+    ])
+}
+
+/// A failed response: the request id and a rendered error.
+pub fn response_error(id: u64, error: &str) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::UInt(id)),
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(error.into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query() -> DesignQuery {
+        DesignQuery {
+            kind: MultiplierKind::ColumnBypass,
+            width: 16,
+            years: 7.0,
+            patterns: 1_000,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let msg = Request {
+            id: 3,
+            deadline_ms: Some(250),
+            body: RequestBody::Sweep {
+                query: query(),
+                periods: vec![0.9, 1.0, 1.1],
+                skip: 7,
+            },
+        }
+        .to_json();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &msg).unwrap();
+        let mut cursor = wire.as_slice();
+        let back = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, msg);
+        // Stream exhausted → clean end-of-stream.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn every_op_round_trips_through_json() {
+        let requests = [
+            Request {
+                id: 1,
+                deadline_ms: None,
+                body: RequestBody::Profile(query()),
+            },
+            Request {
+                id: 2,
+                deadline_ms: Some(100),
+                body: RequestBody::Sweep {
+                    query: query(),
+                    periods: vec![1.25],
+                    skip: 3,
+                },
+            },
+            Request {
+                id: 3,
+                deadline_ms: None,
+                body: RequestBody::Campaign {
+                    query: query(),
+                    faults: 12,
+                    fault_seed: 9,
+                    skip: 7,
+                },
+            },
+            Request {
+                id: 4,
+                deadline_ms: None,
+                body: RequestBody::Stats,
+            },
+            Request {
+                id: 5,
+                deadline_ms: None,
+                body: RequestBody::Shutdown,
+            },
+        ];
+        for req in requests {
+            let back = Request::from_json(&req.to_json()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected() {
+        let mut obj = Request {
+            id: 1,
+            deadline_ms: None,
+            body: RequestBody::Stats,
+        }
+        .to_json();
+        if let Json::Obj(pairs) = &mut obj {
+            pairs.push(("deadline_ms".into(), Json::UInt(0)));
+        }
+        let err = Request::from_json(&obj).unwrap_err();
+        assert!(err.contains("deadline_ms must be positive"), "{err}");
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        let bad = [
+            (Json::Obj(vec![("id".into(), Json::UInt(1))]), "op"),
+            (
+                Json::Obj(vec![
+                    ("id".into(), Json::UInt(1)),
+                    ("op".into(), Json::Str("bogus".into())),
+                ]),
+                "unknown op",
+            ),
+            (
+                Json::Obj(vec![
+                    ("id".into(), Json::UInt(1)),
+                    ("op".into(), Json::Str("profile".into())),
+                    ("kind".into(), Json::Str("XX".into())),
+                ]),
+                "unknown kind",
+            ),
+        ];
+        for (doc, needle) in bad {
+            let err = Request::from_json(&doc).unwrap_err();
+            assert!(err.contains(needle), "{err:?} lacks {needle:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_be_bytes());
+        wire.extend_from_slice(b"junk");
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_clean_eof() {
+        let msg = Json::Str("hello".into());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &msg).unwrap();
+        wire.truncate(wire.len() - 2);
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

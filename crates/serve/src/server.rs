@@ -1,0 +1,611 @@
+//! The thread-pool + channel socket server.
+//!
+//! An acceptor thread hands connections to a fixed worker pool over an
+//! mpsc channel; each worker serves one connection at a time, frame by
+//! frame. Every simulation op runs under the harness's single-request
+//! supervision ([`run_request_supervised`]): panics are quarantined into
+//! an error *response* instead of killing the worker, a per-request
+//! `deadline_ms` is enforced cooperatively through the attempt's
+//! [`CancelToken`](agemul::CancelToken), and an exhausted levelized-kernel
+//! budget degrades to one final attempt on the event-driven reference
+//! engine — the response records the engine, retries, and degradation so
+//! clients can see what they got.
+//!
+//! Graceful shutdown (the `shutdown` op or [`ServerHandle::shutdown`])
+//! stops the acceptor, drains the workers, and — when a snapshot path is
+//! configured — saves the profile cache for the next process's warm
+//! start.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use agemul::{EngineConfig, PeriodSweep};
+use agemul_conformance::Json;
+use agemul_faults::{Campaign, FaultSpec};
+use agemul_harness::{
+    is_cancellation, run_request_supervised, Attempt, CaseError, CaseStatus, SupervisorConfig,
+};
+
+use crate::flight::FlightError;
+use crate::proto::{
+    read_frame, response_error, response_ok, write_frame, DesignQuery, Request, RequestBody,
+};
+use crate::state::ServerState;
+
+/// Where the server listens.
+#[derive(Clone, Debug)]
+pub enum Endpoint {
+    /// TCP on the given address (e.g. `127.0.0.1:0` for an ephemeral
+    /// port; the bound address is reported by [`ServerHandle::tcp_addr`]).
+    Tcp(String),
+    /// A Unix-domain socket at the given path (removed on bind and on
+    /// shutdown).
+    Unix(PathBuf),
+}
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listening endpoint.
+    pub endpoint: Endpoint,
+    /// Worker threads. Each worker serves one connection at a time, so
+    /// this bounds the number of concurrently served clients.
+    pub workers: usize,
+    /// Per-shard profile-cache bound (`None` = unbounded).
+    pub shard_capacity: Option<usize>,
+    /// Warm-start snapshot path: loaded (if present) on spawn, saved on
+    /// graceful shutdown.
+    pub snapshot: Option<PathBuf>,
+    /// Levelized-kernel retries per request before the Event-engine
+    /// degradation attempt.
+    pub max_retries: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            endpoint: Endpoint::Tcp("127.0.0.1:0".into()),
+            workers: 4,
+            shard_capacity: Some(64),
+            snapshot: None,
+            max_retries: 1,
+        }
+    }
+}
+
+/// One accepted connection, either transport.
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The resolved listening address, used both to report where we bound and
+/// to poke the blocking acceptor awake on shutdown.
+#[derive(Clone, Debug)]
+enum Bound {
+    Tcp(SocketAddr),
+    Unix(PathBuf),
+}
+
+impl Bound {
+    fn poke(&self) {
+        // A throwaway connection unblocks the acceptor so it can observe
+        // the stop flag; errors are irrelevant (the listener may already
+        // be gone).
+        match self {
+            Bound::Tcp(addr) => drop(TcpStream::connect_timeout(addr, Duration::from_secs(1))),
+            Bound::Unix(path) => drop(UnixStream::connect(path)),
+        }
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) detaches the threads (they keep serving
+/// until the process exits); tests and the loadgen always shut down.
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    bound: Bound,
+    stop: Arc<AtomicBool>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    snapshot: Option<PathBuf>,
+}
+
+/// Spawns the server described by `config`: binds the endpoint, loads the
+/// warm-start snapshot if one exists, and starts the acceptor and worker
+/// threads.
+///
+/// # Errors
+///
+/// Bind/listen failures, and a snapshot file that exists but fails to
+/// load (a corrupt warm start is surfaced, not silently ignored).
+pub fn spawn(config: ServeConfig) -> io::Result<ServerHandle> {
+    let state = Arc::new(ServerState::new(config.shard_capacity));
+    if let Some(path) = &config.snapshot {
+        if path.exists() {
+            let seeded = state
+                .load_snapshot(path)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            eprintln!(
+                "[agemul-serve] warm start: {seeded} cache entries from {}",
+                path.display()
+            );
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (sender, receiver) = std::sync::mpsc::channel::<Conn>();
+    let receiver = Arc::new(Mutex::new(receiver));
+
+    let (bound, acceptor) = match &config.endpoint {
+        Endpoint::Tcp(addr) => {
+            let listener = TcpListener::bind(addr.as_str())?;
+            let bound = Bound::Tcp(listener.local_addr()?);
+            let stop = Arc::clone(&stop);
+            let acceptor = std::thread::spawn(move || accept_tcp(&listener, &sender, &stop));
+            (bound, acceptor)
+        }
+        Endpoint::Unix(path) => {
+            // A stale socket file from a killed predecessor would fail the
+            // bind; remove it (errors deferred to the bind itself).
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            let bound = Bound::Unix(path.clone());
+            let stop = Arc::clone(&stop);
+            let acceptor = std::thread::spawn(move || accept_unix(&listener, &sender, &stop));
+            (bound, acceptor)
+        }
+    };
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let state = Arc::clone(&state);
+            let receiver = Arc::clone(&receiver);
+            let stop = Arc::clone(&stop);
+            let bound = bound.clone();
+            let max_retries = config.max_retries;
+            std::thread::spawn(move || worker_loop(&state, &receiver, &stop, &bound, max_retries))
+        })
+        .collect();
+
+    Ok(ServerHandle {
+        state,
+        bound,
+        stop,
+        acceptor,
+        workers,
+        snapshot: config.snapshot,
+    })
+}
+
+impl ServerHandle {
+    /// The server's shared state (for in-process inspection in tests and
+    /// the loadgen).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// The bound TCP address, when listening on TCP.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match &self.bound {
+            Bound::Tcp(addr) => Some(*addr),
+            Bound::Unix(_) => None,
+        }
+    }
+
+    /// Whether a shutdown (op or handle) has been requested.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a client's `shutdown` op stops the server, then
+    /// finishes like [`shutdown`](Self::shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Snapshot-save failures (the server is down regardless).
+    pub fn run_until_shutdown(self) -> io::Result<()> {
+        let ServerHandle {
+            state,
+            bound,
+            acceptor,
+            workers,
+            snapshot,
+            ..
+        } = self;
+        let _ = acceptor.join();
+        finish(&state, &bound, workers, snapshot.as_deref())
+    }
+
+    /// Stops the server: no new connections, in-flight connections drain,
+    /// workers exit, and the snapshot (if configured) is saved.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot-save failures (the server is down regardless).
+    pub fn shutdown(self) -> io::Result<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.bound.poke();
+        let ServerHandle {
+            state,
+            bound,
+            acceptor,
+            workers,
+            snapshot,
+            ..
+        } = self;
+        let _ = acceptor.join();
+        finish(&state, &bound, workers, snapshot.as_deref())
+    }
+}
+
+/// Common tail of both shutdown paths: drain workers, unlink a Unix
+/// socket, save the warm-start snapshot.
+fn finish(
+    state: &ServerState,
+    bound: &Bound,
+    workers: Vec<JoinHandle<()>>,
+    snapshot: Option<&std::path::Path>,
+) -> io::Result<()> {
+    for worker in workers {
+        let _ = worker.join();
+    }
+    if let Bound::Unix(path) = bound {
+        let _ = std::fs::remove_file(path);
+    }
+    if let Some(path) = snapshot {
+        let saved = state.save_snapshot(path).map_err(io::Error::other)?;
+        eprintln!(
+            "[agemul-serve] snapshot: {saved} cache entries to {}",
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+fn accept_tcp(listener: &TcpListener, sender: &Sender<Conn>, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                // Request/response frames are small; leaving Nagle on
+                // would cost a delayed-ACK round trip per response.
+                let _ = stream.set_nodelay(true);
+                if sender.send(Conn::Tcp(stream)).is_err() {
+                    break;
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+    // Dropping the sender lets idle workers observe the drain.
+}
+
+fn accept_unix(listener: &UnixListener, sender: &Sender<Conn>, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                if sender.send(Conn::Unix(stream)).is_err() {
+                    break;
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+fn worker_loop(
+    state: &ServerState,
+    receiver: &Arc<Mutex<Receiver<Conn>>>,
+    stop: &AtomicBool,
+    bound: &Bound,
+    max_retries: u32,
+) {
+    loop {
+        // Holding the receiver lock only for the recv keeps the pool
+        // honest: exactly one idle worker waits at a time, the rest block
+        // on the mutex — both are woken by drain or by a new connection.
+        let conn = {
+            let guard = receiver.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        match conn {
+            Ok(conn) => serve_conn(state, conn, stop, bound, max_retries),
+            Err(_) => break, // channel drained: acceptor is gone
+        }
+    }
+}
+
+/// Serves one connection to completion: frames in, responses out. A read
+/// timeout lets the worker notice a shutdown even under an idle client
+/// that never closes its end.
+fn serve_conn(
+    state: &ServerState,
+    mut conn: Conn,
+    stop: &AtomicBool,
+    bound: &Bound,
+    max_retries: u32,
+) {
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+    loop {
+        let frame = match read_frame(&mut conn) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean close
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return, // malformed length/JSON or transport failure
+        };
+        let response = handle_frame(state, &frame, stop, bound, max_retries);
+        if write_frame(&mut conn, &response).is_err() {
+            return;
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Evaluates one frame: a single request object, or a
+/// `{"op":"batch","requests":[...]}` envelope whose responses come back
+/// in order under `"responses"`.
+fn handle_frame(
+    state: &ServerState,
+    frame: &Json,
+    stop: &AtomicBool,
+    bound: &Bound,
+    max_retries: u32,
+) -> Json {
+    if frame.get("op").and_then(Json::as_str) == Some("batch") {
+        let Some(requests) = frame.get("requests").and_then(Json::as_arr) else {
+            return response_error(0, "batch needs a requests array");
+        };
+        let responses = requests
+            .iter()
+            .map(|r| handle_request_json(state, r, stop, bound, max_retries))
+            .collect();
+        return Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("responses".into(), Json::Arr(responses)),
+        ]);
+    }
+    handle_request_json(state, frame, stop, bound, max_retries)
+}
+
+fn handle_request_json(
+    state: &ServerState,
+    raw: &Json,
+    stop: &AtomicBool,
+    bound: &Bound,
+    max_retries: u32,
+) -> Json {
+    let id = raw.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let request = match Request::from_json(raw) {
+        Ok(r) => r,
+        Err(e) => return response_error(id, &e),
+    };
+    match &request.body {
+        RequestBody::Stats => response_ok(request.id, "level", 0, false, state.stats_json()),
+        RequestBody::Shutdown => {
+            stop.store(true, Ordering::SeqCst);
+            bound.poke();
+            response_ok(
+                request.id,
+                "level",
+                0,
+                false,
+                Json::Obj(vec![("stopping".into(), Json::Bool(true))]),
+            )
+        }
+        body => run_supervised_op(state, &request, body, max_retries),
+    }
+}
+
+/// Runs one simulation op under single-request supervision and renders
+/// the record as a response.
+fn run_supervised_op(
+    state: &ServerState,
+    request: &Request,
+    body: &RequestBody,
+    max_retries: u32,
+) -> Json {
+    let label = op_label(body);
+    let config = SupervisorConfig {
+        deadline: request.deadline_ms.map(Duration::from_millis),
+        max_retries,
+        retry_backoff: Duration::from_millis(1),
+        degrade: true,
+        checkpoint_every: 1,
+        stall_per_case: None,
+    };
+    let record = match run_request_supervised(&label, &config, &|attempt: &Attempt| {
+        eval_op(state, body, attempt)
+    }) {
+        Ok(record) => record,
+        Err(e) => return response_error(request.id, &format!("supervisor failure: {e}")),
+    };
+    match record.status {
+        CaseStatus::Done { value } => response_ok(
+            request.id,
+            &record.engine,
+            record.retries,
+            record.degraded,
+            value,
+        ),
+        CaseStatus::Quarantined { reason } => response_error(request.id, &reason),
+    }
+}
+
+fn op_label(body: &RequestBody) -> String {
+    let (op, q) = match body {
+        RequestBody::Profile(q) => ("profile", q),
+        RequestBody::Sweep { query, .. } => ("sweep", query),
+        RequestBody::Campaign { query, .. } => ("campaign", query),
+        // Stats/Shutdown never reach supervision.
+        RequestBody::Stats | RequestBody::Shutdown => return "stats".into(),
+    };
+    format!(
+        "{op}/{}{}@{}y/{}x{:#x}",
+        q.kind.label(),
+        q.width,
+        q.years,
+        q.patterns,
+        q.seed
+    )
+}
+
+fn flight_to_case(e: FlightError) -> CaseError {
+    match e {
+        FlightError::Cancelled => CaseError::Cancelled,
+        other => CaseError::Failed(other.to_string()),
+    }
+}
+
+/// One supervised attempt at one simulation op.
+fn eval_op(state: &ServerState, body: &RequestBody, attempt: &Attempt) -> Result<Json, CaseError> {
+    match body {
+        RequestBody::Profile(query) => {
+            let (profile, how) = state
+                .profile(query, attempt.engine, attempt.cancel.as_ref())
+                .map_err(flight_to_case)?;
+            Ok(Json::Obj(vec![
+                ("ops".into(), Json::UInt(profile.len() as u64)),
+                ("avg_delay_ns".into(), Json::Num(profile.avg_delay_ns())),
+                ("max_delay_ns".into(), Json::Num(profile.max_delay_ns())),
+                ("cache".into(), Json::Str(how.label().into())),
+            ]))
+        }
+        RequestBody::Sweep {
+            query,
+            periods,
+            skip,
+        } => {
+            let (profile, how) = state
+                .profile(query, attempt.engine, attempt.cancel.as_ref())
+                .map_err(flight_to_case)?;
+            let sweep = PeriodSweep::run(
+                &profile,
+                &EngineConfig::adaptive(periods[0], *skip),
+                periods,
+            );
+            let points = sweep
+                .points()
+                .iter()
+                .map(|(period, m)| {
+                    Json::Obj(vec![
+                        ("period_ns".into(), Json::Num(*period)),
+                        ("avg_latency_ns".into(), Json::Num(m.avg_latency_ns())),
+                        ("errors".into(), Json::UInt(m.errors)),
+                        ("undetected".into(), Json::UInt(m.undetected)),
+                    ])
+                })
+                .collect();
+            let (best_period, best) = sweep.best_latency();
+            Ok(Json::Obj(vec![
+                ("cache".into(), Json::Str(how.label().into())),
+                ("points".into(), Json::Arr(points)),
+                ("best_period_ns".into(), Json::Num(best_period)),
+                (
+                    "best_avg_latency_ns".into(),
+                    Json::Num(best.avg_latency_ns()),
+                ),
+            ]))
+        }
+        RequestBody::Campaign {
+            query,
+            faults,
+            fault_seed,
+            skip,
+        } => eval_campaign(state, query, *faults, *fault_seed, *skip),
+        RequestBody::Stats | RequestBody::Shutdown => Err(CaseError::Failed(
+            "op does not run under supervision".into(),
+        )),
+    }
+}
+
+/// Prepares and evaluates a fault campaign. Preparation shares the
+/// server's profile cache (baseline and delay-fault profiles), so
+/// repeated campaigns over a shared workload reuse each other's
+/// simulations.
+fn eval_campaign(
+    state: &ServerState,
+    query: &DesignQuery,
+    faults: usize,
+    fault_seed: u64,
+    skip: u32,
+) -> Result<Json, CaseError> {
+    let design = state
+        .design(query.kind, query.width)
+        .map_err(CaseError::Failed)?;
+    let workload = state.workload(query.width, query.patterns, query.seed);
+    let specs = FaultSpec::sample(&design, workload.pairs().len(), faults, fault_seed);
+    let campaign = Campaign::prepare_cached(&design, workload.pairs(), &specs, state.cache())
+        .map_err(|e| {
+            if is_cancellation(&e) {
+                CaseError::Cancelled
+            } else {
+                CaseError::Failed(e.to_string())
+            }
+        })?;
+    let cycle_ns = 0.95
+        * design
+            .critical_delay_ns(None)
+            .map_err(|e| CaseError::Failed(e.to_string()))?;
+    let report = campaign.run(&EngineConfig::adaptive(cycle_ns, skip));
+    Json::parse(&report.to_json())
+        .map_err(|e| CaseError::Failed(format!("campaign report serialization: {e}")))
+}

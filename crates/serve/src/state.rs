@@ -1,0 +1,462 @@
+//! Shared, thread-safe server state: designs, workloads, aging factors,
+//! the sharded profile cache, and the single-flight coalescer.
+//!
+//! This is the resident-process counterpart of the repro crate's
+//! single-threaded `Context`: the same lazily built artifacts (designs,
+//! workload statistics, BTI aging factors, timing profiles), but behind
+//! poison-recovering locks and `Arc`s so hundreds of concurrent requests
+//! share one copy of everything. Profiles go through the sharded
+//! [`ProfileCache`] *behind* a [`SingleFlight`] coalescer, so N identical
+//! cold requests cost one simulation, not N racing ones.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use agemul::{
+    quantize_factors, CacheEntry, CancelToken, MultiplierDesign, PatternProfile, PatternSet,
+    ProfileCache, SimEngine,
+};
+use agemul_aging::{aging_factors, BtiModel};
+use agemul_circuits::MultiplierKind;
+use agemul_conformance::Json;
+use agemul_harness::{
+    is_cancellation, profile_from_json, profile_to_json, CaseRecord, CaseStatus, Checkpoint,
+};
+use agemul_logic::Technology;
+use agemul_netlist::WorkloadStats;
+
+use crate::flight::{FlightError, FlightRole, SingleFlight};
+use crate::proto::{parse_kind, DesignQuery};
+
+/// Per-gate seven-year delay-factor target for the calibrated BTI model —
+/// the same anchor the repro `Context` uses, so a served profile matches
+/// the batch experiments bit for bit (see the derivation note in
+/// `crates/repro/src/context.rs`).
+const REFERENCE_GATE_7Y_FACTOR: f64 = 1.132;
+
+/// Run key recorded in warm-start snapshot documents; a snapshot written
+/// by an incompatible layout is refused on load instead of silently
+/// seeding garbage.
+pub const SNAPSHOT_KEY: &str = "agemul-serve-cache/1";
+
+/// How a profile lookup was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the cache.
+    Hit,
+    /// Simulated by this request.
+    Miss,
+    /// Waited on another request's in-flight simulation of the same key.
+    Coalesced,
+}
+
+impl CacheOutcome {
+    /// Wire label (`hit` / `miss` / `coalesced`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Coalesced => "coalesced",
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Keyed store of workload statistics: (kind, width, patterns, seed).
+type StatsMap = HashMap<(MultiplierKind, usize, usize, u64), Arc<WorkloadStats>>;
+/// Keyed store of aging factors: (kind, width, patterns, seed, years).
+type FactorsMap = HashMap<(MultiplierKind, usize, usize, u64, u32), Arc<Vec<f64>>>;
+
+fn years_key(years: f64) -> u32 {
+    (years * 100.0).round() as u32
+}
+
+/// Single-flight key: one in-flight simulation per design × aging epoch ×
+/// workload × engine.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct FlightKey {
+    kind: MultiplierKind,
+    width: usize,
+    years_c: u32,
+    patterns: usize,
+    seed: u64,
+    engine: u8,
+}
+
+/// The server's shared artifact store. Cheap lookups (designs, workloads,
+/// stats, factors) live in plain poison-recovering maps; profiles — the
+/// expensive artifact — go through the sharded bounded [`ProfileCache`]
+/// behind the [`SingleFlight`] coalescer.
+pub struct ServerState {
+    bti: BtiModel,
+    cache: ProfileCache,
+    flight: SingleFlight<FlightKey, Arc<PatternProfile>>,
+    designs: Mutex<HashMap<(MultiplierKind, usize), Arc<MultiplierDesign>>>,
+    workloads: Mutex<HashMap<(usize, usize, u64), Arc<PatternSet>>>,
+    stats: Mutex<StatsMap>,
+    factors: Mutex<FactorsMap>,
+}
+
+impl ServerState {
+    /// Fresh state with the workspace-calibrated BTI model and a profile
+    /// cache bounded to `shard_capacity` entries per shard (`None` =
+    /// unbounded, for short-lived test servers).
+    pub fn new(shard_capacity: Option<usize>) -> Self {
+        ServerState {
+            bti: BtiModel::calibrated(Technology::ptm_32nm_hk(), REFERENCE_GATE_7Y_FACTOR),
+            cache: match shard_capacity {
+                Some(per_shard) => ProfileCache::with_capacity(per_shard),
+                None => ProfileCache::new(),
+            },
+            flight: SingleFlight::new(),
+            designs: Mutex::new(HashMap::new()),
+            workloads: Mutex::new(HashMap::new()),
+            stats: Mutex::new(HashMap::new()),
+            factors: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The profile cache (shared with campaign preparation).
+    pub fn cache(&self) -> &ProfileCache {
+        &self.cache
+    }
+
+    /// Number of profile lookups coalesced onto another request's
+    /// in-flight simulation.
+    pub fn coalesced(&self) -> u64 {
+        self.flight.coalesced()
+    }
+
+    /// The design for `kind` × `width` (cached; built outside the map
+    /// lock so concurrent first requests don't serialize on construction).
+    ///
+    /// # Errors
+    ///
+    /// Rendered construction errors (unsupported width, etc.).
+    pub fn design(
+        &self,
+        kind: MultiplierKind,
+        width: usize,
+    ) -> Result<Arc<MultiplierDesign>, String> {
+        if let Some(d) = lock(&self.designs).get(&(kind, width)) {
+            return Ok(Arc::clone(d));
+        }
+        let built = Arc::new(MultiplierDesign::new(kind, width).map_err(|e| e.to_string())?);
+        let mut designs = lock(&self.designs);
+        let d = designs
+            .entry((kind, width))
+            .or_insert_with(|| Arc::clone(&built));
+        Ok(Arc::clone(d))
+    }
+
+    /// The seed-derived uniform workload (cached).
+    pub fn workload(&self, width: usize, patterns: usize, seed: u64) -> Arc<PatternSet> {
+        if let Some(w) = lock(&self.workloads).get(&(width, patterns, seed)) {
+            return Arc::clone(w);
+        }
+        let built = Arc::new(PatternSet::uniform(width, patterns, seed));
+        let mut workloads = lock(&self.workloads);
+        let w = workloads
+            .entry((width, patterns, seed))
+            .or_insert_with(|| Arc::clone(&built));
+        Arc::clone(w)
+    }
+
+    /// Per-gate BTI aging factors for the query's design under its own
+    /// workload's duty cycles (cached). Fresh designs (`years == 0`) have
+    /// no factors.
+    ///
+    /// # Errors
+    ///
+    /// Rendered design/statistics errors.
+    pub fn factors(&self, query: &DesignQuery) -> Result<Option<Arc<Vec<f64>>>, String> {
+        if query.years <= 0.0 {
+            return Ok(None);
+        }
+        let key = (
+            query.kind,
+            query.width,
+            query.patterns,
+            query.seed,
+            years_key(query.years),
+        );
+        if let Some(f) = lock(&self.factors).get(&key) {
+            return Ok(Some(Arc::clone(f)));
+        }
+        let design = self.design(query.kind, query.width)?;
+        let stats = self.workload_stats(query)?;
+        let built = Arc::new(aging_factors(
+            design.circuit().netlist(),
+            &stats,
+            &self.bti,
+            query.years,
+        ));
+        let mut factors = lock(&self.factors);
+        let f = factors.entry(key).or_insert_with(|| Arc::clone(&built));
+        Ok(Some(Arc::clone(f)))
+    }
+
+    /// Workload statistics for the query's design under its own workload
+    /// (cached) — the stress input to the aging model.
+    fn workload_stats(&self, query: &DesignQuery) -> Result<Arc<WorkloadStats>, String> {
+        let key = (query.kind, query.width, query.patterns, query.seed);
+        if let Some(s) = lock(&self.stats).get(&key) {
+            return Ok(Arc::clone(s));
+        }
+        let design = self.design(query.kind, query.width)?;
+        let workload = self.workload(query.width, query.patterns, query.seed);
+        let built = Arc::new(
+            design
+                .workload_stats(workload.pairs())
+                .map_err(|e| e.to_string())?,
+        );
+        let mut stats = lock(&self.stats);
+        let s = stats.entry(key).or_insert_with(|| Arc::clone(&built));
+        Ok(Arc::clone(s))
+    }
+
+    /// The query's timing profile: through the single-flight coalescer,
+    /// then the sharded cache, simulating (on `engine`, under `cancel`)
+    /// only on a true miss. Returns the profile and how it was obtained.
+    ///
+    /// # Errors
+    ///
+    /// [`FlightError::Cancelled`] when the deadline fired inside the
+    /// simulation, [`FlightError::Build`] for real failures (never
+    /// cached), [`FlightError::LeaderPanicked`] when a concurrent leader
+    /// died mid-build.
+    pub fn profile(
+        &self,
+        query: &DesignQuery,
+        engine: SimEngine,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Arc<PatternProfile>, CacheOutcome), FlightError> {
+        let design = self
+            .design(query.kind, query.width)
+            .map_err(FlightError::Build)?;
+        let factors = self.factors(query).map_err(FlightError::Build)?;
+        let quantized = factors.map(|f| quantize_factors(&f));
+        let delays = design
+            .delay_assignment(quantized.as_deref())
+            .map_err(|e| FlightError::Build(e.to_string()))?;
+        let workload = self.workload(query.width, query.patterns, query.seed);
+
+        let flight_key = FlightKey {
+            kind: query.kind,
+            width: query.width,
+            years_c: years_key(query.years),
+            patterns: query.patterns,
+            seed: query.seed,
+            engine: match engine {
+                SimEngine::Level => 0,
+                SimEngine::Event => 1,
+            },
+        };
+        let simulated = std::cell::Cell::new(false);
+        let (outcome, role) = self.flight.run(flight_key, || {
+            self.cache
+                .get_or_insert_with(&design, &delays, workload.pairs(), || {
+                    simulated.set(true);
+                    design.profile_supervised(
+                        workload.pairs(),
+                        quantized.as_deref(),
+                        engine,
+                        cancel,
+                    )
+                })
+                .map_err(|e| {
+                    if is_cancellation(&e) {
+                        FlightError::Cancelled
+                    } else {
+                        FlightError::Build(e.to_string())
+                    }
+                })
+        });
+        let profile = outcome?;
+        let how = match role {
+            FlightRole::Coalesced => CacheOutcome::Coalesced,
+            FlightRole::Leader if simulated.get() => CacheOutcome::Miss,
+            FlightRole::Leader => CacheOutcome::Hit,
+        };
+        Ok((profile, how))
+    }
+
+    /// Cache/coalescer statistics as the `stats` op's result payload.
+    pub fn stats_json(&self) -> Json {
+        Json::Obj(vec![
+            ("entries".into(), Json::UInt(self.cache.len() as u64)),
+            ("hits".into(), Json::UInt(self.cache.hits())),
+            ("misses".into(), Json::UInt(self.cache.misses())),
+            ("evictions".into(), Json::UInt(self.cache.evictions())),
+            ("coalesced".into(), Json::UInt(self.coalesced())),
+            (
+                "shard_capacity".into(),
+                self.cache
+                    .shard_capacity()
+                    .map_or(Json::Null, |c| Json::UInt(c as u64)),
+            ),
+        ])
+    }
+
+    /// Saves the cache as a warm-start snapshot (atomic temp + rename,
+    /// CRC-checked — the harness checkpoint codec). Returns the number of
+    /// entries written.
+    ///
+    /// # Errors
+    ///
+    /// Rendered checkpoint I/O errors.
+    pub fn save_snapshot(&self, path: &Path) -> Result<usize, String> {
+        let entries: Vec<CaseRecord> = self
+            .cache
+            .entries()
+            .into_iter()
+            .enumerate()
+            .map(|(index, e)| CaseRecord {
+                index,
+                label: format!(
+                    "{}{}@{:016x}/{:016x}",
+                    e.kind.label(),
+                    e.width,
+                    e.delay_fingerprint,
+                    e.workload_fingerprint
+                ),
+                engine: "level".into(),
+                retries: 0,
+                degraded: false,
+                status: CaseStatus::Done {
+                    value: Json::Obj(vec![
+                        ("kind".into(), Json::Str(e.kind.label().into())),
+                        ("width".into(), Json::UInt(e.width as u64)),
+                        ("delay_fp".into(), Json::UInt(e.delay_fingerprint)),
+                        ("workload_fp".into(), Json::UInt(e.workload_fingerprint)),
+                        ("profile".into(), profile_to_json(&e.profile)),
+                    ]),
+                },
+            })
+            .collect();
+        let count = entries.len();
+        Checkpoint {
+            run_key: SNAPSHOT_KEY.into(),
+            total: count,
+            entries,
+        }
+        .save_atomic(path)
+        .map_err(|e| e.to_string())?;
+        Ok(count)
+    }
+
+    /// Seeds the cache from a warm-start snapshot written by
+    /// [`save_snapshot`](Self::save_snapshot). Returns the number of
+    /// entries seeded.
+    ///
+    /// # Errors
+    ///
+    /// Rendered load errors: I/O, CRC/schema mismatch, a snapshot written
+    /// under a different [`SNAPSHOT_KEY`], or malformed entries.
+    pub fn load_snapshot(&self, path: &Path) -> Result<usize, String> {
+        let ck = Checkpoint::load(path, Some(SNAPSHOT_KEY)).map_err(|e| e.to_string())?;
+        let mut seeded = 0;
+        for record in &ck.entries {
+            let CaseStatus::Done { value } = &record.status else {
+                continue;
+            };
+            let kind = parse_kind(
+                value
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("snapshot entry {} has no kind", record.index))?,
+            )?;
+            let entry = CacheEntry {
+                kind,
+                width: value
+                    .get("width")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("snapshot entry {} has no width", record.index))?
+                    as usize,
+                delay_fingerprint: value
+                    .get("delay_fp")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("snapshot entry {} has no delay_fp", record.index))?,
+                workload_fingerprint: value
+                    .get("workload_fp")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("snapshot entry {} has no workload_fp", record.index))?,
+                profile: Arc::new(
+                    profile_from_json(value.get("profile").ok_or_else(|| {
+                        format!("snapshot entry {} has no profile", record.index)
+                    })?)
+                    .map_err(|e| format!("snapshot entry {}: {e}", record.index))?,
+                ),
+            };
+            self.cache.seed_entry(&entry);
+            seeded += 1;
+        }
+        Ok(seeded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query() -> DesignQuery {
+        DesignQuery {
+            kind: MultiplierKind::ColumnBypass,
+            width: 8,
+            years: 0.0,
+            patterns: 24,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn repeat_profile_hits() {
+        let state = ServerState::new(Some(8));
+        let (first, how) = state.profile(&query(), SimEngine::Level, None).unwrap();
+        assert_eq!(how, CacheOutcome::Miss);
+        let (again, how) = state.profile(&query(), SimEngine::Level, None).unwrap();
+        assert_eq!(how, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!((state.cache().hits(), state.cache().misses()), (1, 1));
+    }
+
+    #[test]
+    fn aged_profile_is_slower_and_separately_cached() {
+        let state = ServerState::new(None);
+        let fresh = query();
+        let aged = DesignQuery {
+            years: 7.0,
+            ..fresh
+        };
+        let (f, _) = state.profile(&fresh, SimEngine::Level, None).unwrap();
+        let (a, _) = state.profile(&aged, SimEngine::Level, None).unwrap();
+        assert!(a.avg_delay_ns() > f.avg_delay_ns());
+        assert_eq!(state.cache().misses(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips_into_a_cold_state() {
+        let dir = std::env::temp_dir().join(format!("agemul-serve-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snap.json");
+
+        let warm = ServerState::new(Some(8));
+        let (original, _) = warm.profile(&query(), SimEngine::Level, None).unwrap();
+        assert_eq!(warm.save_snapshot(&path).unwrap(), 1);
+
+        let cold = ServerState::new(Some(8));
+        assert_eq!(cold.load_snapshot(&path).unwrap(), 1);
+        let (served, how) = cold.profile(&query(), SimEngine::Level, None).unwrap();
+        assert_eq!(how, CacheOutcome::Hit, "warm start must hit");
+        assert_eq!(served.records(), original.records());
+
+        // A foreign document is refused, not silently seeded.
+        std::fs::write(&path, "{}").unwrap();
+        assert!(cold.load_snapshot(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -5,8 +5,8 @@
 # a quick fault-injection campaign smoke run + the timing-kernel
 # equivalence smoke + the incremental-vs-full re-profiling equivalence +
 # the seeded cross-engine conformance smoke + the incremental sweep smoke
-# + the supervised kill/resume soak smoke.
-verify: fmt-check clippy test fault-smoke timing-equiv incremental-equiv conformance sweep-smoke soak-smoke
+# + the supervised kill/resume soak smoke + the resident-service smoke.
+verify: fmt-check clippy test fault-smoke timing-equiv incremental-equiv conformance sweep-smoke soak-smoke serve-smoke
 
 fmt-check:
 	cargo fmt --all -- --check
@@ -63,6 +63,18 @@ sweep-smoke:
 # are shrunk to minimal JSON repros and fail the gate.
 conformance:
 	cargo run --release -p agemul-repro -- --quick conformance
+
+# Resident-service smoke: loadgen spawns an in-process agemul-serve,
+# drives a brief concurrent run, and exits nonzero unless there were zero
+# error responses, a nonzero cache hit rate, and a clean shutdown.
+serve-smoke:
+	cargo run --release -p agemul-serve --bin loadgen -- --smoke
+
+# Full service load test: ≥100k ops over 300 design/workload combos;
+# appends serve/warm_p50|warm_p99|cold_p50 to BENCH_sim.json and writes
+# results/serve__loadgen.csv.
+serve-loadgen:
+	cargo run --release -p agemul-serve --bin loadgen
 
 # Scalar-vs-batch simulator benches; see BENCH_sim.json for the record.
 bench-sim:

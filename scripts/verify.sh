@@ -29,3 +29,6 @@ cargo run --release -p agemul-repro -- --quick --incremental sweep >/dev/null
 # resume, and require byte-identical results — serial and parallel.
 scripts/soak_smoke.sh
 scripts/soak_smoke.sh --features parallel
+# Resident-service smoke: loadgen against an in-process agemul-serve;
+# fails on any error response, zero hit rate, or unclean shutdown.
+cargo run --release -p agemul-serve --bin loadgen -- --smoke
