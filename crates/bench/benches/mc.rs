@@ -1,0 +1,96 @@
+//! Monte Carlo corner-switch cost: plan-reuse re-timing vs from-scratch
+//! kernel construction.
+//!
+//! The campaign's fast path compiles one levelized kernel per worker and
+//! re-times it per (corner, year) — an in-place delay rewrite plus a
+//! settled-state restore, both O(gates) memcpys. The reference path pays
+//! full `LevelSim` construction (levelize, CSR fanout, truth-table LUTs,
+//! arena allocation) for every cell. The `retime_corner_*` /
+//! `rebuild_corner_*` row pair isolates exactly that marginal cost — the
+//! acceptance target is retime ≥ 10× below rebuild — and the
+//! `campaign_8corners_*` rows put it in context with the full end-to-end
+//! campaign (factor composition, workload replay, engine judging).
+//!
+//! Both paths produce byte-identical reports (pinned by `agemul`'s
+//! campaign tests), so the ratio is pure overhead, not accuracy traded
+//! away.
+//!
+//! Run with `cargo bench -p agemul-bench --bench mc`; set
+//! `CRITERION_JSON=<file>` to record machine-readable results (see
+//! `BENCH_sim.json` at the workspace root).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use agemul::{McConfig, MonteCarloCampaign, MultiplierDesign, PatternSet};
+use agemul_aging::BtiModel;
+use agemul_circuits::MultiplierKind;
+use agemul_logic::Technology;
+use agemul_netlist::DelayAssignment;
+
+/// Patterns per corner-year replay in the end-to-end rows.
+const OPS: usize = 48;
+
+/// Corners in the end-to-end campaign rows (and distinct delay
+/// assignments cycled through the corner-switch rows).
+const CORNERS: usize = 8;
+
+/// The workspace's calibrated per-gate seven-year factor target (see
+/// `agemul-repro`'s context calibration).
+const GATE_7Y_FACTOR: f64 = 1.132;
+
+fn bench_mc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mc");
+    g.sample_size(10);
+    let bti = BtiModel::calibrated(Technology::ptm_32nm_hk(), GATE_7Y_FACTOR);
+    for (label, kind) in [
+        ("CB16", MultiplierKind::ColumnBypass),
+        ("RB16", MultiplierKind::RowBypass),
+    ] {
+        let design = MultiplierDesign::new(kind, 16).unwrap();
+        let patterns = PatternSet::uniform(16, OPS, 7);
+        let config = McConfig::new(CORNERS, 0.05, 0x0A6E_0002);
+        let campaign = MonteCarloCampaign::new(&design, patterns.pairs(), &bti, config).unwrap();
+
+        // One aged (year-7) delay assignment per corner, derived outside
+        // the timed region: the row pair measures kernel work, not the
+        // factor pipeline both paths share.
+        let year7 = campaign.config().years.len() - 1;
+        let delays: Vec<DelayAssignment> = (0..CORNERS)
+            .map(|corner| {
+                design
+                    .delay_assignment(Some(&campaign.cell_factors(corner, year7)))
+                    .unwrap()
+            })
+            .collect();
+
+        // Marginal cost of pointing an existing kernel at the next
+        // corner: in-place delay swap + settled-state restore.
+        g.bench_function(format!("retime_corner_{label}"), |b| {
+            let mut profiler = campaign.profiler().unwrap();
+            let mut i = 0;
+            b.iter(|| {
+                profiler.retime(black_box(&delays[i % CORNERS]));
+                i += 1;
+            })
+        });
+
+        // The from-scratch alternative: compile a whole new levelized
+        // kernel for the same delays.
+        g.bench_function(format!("rebuild_corner_{label}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                black_box(design.corner_profiler(&delays[i % CORNERS]));
+                i += 1;
+            })
+        });
+
+        // End-to-end context: the full campaign on the plan-reuse path.
+        g.bench_function(format!("campaign_{CORNERS}corners_{label}"), |b| {
+            b.iter(|| black_box(campaign.run(None).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mc);
+criterion_main!(benches);

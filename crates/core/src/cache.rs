@@ -122,6 +122,34 @@ struct CacheKey {
     workload_fingerprint: u64,
 }
 
+/// Lock-free tallies for one shard (the shard mutex is *not* held while
+/// a miss simulates, so the counters must be independently atomic).
+#[derive(Default)]
+struct ShardCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time statistics snapshot of one cache shard — the unit of
+/// the `agemul-serve` `stats` op's per-shard breakdown. Shard residency is
+/// keyed by (kind, width), so a hot shard identifies a hot *design*, and
+/// an eviction-heavy shard identifies a design population outgrowing its
+/// per-shard bound.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index in `0..`[`SHARD_COUNT`].
+    pub index: usize,
+    /// Profiles currently resident in the shard.
+    pub entries: usize,
+    /// Lookups answered from this shard.
+    pub hits: u64,
+    /// Lookups that had to build a profile keyed into this shard.
+    pub misses: u64,
+    /// Entries evicted from this shard by the LRU bound.
+    pub evictions: u64,
+}
+
 /// One cached profile plus its LRU stamp (larger = more recently used).
 struct Entry {
     profile: Arc<PatternProfile>,
@@ -185,9 +213,7 @@ pub struct ProfileCache {
     shards: [Mutex<Shard>; SHARD_COUNT],
     /// Per-shard entry bound; 0 = unbounded.
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    counters: [ShardCounters; SHARD_COUNT],
 }
 
 impl std::fmt::Debug for ProfileCache {
@@ -231,22 +257,48 @@ impl ProfileCache {
         (self.capacity > 0).then_some(self.capacity)
     }
 
-    /// Number of lookups answered from the cache.
+    /// Number of lookups answered from the cache (all shards).
     #[inline]
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.counters
+            .iter()
+            .map(|c| c.hits.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Number of lookups that had to build a profile.
+    /// Number of lookups that had to build a profile (all shards).
     #[inline]
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.counters
+            .iter()
+            .map(|c| c.misses.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Number of entries evicted by the per-shard LRU bound.
+    /// Number of entries evicted by the per-shard LRU bound (all shards).
     #[inline]
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.counters
+            .iter()
+            .map(|c| c.evictions.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard statistics snapshot, indexed `0..`[`SHARD_COUNT`].
+    ///
+    /// Counters and entry counts are read per shard without a global
+    /// freeze, so concurrent traffic can make the rows mutually slightly
+    /// stale — fine for the monitoring they exist for.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        (0..SHARD_COUNT)
+            .map(|index| ShardStats {
+                index,
+                entries: self.lock_shard(index).map.len(),
+                hits: self.counters[index].hits.load(Ordering::Relaxed),
+                misses: self.counters[index].misses.load(Ordering::Relaxed),
+                evictions: self.counters[index].evictions.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Locks one shard, recovering from poison: a panic while the lock was
@@ -313,9 +365,10 @@ impl ProfileCache {
             delay_fingerprint: entry.delay_fingerprint,
             workload_fingerprint: entry.workload_fingerprint,
         };
-        let mut shard = self.lock_shard(Self::shard_index(entry.kind, entry.width));
+        let index = Self::shard_index(entry.kind, entry.width);
+        let mut shard = self.lock_shard(index);
         let stamp = shard.tick();
-        self.evict_if_full(&mut shard, &key);
+        self.evict_if_full(index, &mut shard, &key);
         shard.map.insert(
             key,
             Entry {
@@ -327,8 +380,9 @@ impl ProfileCache {
 
     /// Evicts the least-recently-used entry if inserting `incoming` would
     /// overflow a bounded shard. (No-op when `incoming` is already
-    /// present — a replace does not grow the map.)
-    fn evict_if_full(&self, shard: &mut Shard, incoming: &CacheKey) {
+    /// present — a replace does not grow the map.) `index` is the shard's
+    /// position, used only to tally the eviction.
+    fn evict_if_full(&self, index: usize, shard: &mut Shard, incoming: &CacheKey) {
         if self.capacity == 0 || shard.map.len() < self.capacity || shard.map.contains_key(incoming)
         {
             return;
@@ -340,7 +394,9 @@ impl ProfileCache {
             .map(|(k, _)| *k)
         {
             shard.map.remove(&victim);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.counters[index]
+                .evictions
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -406,11 +462,11 @@ impl ProfileCache {
             let stamp = shard.tick();
             if let Some(entry) = shard.map.get_mut(&key) {
                 entry.stamp = stamp;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters[index].hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(&entry.profile));
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters[index].misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(build()?);
         let mut shard = self.lock_shard(index);
         let stamp = shard.tick();
@@ -420,7 +476,7 @@ impl ProfileCache {
             entry.stamp = stamp;
             return Ok(Arc::clone(&entry.profile));
         }
-        self.evict_if_full(&mut shard, &key);
+        self.evict_if_full(index, &mut shard, &key);
         shard.map.insert(
             key,
             Entry {
@@ -595,5 +651,45 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_capacity_is_rejected() {
         let _ = ProfileCache::with_capacity(0);
+    }
+
+    /// Per-shard rows must attribute traffic to the shard its design hashes
+    /// to, and the global counters are exactly the per-shard sums.
+    #[test]
+    fn shard_stats_attribute_and_sum() {
+        let d = MultiplierDesign::new(MultiplierKind::Array, 4).unwrap();
+        let cache = ProfileCache::with_capacity(2);
+        // 3 distinct workloads into one (kind, width) shard: 3 misses, one
+        // LRU eviction; then a repeat of the newest for a hit.
+        for pairs in [[(1u64, 2u64)], [(3, 4)], [(5, 6)], [(5, 6)]] {
+            cache.profile(&d, &pairs, None).unwrap();
+        }
+        let stats = cache.shard_stats();
+        assert_eq!(stats.len(), SHARD_COUNT);
+        assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), cache.hits());
+        assert_eq!(stats.iter().map(|s| s.misses).sum::<u64>(), cache.misses());
+        assert_eq!(
+            stats.iter().map(|s| s.evictions).sum::<u64>(),
+            cache.evictions()
+        );
+        assert_eq!(stats.iter().map(|s| s.entries).sum::<usize>(), cache.len());
+
+        let home = stats
+            .iter()
+            .find(|s| s.misses > 0)
+            .expect("the design's shard saw traffic");
+        assert_eq!(
+            (home.hits, home.misses, home.evictions, home.entries),
+            (1, 3, 1, 2),
+            "all traffic lands in the design's home shard"
+        );
+        for other in stats.iter().filter(|s| s.index != home.index) {
+            assert_eq!(
+                (other.hits, other.misses, other.evictions, other.entries),
+                (0, 0, 0, 0),
+                "shard {} saw no traffic",
+                other.index
+            );
+        }
     }
 }

@@ -365,9 +365,21 @@ impl MultiplierDesign {
                 delays,
             ))),
         };
-        if let Some(token) = cancel {
-            sim.set_cancel_token(Some(token.clone()));
-        }
+        self.profile_on(&mut sim, pairs, cancel)
+    }
+
+    /// The workload half of [`profile_timed`](Self::profile_timed), over an
+    /// already-constructed kernel: settle all-zeros, step each pair,
+    /// collect records and mean switching activity. Shared verbatim by the
+    /// from-scratch path and the retimed [`CornerProfiler`] path, so the
+    /// two cannot drift apart.
+    fn profile_on(
+        &self,
+        sim: &mut TimingKernel<'_>,
+        pairs: &[(u64, u64)],
+        cancel: Option<&CancelToken>,
+    ) -> Result<PatternProfile, CoreError> {
+        sim.set_cancel_token(cancel.cloned());
         let width = self.width();
         let mut encoded = Vec::with_capacity(2 * width);
         self.circuit.encode_inputs_into(0, 0, &mut encoded)?;
@@ -407,6 +419,33 @@ impl MultiplierDesign {
             records,
             avg_toggles,
         ))
+    }
+
+    /// Builds a reusable [`CornerProfiler`] seeded with `delays` — the
+    /// plan-reuse profiling path for corner-batched Monte Carlo campaigns.
+    ///
+    /// The profiler compiles the levelized kernel **once** (schedule, CSR
+    /// fanout, truth-table LUTs, arenas); each subsequent corner swaps
+    /// per-gate delays in place via [`LevelSim::retime`] instead of paying
+    /// the construction cost again. Profiles are byte-identical to
+    /// [`profile_with_delays`](Self::profile_with_delays) for the same
+    /// assignment (the workload loop is literally shared, and the retime
+    /// contract is property-pinned in `agemul-netlist`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays` does not cover this design's gates, or if any
+    /// delay rounds to zero femtoseconds (the levelized kernel's
+    /// strict-positivity contract).
+    pub fn corner_profiler(&self, delays: &DelayAssignment) -> CornerProfiler<'_> {
+        CornerProfiler {
+            design: self,
+            sim: TimingKernel::Level(Box::new(LevelSim::new(
+                self.circuit.netlist(),
+                &self.topology,
+                delays.clone(),
+            ))),
+        }
     }
 
     /// Checks that the gate-level circuit computes `a × b` for every pair,
@@ -578,6 +617,67 @@ impl MultiplierDesign {
             encoded.iter(),
         )?;
         Ok(())
+    }
+}
+
+/// A levelized timing kernel compiled once and retimed per Monte Carlo
+/// corner — the plan-reuse fast path behind
+/// [`MultiplierDesign::corner_profiler`].
+///
+/// Construction pays the full `LevelSim` compile (levelized schedule, CSR
+/// fanout, truth-table LUTs, event arenas, functional init sweep); each
+/// [`retime`](Self::retime) afterwards is an in-place delay swap plus an
+/// `O(nets)` state restore, which is what makes the per-corner marginal
+/// cost an order of magnitude below a from-scratch build. [`profile`]
+/// (Self::profile) runs the exact same workload loop as
+/// [`MultiplierDesign::profile_with_delays`], so retimed and from-scratch
+/// profiles are byte-identical (property-pinned in `agemul-netlist`).
+///
+/// Like `profile_with_delays`, this path skips functional verification: a
+/// delay-only perturbation cannot change any settled product.
+pub struct CornerProfiler<'a> {
+    design: &'a MultiplierDesign,
+    sim: TimingKernel<'a>,
+}
+
+impl CornerProfiler<'_> {
+    /// Swaps in a new per-gate delay assignment without rebuilding the
+    /// kernel. The next [`profile`](Self::profile) behaves exactly as if
+    /// the kernel had been constructed fresh with `delays`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays` does not cover the design's gates, or if any
+    /// delay rounds to zero femtoseconds.
+    pub fn retime(&mut self, delays: &DelayAssignment) {
+        match &mut self.sim {
+            TimingKernel::Level(sim) => sim.retime(delays),
+            // corner_profiler only ever builds the Level variant.
+            TimingKernel::Event(_) => unreachable!("CornerProfiler is always levelized"),
+        }
+    }
+
+    /// Profiles `pairs` under the current delay assignment — byte-identical
+    /// to [`MultiplierDesign::profile_with_delays`] for the same delays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Circuit`] if an operand overflows the width,
+    /// or [`CoreError::Netlist`] wrapping
+    /// [`NetlistError::Cancelled`](agemul_netlist::NetlistError::Cancelled)
+    /// once `cancel` fires.
+    pub fn profile(
+        &mut self,
+        pairs: &[(u64, u64)],
+        cancel: Option<&CancelToken>,
+    ) -> Result<PatternProfile, CoreError> {
+        // Tri-state holds make settled values history-dependent; restoring
+        // the construction snapshot keeps back-to-back profiles (with or
+        // without an intervening retime) byte-identical to a fresh kernel.
+        if let TimingKernel::Level(sim) = &mut self.sim {
+            sim.reset();
+        }
+        self.design.profile_on(&mut self.sim, pairs, cancel)
     }
 }
 

@@ -67,6 +67,7 @@ mod engine;
 mod error;
 mod judging;
 mod metrics;
+mod montecarlo;
 mod patterns;
 mod profile;
 mod razor;
@@ -78,16 +79,17 @@ pub use ahl::{Ahl, AhlConfig, CycleDecision};
 pub use ahl_netlist::GateLevelAhl;
 pub use area::{area_report, Architecture, AreaReport};
 pub use cache::{
-    quantize_factor, quantize_factors, CacheEntry, ProfileCache, AGING_FACTOR_GRID,
+    quantize_factor, quantize_factors, CacheEntry, ProfileCache, ShardStats, AGING_FACTOR_GRID,
     SHARD_COUNT as CACHE_SHARD_COUNT,
 };
 pub use calibrate::{calibrated_delay_model, measure_critical_delay, PAPER_AM16_CRITICAL_NS};
-pub use design::{LaneWidth, MultiplierDesign, SimEngine};
+pub use design::{CornerProfiler, LaneWidth, MultiplierDesign, SimEngine};
 pub use energy::{energy_report, EnergyInputs};
 pub use engine::{run_engine, run_engine_traced, run_fixed_latency, EngineConfig, EngineTrace};
 pub use error::CoreError;
 pub use judging::{count_zeros, JudgingBlock};
 pub use metrics::RunMetrics;
+pub use montecarlo::{CornerOutcome, McConfig, McReport, MonteCarloCampaign, YearOutcome};
 pub use patterns::PatternSet;
 pub use profile::{PatternProfile, PatternRecord};
 pub use razor::{DetectOutcome, RazorBank, RazorConfig};

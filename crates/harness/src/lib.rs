@@ -31,8 +31,10 @@
 //! Adapters wire the supervisor over the tree's existing work units:
 //! [`run_campaign_supervised`] (one case per fault plus the baseline,
 //! reassembled with [`Campaign::assemble`](agemul_faults::Campaign::assemble)),
-//! [`run_sweep_supervised`] (one case per period), and
-//! [`run_gate_supervised`] (one case per conformance seed). The `soak`
+//! [`run_sweep_supervised`] (one case per period),
+//! [`run_gate_supervised`] (one case per conformance seed), and
+//! [`run_mc_supervised`] (one case per Monte Carlo process corner, with
+//! the retimed plan-reuse profiler on primary attempts). The `soak`
 //! binary drives a kill → resume → diff smoke test (`just soak-smoke`).
 //!
 //! # Example
@@ -67,6 +69,7 @@ mod campaign;
 mod checkpoint;
 mod conformance;
 mod error;
+mod mc;
 mod request;
 mod snapshot;
 mod supervisor;
@@ -76,6 +79,7 @@ pub use campaign::{campaign_run_key, run_campaign_supervised, SupervisedCampaign
 pub use checkpoint::{crc32, CaseRecord, CaseStatus, Checkpoint, CheckpointError, SCHEMA};
 pub use conformance::{run_gate_supervised, SupervisedGateOutcome};
 pub use error::HarnessError;
+pub use mc::{corner_from_json, corner_to_json, mc_run_key, run_mc_supervised, SupervisedMc};
 pub use request::run_request_supervised;
 pub use snapshot::{
     evidence_from_json, evidence_to_json, is_cancellation, metrics_from_json, metrics_to_json,

@@ -189,9 +189,12 @@ impl Supervisor {
     /// case is quarantined with the last failure reason.
     ///
     /// With the `parallel` feature, the pending cases of each checkpoint
-    /// batch fan out across threads; records are merged back by case
-    /// index, so the checkpoint sequence and the final ledger are
-    /// identical to a serial run's.
+    /// batch fan out across threads with dynamic work stealing (case
+    /// costs are uneven — retries, degradation, Monte Carlo corners of
+    /// different depth — so a static split would leave cores idle behind
+    /// the slowest chunk); records are merged back by case index, so the
+    /// checkpoint sequence and the final ledger are identical to a serial
+    /// run's.
     ///
     /// # Errors
     ///
@@ -245,8 +248,10 @@ impl Supervisor {
         let batch_size = self.config.checkpoint_every.max(1);
         for batch in pending.chunks(batch_size) {
             let eval = |&index: &usize| self.run_case(index, worker);
+            // Claim granularity 1: one supervised case (attempts, retries,
+            // possibly a degradation pass) is plenty to amortize a claim.
             #[cfg(feature = "parallel")]
-            let records = agemul_par::par_map(batch, eval);
+            let records = agemul_par::par_map_stealing(batch, 1, eval);
             #[cfg(not(feature = "parallel"))]
             let records: Vec<CaseRecord> = batch.iter().map(eval).collect();
             for rec in records {

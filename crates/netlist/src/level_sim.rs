@@ -92,6 +92,14 @@ pub struct LevelSim<'a> {
     plan: TimedPlan,
     /// Settled value of every net (previous-vector state between steps).
     values: Vec<Logic>,
+    /// The re-initialized settled state (constants + one functional sweep,
+    /// through the overlay if attached), captured by [`reinit_values`]
+    /// (Self::reinit_values). [`retime`](Self::retime) restores it with one
+    /// memcpy instead of re-running the functional sweep, so a retimed
+    /// kernel starts from byte-for-byte the state a freshly constructed
+    /// one would — including tri-state hold history, which makes settled
+    /// values history-dependent wherever a disabled `TBUF` sits.
+    init_values: Vec<Logic>,
     /// Flat per-step waveform storage: `arena[m.start..][..m.len]` for net
     /// `n`'s [`WaveMeta`] `m`, valid iff `m.epoch == epoch`. Each event is
     /// packed as `time_fs << 2 | logic` ([`pack`]/[`unpack`]), halving the
@@ -148,6 +156,30 @@ fn unpack(e: u64) -> (u64, Logic) {
     (e >> 2, LEVELS[(e & 3) as usize])
 }
 
+/// Asserts the two delay invariants every `LevelSim` schedule must satisfy:
+/// strictly positive per-gate delays (exactness; see the module docs) and
+/// enough packed-timestamp headroom for the deepest path. Shared by
+/// [`LevelSim::new`] and [`LevelSim::retime`] so a retimed kernel can never
+/// hold delays a freshly built one would reject.
+fn assert_delay_contract(max_level: u32, delays_fs: impl Iterator<Item = u64>) {
+    let mut max_delay_fs = 0u64;
+    for (g, fs) in delays_fs.enumerate() {
+        assert!(
+            fs > 0,
+            "LevelSim requires strictly positive gate delays; gate {g} has 0 fs"
+        );
+        max_delay_fs = max_delay_fs.max(fs);
+    }
+    // Packed-event capacity: the latest possible event time in one step
+    // is bounded by depth × max gate delay (every waveform time is some
+    // path's delay sum). 62 bits of femtoseconds ≈ 77 simulated
+    // minutes — unreachable for any physical delay model.
+    assert!(
+        (u64::from(max_level) + 1).saturating_mul(max_delay_fs) < (1 << 62),
+        "gate delays too large for packed femtosecond timestamps"
+    );
+}
+
 impl<'a> LevelSim<'a> {
     /// Compiles the netlist + `delays` into a levelized schedule and settles
     /// the initial (constants-only) state, like
@@ -160,21 +192,9 @@ impl<'a> LevelSim<'a> {
     /// needs strictly positive delays; see the module docs).
     pub fn new(netlist: &'a Netlist, topology: &'a Topology, delays: DelayAssignment) -> Self {
         let plan = TimedPlan::new(netlist, topology, &delays);
-        let mut max_delay_fs = 0u64;
-        for g in 0..plan.gate_count() {
-            assert!(
-                plan.delay_fs(g) > 0,
-                "LevelSim requires strictly positive gate delays; gate {g} has 0 fs"
-            );
-            max_delay_fs = max_delay_fs.max(plan.delay_fs(g));
-        }
-        // Packed-event capacity: the latest possible event time in one step
-        // is bounded by depth × max gate delay (every waveform time is some
-        // path's delay sum). 62 bits of femtoseconds ≈ 77 simulated
-        // minutes — unreachable for any physical delay model.
-        assert!(
-            (u64::from(plan.max_level()) + 1).saturating_mul(max_delay_fs) < (1 << 62),
-            "gate delays too large for packed femtosecond timestamps"
+        assert_delay_contract(
+            plan.max_level(),
+            (0..plan.gate_count()).map(|g| plan.delay_fs(g)),
         );
         let queues = vec![Vec::new(); plan.max_level() as usize + 1];
 
@@ -211,6 +231,7 @@ impl<'a> LevelSim<'a> {
             topology,
             plan,
             values: vec![Logic::X; netlist.net_count()],
+            init_values: Vec::new(),
             arena: Vec::new(),
             waves: vec![WaveMeta::default(); netlist.net_count()],
             dirty_nets: Vec::new(),
@@ -227,6 +248,66 @@ impl<'a> LevelSim<'a> {
         };
         sim.reinit_values();
         sim
+    }
+
+    /// Swaps in a new per-gate delay assignment **without rebuilding** the
+    /// compiled schedule: the levelized gate arrays, CSR fanout, truth-table
+    /// LUTs, waveform arena, and dirty-queue scratch are all
+    /// topology-invariant and are reused as-is. Only the delay-dependent
+    /// slice of the [`TimedPlan`](crate::plan::TimedPlan) is rewritten, in
+    /// place, with zero allocation — this is what makes per-corner Monte
+    /// Carlo profiling an order of magnitude cheaper than constructing a
+    /// fresh kernel per corner.
+    ///
+    /// After the swap the kernel is in byte-for-byte the state a freshly
+    /// constructed `LevelSim::new(netlist, topology, delays)` (plus the
+    /// same overlay, if one is attached) would be in: the settled values
+    /// are restored from the cached re-initialization snapshot with one
+    /// memcpy — tri-state holds make settled values history-dependent, so
+    /// carrying the previous corner's state over would not be equivalent —
+    /// and the cumulative toggle counters are cleared. A retimed kernel
+    /// settled on the same vector as a fresh kernel therefore produces
+    /// femtosecond-identical [`step`](Self::step) results (property-pinned
+    /// in the `retime_equiv` suite). Any attached
+    /// [`FaultOverlay`](crate::FaultOverlay) and cancel token survive.
+    ///
+    /// # Panics
+    ///
+    /// Panics under exactly [`new`](Self::new)'s delay contract: `delays`
+    /// must cover the netlist's gates, every delay must be strictly
+    /// positive, and the packed-timestamp capacity bound must hold. The
+    /// checks run *before* the swap, so a rejected assignment leaves the
+    /// kernel's previous delays intact.
+    pub fn retime(&mut self, delays: &DelayAssignment) {
+        assert_eq!(
+            delays.len(),
+            self.netlist.gate_count(),
+            "delay assignment covers {} gates, netlist has {}",
+            delays.len(),
+            self.netlist.gate_count()
+        );
+        assert_delay_contract(
+            self.plan.max_level(),
+            (0..delays.len()).map(|g| delays.delay_fs(crate::GateId::from_index(g))),
+        );
+        self.plan.set_delays(delays);
+        self.reset();
+    }
+
+    /// Restores the kernel to its post-construction state under the
+    /// *current* delays: settled values come back from the cached
+    /// re-initialization snapshot with one memcpy, cumulative toggle
+    /// counters clear, and stale waveforms are invalidated. Tri-state
+    /// holds make settled values history-dependent, so this is the only
+    /// way to make a reused kernel behave exactly like a fresh one — it is
+    /// the state-restore half of [`retime`](Self::retime), exposed for
+    /// callers that replay workloads without changing delays. Any attached
+    /// [`FaultOverlay`](crate::FaultOverlay) and cancel token survive.
+    pub fn reset(&mut self) {
+        self.values.copy_from_slice(&self.init_values);
+        self.toggles_per_gate.iter_mut().for_each(|c| *c = 0);
+        // Stale waveforms must not leak into the next step's merges.
+        self.epoch += 1;
     }
 
     /// Installs a [`CancelToken`](crate::CancelToken): subsequent
@@ -281,6 +362,8 @@ impl<'a> LevelSim<'a> {
                 None => v,
             };
         }
+        self.init_values.clear();
+        self.init_values.extend_from_slice(&self.values);
     }
 
     /// Applies the overlay's scalar coercion to a candidate value of `net`.
@@ -1005,6 +1088,83 @@ mod tests {
         let mut touched = Vec::new();
         sim.for_each_touched_gate(|g| touched.push(g));
         assert_eq!(touched, vec![0]);
+    }
+
+    #[test]
+    fn retime_matches_fresh_kernel() {
+        let n = inverter_chain();
+        let t = n.topology().unwrap();
+        let nominal = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let mut inflated = nominal.clone();
+        inflated.inflate(GateId::from_index(0), 3.0);
+        inflated.inflate(GateId::from_index(1), 1.5);
+
+        // One kernel retimed across assignments vs a fresh kernel per
+        // assignment: identical timings both directions (nominal →
+        // inflated → nominal).
+        let mut retimed = LevelSim::new(&n, &t, nominal.clone());
+        for delays in [&inflated, &nominal, &inflated] {
+            retimed.retime(delays);
+            retimed.settle(&[Logic::Zero]).unwrap();
+            let tr = retimed.step(&[Logic::One]).unwrap();
+
+            let mut fresh = LevelSim::new(&n, &t, (*delays).clone());
+            fresh.settle(&[Logic::Zero]).unwrap();
+            let tf = fresh.step(&[Logic::One]).unwrap();
+            assert_eq!(tr, tf);
+            assert_eq!(retimed.value(n.outputs()[0]), fresh.value(n.outputs()[0]));
+        }
+    }
+
+    #[test]
+    fn retime_preserves_fault_overlay() {
+        use crate::{FaultKind, FaultOverlay};
+        let n = inverter_chain();
+        let t = n.topology().unwrap();
+        let nominal = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let mut slow = nominal.clone();
+        slow.inflate(GateId::from_index(1), 2.0);
+
+        let mut o = FaultOverlay::new(&n);
+        o.add(n.gates()[0].output(), FaultKind::Flip, 1).unwrap();
+
+        let mut retimed = LevelSim::new(&n, &t, nominal);
+        retimed.set_fault_overlay(o.clone());
+        retimed.retime(&slow);
+        retimed.settle(&[Logic::Zero]).unwrap();
+        let tr = retimed.step(&[Logic::One]).unwrap();
+
+        let mut fresh = LevelSim::new(&n, &t, slow);
+        fresh.set_fault_overlay(o);
+        fresh.settle(&[Logic::Zero]).unwrap();
+        let tf = fresh.step(&[Logic::One]).unwrap();
+        assert_eq!(tr, tf);
+        assert_eq!(retimed.value(n.outputs()[0]), fresh.value(n.outputs()[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn retime_rejects_zero_delay() {
+        let n = inverter_chain();
+        let t = n.topology().unwrap();
+        let good = DelayAssignment::uniform(&n, &DelayModel::nominal());
+        let bad = DelayAssignment::with_factors(&n, &DelayModel::nominal(), &[1e-12, 1.0]).unwrap();
+        let mut sim = LevelSim::new(&n, &t, good);
+        sim.retime(&bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "covers")]
+    fn retime_rejects_wrong_gate_count() {
+        let n = inverter_chain();
+        let t = n.topology().unwrap();
+        let mut other = Netlist::new();
+        let a = other.add_input("a");
+        let x = other.add_gate(GateKind::Not, &[a]).unwrap();
+        other.mark_output(x, "y");
+        let foreign = DelayAssignment::uniform(&other, &DelayModel::nominal());
+        let mut sim = LevelSim::new(&n, &t, DelayAssignment::uniform(&n, &DelayModel::nominal()));
+        sim.retime(&foreign);
     }
 
     #[test]

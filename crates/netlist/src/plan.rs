@@ -154,6 +154,29 @@ impl TimedPlan {
         }
     }
 
+    /// Swaps in a new per-gate delay vector, leaving every
+    /// topology-invariant part (flat gate arrays, levels, CSR fanout)
+    /// untouched. The in-place rewrite is what makes corner-batched
+    /// Monte Carlo profiling cheap: only the delay-dependent slice of the
+    /// schedule changes between corners, with zero allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays` does not cover exactly the schedule's gates (the
+    /// same contract as [`new`](Self::new)).
+    pub(crate) fn set_delays(&mut self, delays: &DelayAssignment) {
+        assert_eq!(
+            delays.len(),
+            self.gate_count(),
+            "delay assignment covers {} gates, schedule has {}",
+            delays.len(),
+            self.gate_count()
+        );
+        for (g, slot) in self.delays_fs.iter_mut().enumerate() {
+            *slot = delays.delay_fs(GateId::from_index(g));
+        }
+    }
+
     /// Number of gates in the schedule.
     #[inline]
     pub(crate) fn gate_count(&self) -> usize {

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads to use: the machine's available parallelism,
 /// clamped to the job count (at least 1).
@@ -96,6 +97,93 @@ where
     results.into_iter().flatten().collect()
 }
 
+/// Maps `f` over `items` with **dynamic chunk scheduling**: workers claim
+/// fixed-size chunks from a shared atomic counter, so a thread that drew
+/// cheap items immediately steals the next chunk instead of idling while a
+/// neighbour grinds through expensive ones. Results are stitched back in
+/// input order (chunks are indexed), preserving the crate's bit-identity
+/// contract.
+///
+/// Use this instead of [`par_map`] when per-item cost is *uneven* — Monte
+/// Carlo corners whose dirty cones differ wildly, fault cases of mixed
+/// severity. For uniform work the static split has slightly less
+/// coordination overhead.
+///
+/// `chunk` is the claim granularity (clamped to ≥ 1): small enough to
+/// balance, large enough to amortize the atomic claim. Panics in `f`
+/// propagate to the caller.
+pub fn par_map_stealing<T, R, F>(items: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_stealing_with(items, chunk, || (), |(), item| f(item))
+}
+
+/// [`par_map_stealing`] with **per-worker state**: each worker thread calls
+/// `init` once and threads the resulting scratch through every item it
+/// claims. This is the shape the plan-reuse Monte Carlo driver needs — one
+/// retimeable simulation kernel per worker, reused across every corner
+/// that worker steals, instead of one kernel per corner.
+///
+/// `f` must produce a result that depends only on the item (the state is
+/// *scratch*, not an accumulator); under that contract the output is
+/// bit-identical to a serial map regardless of how chunks land on workers.
+/// With one thread or an empty input this degrades to a serial map over a
+/// single state, no threads spawned.
+pub fn par_map_stealing_with<T, R, S, I, F>(items: &[T], chunk: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let threads = thread_count(items.len());
+    if threads <= 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    let chunk = chunk.max(1);
+    let chunk_count = items.len().div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<(usize, Vec<R>)> = Vec::with_capacity(chunk_count);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(chunk_count))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut claimed: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunk_count {
+                            break;
+                        }
+                        let start = c * chunk;
+                        let end = (start + chunk).min(items.len());
+                        claimed.push((
+                            c,
+                            items[start..end]
+                                .iter()
+                                .map(|item| f(&mut state, item))
+                                .collect(),
+                        ));
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        for h in handles {
+            buckets.extend(h.join().unwrap());
+        }
+    });
+    // Reassemble in input order: chunk indices are a permutation of
+    // 0..chunk_count, so sorting restores the serial result layout.
+    buckets.sort_unstable_by_key(|(c, _)| *c);
+    buckets.into_iter().flat_map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +226,51 @@ mod tests {
         assert_eq!(thread_count(0), 1);
         assert_eq!(thread_count(1), 1);
         assert!(thread_count(64) >= 1);
+    }
+
+    #[test]
+    fn stealing_preserves_input_order() {
+        let items: Vec<u64> = (0..1003).collect();
+        for chunk in [1, 3, 16, 64, 5000] {
+            let out = par_map_stealing(&items, chunk, |&x| x * 7 + 1);
+            assert_eq!(out, items.iter().map(|&x| x * 7 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn stealing_balances_uneven_work() {
+        // Items with wildly different costs still produce ordered results.
+        let items: Vec<u32> = (0..257)
+            .map(|i| if i % 17 == 0 { 20_000 } else { 10 })
+            .collect();
+        let spin = |n: u32| (0..n).fold(0u64, |acc, i| acc.wrapping_add(u64::from(i) * 31));
+        let serial: Vec<u64> = items.iter().map(|&n| spin(n)).collect();
+        let stolen = par_map_stealing(&items, 4, |&n| spin(n));
+        assert_eq!(serial, stolen);
+    }
+
+    #[test]
+    fn stealing_with_state_reuses_worker_scratch() {
+        // Each worker's state counts how many items it processed; results
+        // must not depend on that distribution.
+        let items: Vec<u64> = (0..500).collect();
+        let out = par_map_stealing_with(
+            &items,
+            8,
+            || 0u64,
+            |seen, &x| {
+                *seen += 1;
+                assert!(*seen > 0, "state threads through every claimed item");
+                x * 2
+            },
+        );
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_handles_empty_single_and_zero_chunk() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map_stealing(&empty, 0, |&x| x).is_empty());
+        assert_eq!(par_map_stealing(&[5u8], 0, |&x| x + 1), vec![6]);
     }
 }

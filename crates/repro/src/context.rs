@@ -85,6 +85,27 @@ impl Scale {
             (_, _) => 3_000,
         }
     }
+
+    /// Process corners sampled per architecture by the Monte Carlo yield
+    /// campaign (`mc`).
+    pub fn mc_corners(self) -> usize {
+        match self {
+            Scale::Quick => 12,
+            Scale::Standard => 48,
+            Scale::Paper => 128,
+        }
+    }
+
+    /// Patterns per corner-year replay in the Monte Carlo campaign. Each
+    /// corner re-profiles this workload at every lifetime point, so it is
+    /// the hot axis of the `corners × years × patterns` product.
+    pub fn mc_patterns(self, width: usize) -> usize {
+        match (self, width) {
+            (Scale::Quick, _) => 256,
+            (_, w) if w > 16 => 512,
+            (_, _) => 1_024,
+        }
+    }
 }
 
 /// Workload seed shared by the latency experiments, so every figure sees

@@ -21,6 +21,7 @@
 //! | `fig26` | [`fig26`] | latency/power/EDP over 7 years, 16×16 |
 //! | `fig27` | [`fig27`] | latency/power/EDP over 7 years, 32×32 |
 //! | `sweep` | [`sweep`] | 7-year × multi-period profiling-driver study, 32×32 |
+//! | `mc` | [`mc`] | Monte Carlo yield vs lifetime over process corners, 16×16 |
 
 mod aged;
 mod aging_trend;
@@ -29,6 +30,7 @@ mod conformance;
 mod dist;
 mod extras;
 mod fault_campaigns;
+mod montecarlo;
 mod ratios;
 mod sweep_aging;
 mod sweeps;
@@ -41,6 +43,7 @@ pub use conformance::conformance;
 pub use dist::{fig5, fig6, fig9_10};
 pub use extras::{ablations, extensions};
 pub use fault_campaigns::faults;
+pub use montecarlo::mc;
 pub use ratios::{table1, table2};
 pub use sweep_aging::sweep;
 pub use sweeps::{fig13, fig14, fig15, fig16, fig17, fig18};
@@ -50,7 +53,7 @@ use crate::{Context, Report, Result};
 
 /// All experiment ids: the paper's artifacts in paper order, then the
 /// repository's own ablation and extension studies.
-pub const ALL_IDS: [&str; 23] = [
+pub const ALL_IDS: [&str; 24] = [
     "fig5",
     "fig6",
     "fig7",
@@ -74,6 +77,7 @@ pub const ALL_IDS: [&str; 23] = [
     "faults",
     "conformance",
     "sweep",
+    "mc",
 ];
 
 /// Runs an experiment by id (see [`ALL_IDS`]).
@@ -106,6 +110,7 @@ pub fn run_by_id(ctx: &mut Context, id: &str) -> Result<Report> {
         "faults" => faults(ctx),
         "conformance" => conformance(ctx),
         "sweep" => sweep(ctx),
+        "mc" => mc(ctx),
         other => Err(format!("unknown experiment id: {other}").into()),
     }
 }

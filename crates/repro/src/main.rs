@@ -56,7 +56,7 @@ fn usage() {
     );
     eprintln!(
         "       repro query [--addr <host:port> | --unix <path>] --op \
-         <profile|sweep|campaign|stats|shutdown> [op fields...]"
+         <profile|sweep|campaign|mc|stats|shutdown> [op fields...]"
     );
     eprintln!("experiments: {}", experiments::ALL_IDS.join(", "));
 }
@@ -324,6 +324,9 @@ fn parse_query(args: &[String]) -> Result<Command, String> {
     let mut skip: Option<u32> = None;
     let mut faults: Option<usize> = None;
     let mut fault_seed: Option<u64> = None;
+    let mut corners: Option<usize> = None;
+    let mut sigma: Option<f64> = None;
+    let mut mc_seed: Option<u64> = None;
     let mut deadline: Option<Duration> = None;
 
     let mut i = 0;
@@ -414,6 +417,26 @@ fn parse_query(args: &[String]) -> Result<Command, String> {
                     parse_u64("--fault-seed", v)?,
                 )?;
             }
+            "--corners" => {
+                let v = next_value(args, &mut i, "--corners")?;
+                let n = parse_usize("--corners", v)?;
+                if n == 0 {
+                    return Err("--corners must be positive".into());
+                }
+                set_once(&mut corners, "--corners", n)?;
+            }
+            "--sigma" => {
+                let v = next_value(args, &mut i, "--sigma")?;
+                let s: f64 = v.parse().map_err(|e| format!("--sigma: {e} (got {v:?})"))?;
+                if !s.is_finite() || s < 0.0 {
+                    return Err(format!("--sigma must be finite and non-negative, got {v}"));
+                }
+                set_once(&mut sigma, "--sigma", s)?;
+            }
+            "--mc-seed" => {
+                let v = next_value(args, &mut i, "--mc-seed")?;
+                set_once(&mut mc_seed, "--mc-seed", parse_u64("--mc-seed", v)?)?;
+            }
             "--deadline-ms" => {
                 let v = next_value(args, &mut i, "--deadline-ms")?;
                 let d = parse_deadline_ms(v)?;
@@ -425,7 +448,7 @@ fn parse_query(args: &[String]) -> Result<Command, String> {
         i += 1;
     }
 
-    let op = op.ok_or("query needs --op <profile|sweep|campaign|stats|shutdown>")?;
+    let op = op.ok_or("query needs --op <profile|sweep|campaign|mc|stats|shutdown>")?;
     let design_query = |kind: &Option<String>| -> Result<DesignQuery, String> {
         let label = kind
             .as_deref()
@@ -451,11 +474,18 @@ fn parse_query(args: &[String]) -> Result<Command, String> {
             fault_seed: fault_seed.unwrap_or(1),
             skip: skip.unwrap_or(7),
         },
+        "mc" => RequestBody::Mc {
+            query: design_query(&kind)?,
+            corners: corners.ok_or("--op mc needs --corners")?,
+            sigma: sigma.unwrap_or(0.05),
+            mc_seed: mc_seed.unwrap_or(1),
+            skip: skip.unwrap_or(7),
+        },
         "stats" => RequestBody::Stats,
         "shutdown" => RequestBody::Shutdown,
         other => {
             return Err(format!(
-                "unknown op {other:?} (want profile, sweep, campaign, stats, or shutdown)"
+                "unknown op {other:?} (want profile, sweep, campaign, mc, stats, or shutdown)"
             ))
         }
     };
@@ -956,6 +986,64 @@ mod tests {
         assert_eq!(q.years, 7.0);
         assert_eq!(q.patterns, 1_000, "default patterns");
         assert_eq!(q.seed, 42, "default seed");
+    }
+
+    #[test]
+    fn query_builds_an_mc_request() {
+        let cmd = parse_cli(&argv(&[
+            "query",
+            "--op",
+            "mc",
+            "--kind",
+            "RB",
+            "--width",
+            "16",
+            "--years",
+            "7",
+            "--corners",
+            "32",
+            "--sigma",
+            "0.08",
+            "--mc-seed",
+            "9",
+        ]))
+        .unwrap();
+        let Command::Query(query) = cmd else {
+            panic!("expected query command");
+        };
+        let RequestBody::Mc {
+            query: q,
+            corners,
+            sigma,
+            mc_seed,
+            skip,
+        } = &query.request.body
+        else {
+            panic!("expected mc body");
+        };
+        assert_eq!((q.width, *corners, *mc_seed, *skip), (16, 32, 9, 7));
+        assert_eq!(*sigma, 0.08);
+
+        let err = parse_cli(&argv(&[
+            "query", "--op", "mc", "--kind", "RB", "--width", "16",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--corners"), "{err}");
+        let err = parse_cli(&argv(&[
+            "query",
+            "--op",
+            "mc",
+            "--kind",
+            "RB",
+            "--width",
+            "16",
+            "--corners",
+            "4",
+            "--sigma",
+            "-1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! - `profile` — the timing profile of a design at an aging epoch,
 //! - `sweep` — run a clock-period grid against that profile,
 //! - `campaign` — sample and evaluate a delay-fault campaign,
+//! - `mc` — a seeded Monte Carlo yield campaign over process corners
+//!   (plan-reuse re-timing on the primary engine),
 //! - `stats` / `shutdown` — cache introspection and graceful stop.
 //!
 //! Three properties distinguish the resident service from the batch path:

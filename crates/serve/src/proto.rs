@@ -130,6 +130,21 @@ pub enum RequestBody {
         /// AHL skip threshold for the evaluation replays.
         skip: u32,
     },
+    /// Seeded Monte Carlo yield campaign over process corners. The
+    /// query's `years` field is read as the *maximum lifetime*: the
+    /// campaign evaluates integer lifetime points `0..=floor(years)`.
+    Mc {
+        /// Design/workload coordinates (see `years` note above).
+        query: DesignQuery,
+        /// Process corners (dies) to sample.
+        corners: usize,
+        /// Lognormal σ of the per-gate time-zero variation.
+        sigma: f64,
+        /// Campaign base seed (corner streams are derived from it).
+        mc_seed: u64,
+        /// AHL skip threshold for the evaluation replays.
+        skip: u32,
+    },
     /// Server cache/coalescer statistics.
     Stats,
     /// Graceful shutdown: the server finishes in-flight work, saves its
@@ -269,6 +284,26 @@ impl Request {
                         .map_err(|_| "skip out of u32 range".to_string())?,
                 }
             }
+            "mc" => {
+                let corners = get_u64(v, "corners")? as usize;
+                if corners == 0 {
+                    return Err("mc needs at least one corner".into());
+                }
+                let sigma = get_f64(v, "sigma")?;
+                if !sigma.is_finite() || sigma < 0.0 {
+                    return Err(format!(
+                        "sigma must be finite and non-negative, got {sigma}"
+                    ));
+                }
+                RequestBody::Mc {
+                    query: query_from_json(v)?,
+                    corners,
+                    sigma,
+                    mc_seed: get_u64(v, "mc_seed")?,
+                    skip: u32::try_from(get_u64(v, "skip")?)
+                        .map_err(|_| "skip out of u32 range".to_string())?,
+                }
+            }
             "stats" => RequestBody::Stats,
             "shutdown" => RequestBody::Shutdown,
             other => return Err(format!("unknown op {other:?}")),
@@ -314,6 +349,20 @@ impl Request {
                 pairs.extend(query_to_json(query));
                 pairs.push(("faults".into(), Json::UInt(*faults as u64)));
                 pairs.push(("fault_seed".into(), Json::UInt(*fault_seed)));
+                pairs.push(("skip".into(), Json::UInt(u64::from(*skip))));
+            }
+            RequestBody::Mc {
+                query,
+                corners,
+                sigma,
+                mc_seed,
+                skip,
+            } => {
+                pairs.push(("op".into(), Json::Str("mc".into())));
+                pairs.extend(query_to_json(query));
+                pairs.push(("corners".into(), Json::UInt(*corners as u64)));
+                pairs.push(("sigma".into(), Json::Num(*sigma)));
+                pairs.push(("mc_seed".into(), Json::UInt(*mc_seed)));
                 pairs.push(("skip".into(), Json::UInt(u64::from(*skip))));
             }
             RequestBody::Stats => pairs.push(("op".into(), Json::Str("stats".into()))),
@@ -410,10 +459,21 @@ mod tests {
             Request {
                 id: 4,
                 deadline_ms: None,
-                body: RequestBody::Stats,
+                body: RequestBody::Mc {
+                    query: query(),
+                    corners: 32,
+                    sigma: 0.05,
+                    mc_seed: 7,
+                    skip: 7,
+                },
             },
             Request {
                 id: 5,
+                deadline_ms: None,
+                body: RequestBody::Stats,
+            },
+            Request {
+                id: 6,
                 deadline_ms: None,
                 body: RequestBody::Shutdown,
             },

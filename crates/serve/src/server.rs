@@ -26,7 +26,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use agemul::{EngineConfig, PeriodSweep};
+use agemul::{EngineConfig, McConfig, McReport, MonteCarloCampaign, PeriodSweep, SimEngine};
 use agemul_conformance::Json;
 use agemul_faults::{Campaign, FaultSpec};
 use agemul_harness::{
@@ -495,6 +495,7 @@ fn op_label(body: &RequestBody) -> String {
         RequestBody::Profile(q) => ("profile", q),
         RequestBody::Sweep { query, .. } => ("sweep", query),
         RequestBody::Campaign { query, .. } => ("campaign", query),
+        RequestBody::Mc { query, .. } => ("mc", query),
         // Stats/Shutdown never reach supervision.
         RequestBody::Stats | RequestBody::Shutdown => return "stats".into(),
     };
@@ -571,6 +572,13 @@ fn eval_op(state: &ServerState, body: &RequestBody, attempt: &Attempt) -> Result
             fault_seed,
             skip,
         } => eval_campaign(state, query, *faults, *fault_seed, *skip),
+        RequestBody::Mc {
+            query,
+            corners,
+            sigma,
+            mc_seed,
+            skip,
+        } => eval_mc(state, query, *corners, *sigma, *mc_seed, *skip, attempt),
         RequestBody::Stats | RequestBody::Shutdown => Err(CaseError::Failed(
             "op does not run under supervision".into(),
         )),
@@ -608,4 +616,81 @@ fn eval_campaign(
     let report = campaign.run(&EngineConfig::adaptive(cycle_ns, skip));
     Json::parse(&report.to_json())
         .map_err(|e| CaseError::Failed(format!("campaign report serialization: {e}")))
+}
+
+fn core_to_case(e: agemul::CoreError) -> CaseError {
+    if is_cancellation(&e) {
+        CaseError::Cancelled
+    } else {
+        CaseError::Failed(e.to_string())
+    }
+}
+
+/// Runs a Monte Carlo yield campaign: `corners` sampled dies, each
+/// evaluated at integer lifetime points `0..=floor(query.years)` with the
+/// short cycle anchored to the design's fresh critical path.
+///
+/// The primary attempt uses the plan-reuse re-timing fast path (one
+/// compiled kernel per corner, re-timed across the lifetime axis); the
+/// degraded attempt rebuilds every kernel on the event-driven reference
+/// engine — both produce byte-identical reports (pinned in `agemul`'s
+/// campaign tests).
+fn eval_mc(
+    state: &ServerState,
+    query: &DesignQuery,
+    corners: usize,
+    sigma: f64,
+    mc_seed: u64,
+    skip: u32,
+    attempt: &Attempt,
+) -> Result<Json, CaseError> {
+    let design = state
+        .design(query.kind, query.width)
+        .map_err(CaseError::Failed)?;
+    let workload = state.workload(query.width, query.patterns, query.seed);
+    let mut config = McConfig::new(corners, sigma, mc_seed);
+    config.skip = skip;
+    config.years = (0..=query.years.floor() as u64).map(|y| y as f64).collect();
+    let campaign = MonteCarloCampaign::new(&design, workload.pairs(), state.bti(), config)
+        .map_err(core_to_case)?;
+
+    let cancel = attempt.cancel.as_ref();
+    let report = match attempt.engine {
+        SimEngine::Level => campaign.run(cancel).map_err(core_to_case)?,
+        SimEngine::Event => {
+            let mut outcomes = Vec::with_capacity(corners);
+            for c in 0..corners {
+                outcomes.push(
+                    campaign
+                        .run_corner_from_scratch(c, SimEngine::Event, cancel)
+                        .map_err(core_to_case)?,
+                );
+            }
+            McReport {
+                years: campaign.config().years.clone(),
+                cycle_ns: campaign.config().cycle_ns,
+                corners: outcomes,
+            }
+        }
+    };
+
+    let curve = |adaptive: bool| {
+        Json::Arr(
+            report
+                .yield_curve(adaptive)
+                .into_iter()
+                .map(|(_, frac)| Json::Num(frac))
+                .collect(),
+        )
+    };
+    Ok(Json::Obj(vec![
+        ("cycle_ns".into(), Json::Num(report.cycle_ns)),
+        ("corners".into(), Json::UInt(report.corners.len() as u64)),
+        (
+            "years".into(),
+            Json::Arr(report.years.iter().map(|&y| Json::Num(y)).collect()),
+        ),
+        ("baseline_yield".into(), curve(false)),
+        ("ahl_yield".into(), curve(true)),
+    ]))
 }

@@ -125,6 +125,12 @@ impl ServerState {
         &self.cache
     }
 
+    /// The workspace-calibrated BTI model (shared with the Monte Carlo
+    /// op, so served yield curves match the batch `mc` experiment).
+    pub fn bti(&self) -> &BtiModel {
+        &self.bti
+    }
+
     /// Number of profile lookups coalesced onto another request's
     /// in-flight simulation.
     pub fn coalesced(&self) -> u64 {
@@ -286,7 +292,27 @@ impl ServerState {
     }
 
     /// Cache/coalescer statistics as the `stats` op's result payload.
+    ///
+    /// The global totals are followed by a `shards` array — one row per
+    /// cache shard with its resident entries and hit/miss/eviction tallies
+    /// (shards are keyed by (kind, width), so a hot row is a hot design) —
+    /// and a `flight` object with the single-flight coalescer's
+    /// led/coalesced counts.
     pub fn stats_json(&self) -> Json {
+        let shards = self
+            .cache
+            .shard_stats()
+            .into_iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("index".into(), Json::UInt(s.index as u64)),
+                    ("entries".into(), Json::UInt(s.entries as u64)),
+                    ("hits".into(), Json::UInt(s.hits)),
+                    ("misses".into(), Json::UInt(s.misses)),
+                    ("evictions".into(), Json::UInt(s.evictions)),
+                ])
+            })
+            .collect();
         Json::Obj(vec![
             ("entries".into(), Json::UInt(self.cache.len() as u64)),
             ("hits".into(), Json::UInt(self.cache.hits())),
@@ -298,6 +324,14 @@ impl ServerState {
                 self.cache
                     .shard_capacity()
                     .map_or(Json::Null, |c| Json::UInt(c as u64)),
+            ),
+            ("shards".into(), Json::Arr(shards)),
+            (
+                "flight".into(),
+                Json::Obj(vec![
+                    ("led".into(), Json::UInt(self.flight.led())),
+                    ("coalesced".into(), Json::UInt(self.flight.coalesced())),
+                ]),
             ),
         ])
     }

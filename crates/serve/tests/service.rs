@@ -145,8 +145,85 @@ fn tcp_profile_miss_then_hit_then_sweep_and_campaign() {
     assert!(result.get("misses").and_then(Json::as_u64).unwrap_or(0) >= 1);
     assert!(result.get("hits").and_then(Json::as_u64).unwrap_or(0) >= 1);
 
+    // The per-shard breakdown sums back to the global tallies, and the
+    // flight object carries the coalescer counters.
+    let shards = result
+        .get("shards")
+        .and_then(Json::as_arr)
+        .expect("shards array");
+    assert!(!shards.is_empty());
+    for field in ["hits", "misses", "evictions"] {
+        let total: u64 = shards
+            .iter()
+            .map(|s| s.get(field).and_then(Json::as_u64).expect(field))
+            .sum();
+        assert_eq!(Some(total), result.get(field).and_then(Json::as_u64));
+    }
+    let flight = result.get("flight").expect("flight object");
+    assert!(flight.get("led").and_then(Json::as_u64).is_some());
+    assert!(flight.get("coalesced").and_then(Json::as_u64).is_some());
+
     drop(conn);
     server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn mc_op_returns_yield_curves() {
+    let server = spawn_tcp(None);
+    let mut conn = TcpStream::connect(server.tcp_addr().unwrap()).unwrap();
+    let frame = Json::Obj(vec![
+        ("id".into(), Json::UInt(1)),
+        ("op".into(), Json::Str("mc".into())),
+        ("kind".into(), Json::Str("CB".into())),
+        ("width".into(), Json::UInt(8)),
+        // `years` is the maximum lifetime: points 0, 1, 2.
+        ("years".into(), Json::Num(2.0)),
+        ("patterns".into(), Json::UInt(24)),
+        ("seed".into(), Json::UInt(11)),
+        ("corners".into(), Json::UInt(4)),
+        ("sigma".into(), Json::Num(0.05)),
+        ("mc_seed".into(), Json::UInt(7)),
+        ("skip".into(), Json::UInt(3)),
+    ]);
+    let response = roundtrip(&mut conn, &frame).unwrap();
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{response}"
+    );
+    let result = response.get("result").expect("mc result");
+    assert_eq!(result.get("corners").and_then(Json::as_u64), Some(4));
+    let years = result.get("years").and_then(Json::as_arr).expect("years");
+    assert_eq!(years.len(), 3);
+    let baseline = result
+        .get("baseline_yield")
+        .and_then(Json::as_arr)
+        .expect("baseline curve");
+    let ahl = result
+        .get("ahl_yield")
+        .and_then(Json::as_arr)
+        .expect("ahl curve");
+    assert_eq!((baseline.len(), ahl.len()), (3, 3));
+    for (b, a) in baseline.iter().zip(ahl) {
+        let (b, a) = (b.as_f64().unwrap(), a.as_f64().unwrap());
+        assert!((0.0..=1.0).contains(&b) && (0.0..=1.0).contains(&a));
+        assert!(a + 1e-12 >= b, "AHL yield must dominate the baseline");
+    }
+
+    // Sigma is validated at the protocol boundary.
+    let mut bad = frame.clone();
+    if let Json::Obj(pairs) = &mut bad {
+        for (k, v) in pairs.iter_mut() {
+            if k == "sigma" {
+                *v = Json::Num(-0.5);
+            }
+        }
+    }
+    let rejected = roundtrip(&mut conn, &bad).unwrap();
+    assert_eq!(rejected.get("ok").and_then(Json::as_bool), Some(false));
+
+    drop(conn);
+    server.shutdown().unwrap();
 }
 
 #[test]

@@ -5,8 +5,9 @@
 # a quick fault-injection campaign smoke run + the timing-kernel
 # equivalence smoke + the incremental-vs-full re-profiling equivalence +
 # the seeded cross-engine conformance smoke + the incremental sweep smoke
-# + the supervised kill/resume soak smoke + the resident-service smoke.
-verify: fmt-check clippy test fault-smoke timing-equiv incremental-equiv conformance sweep-smoke soak-smoke serve-smoke
+# + the supervised kill/resume soak smoke + the resident-service smoke
+# + the seeded Monte Carlo campaign smoke.
+verify: fmt-check clippy test fault-smoke timing-equiv incremental-equiv conformance sweep-smoke soak-smoke serve-smoke mc-smoke
 
 fmt-check:
 	cargo fmt --all -- --check
@@ -64,6 +65,16 @@ sweep-smoke:
 conformance:
 	cargo run --release -p agemul-repro -- --quick conformance
 
+# Monte Carlo campaign smoke: the supervised driver must resume
+# byte-identically from a truncated checkpoint (harness property), the
+# retimed path must match from-scratch kernels bit for bit (campaign
+# property), and the reduced-scale seeded `mc` experiment must run end to
+# end (it asserts AHL yield ≥ baseline yield at every lifetime point).
+mc-smoke:
+	cargo test -q -p agemul-harness truncated_checkpoint_resumes_identically
+	cargo test -q -p agemul campaign_matches_from_scratch_per_cell
+	cargo run --release -p agemul-repro -- --quick mc
+
 # Resident-service smoke: loadgen spawns an in-process agemul-serve,
 # drives a brief concurrent run, and exits nonzero unless there were zero
 # error responses, a nonzero cache hit rate, and a clean shutdown.
@@ -89,3 +100,9 @@ bench-profile:
 # 7-year × 17-period grid; see BENCH_sim.json for the record.
 bench-sweep:
 	cargo bench -p agemul-bench --bench sweep
+
+# Monte Carlo corner-switch benches: plan-reuse re-timing vs from-scratch
+# kernel construction (the ≥10× marginal-cost target) plus end-to-end
+# campaign rows; see the `mc/*` rows in BENCH_sim.json for the record.
+bench-mc:
+	cargo bench -p agemul-bench --bench mc

@@ -32,3 +32,9 @@ scripts/soak_smoke.sh --features parallel
 # Resident-service smoke: loadgen against an in-process agemul-serve;
 # fails on any error response, zero hit rate, or unclean shutdown.
 cargo run --release -p agemul-serve --bin loadgen -- --smoke
+# Monte Carlo campaign smoke: supervised checkpoint/resume byte-identity,
+# retimed-vs-from-scratch cell identity, and the reduced-scale seeded `mc`
+# experiment (asserts AHL yield ≥ baseline at every lifetime point).
+cargo test -q -p agemul-harness truncated_checkpoint_resumes_identically
+cargo test -q -p agemul campaign_matches_from_scratch_per_cell
+cargo run --release -p agemul-repro -- --quick mc >/dev/null

@@ -10,15 +10,17 @@
 //! Extras over a bare shim:
 //! - a positional CLI argument filters benchmarks by substring (flags such
 //!   as cargo's `--bench` are ignored), matching criterion's CLI habit;
-//! - setting `CRITERION_JSON=/path/file.json` appends one JSON line per
+//! - setting `CRITERION_JSON=/path/file.json` records one JSON line per
 //!   benchmark (`{"id", "ns_per_iter", "stddev_ns", "samples", "iters"}`),
-//!   which is how `BENCH_sim.json` baselines are recorded.
+//!   which is how `BENCH_sim.json` baselines are recorded. A re-run
+//!   *replaces* the file's row for the same id in place (other rows are
+//!   preserved), so the baseline file stays one-row-per-benchmark instead
+//!   of accreting duplicates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
-use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -264,17 +266,48 @@ fn report(id: &str, stats: &Stats) {
         stats.iters_per_sample,
     );
     if let Ok(path) = std::env::var("CRITERION_JSON") {
-        if let Ok(mut file) = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-        {
-            let _ = writeln!(
-                file,
-                "{{\"id\": \"{id}\", \"ns_per_iter\": {:.1}, \"stddev_ns\": {:.1}, \"samples\": {}, \"iters\": {}}}",
-                stats.ns_per_iter, stats.stddev_ns, stats.samples, stats.iters_per_sample,
-            );
+        let line = format!(
+            "{{\"id\": \"{id}\", \"ns_per_iter\": {:.1}, \"stddev_ns\": {:.1}, \"samples\": {}, \"iters\": {}}}",
+            stats.ns_per_iter, stats.stddev_ns, stats.samples, stats.iters_per_sample,
+        );
+        record_json_line(std::path::Path::new(&path), id, &line);
+    }
+}
+
+/// Writes `line` into the JSON-lines file at `path`, replacing the
+/// existing row for `id` in place (first occurrence keeps its position;
+/// stray duplicates are dropped) or appending when the id is new. Rows
+/// for other ids — including lines this stub did not write — pass through
+/// untouched.
+fn record_json_line(path: &std::path::Path, id: &str, line: &str) {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    // The id is always the first field of a row this stub wrote, so a
+    // prefix check is an exact id match (no substring collisions between
+    // e.g. `mc/retime` and `mc/retime_corner`).
+    let marker = format!("{{\"id\": \"{id}\",");
+    let mut out = String::with_capacity(existing.len() + line.len() + 1);
+    let mut replaced = false;
+    for row in existing.lines() {
+        if row.trim().is_empty() {
+            continue;
         }
+        if row.starts_with(&marker) {
+            if !replaced {
+                out.push_str(line);
+                out.push('\n');
+                replaced = true;
+            }
+        } else {
+            out.push_str(row);
+            out.push('\n');
+        }
+    }
+    if !replaced {
+        out.push_str(line);
+        out.push('\n');
+    }
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not record bench row for {id}: {e}");
     }
 }
 
@@ -344,6 +377,36 @@ mod tests {
                 BatchSize::SmallInput,
             )
         });
+    }
+
+    #[test]
+    fn record_replaces_rows_by_id() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_stub_record_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // Pre-existing duplicates (the historical append behavior) collapse
+        // to the fresh row; a prefix-overlapping id stays untouched.
+        std::fs::write(
+            &path,
+            "{\"id\": \"grp/a\", \"ns_per_iter\": 1.0}\n{\"id\": \"grp/a\", \"ns_per_iter\": 2.0}\n",
+        )
+        .unwrap();
+        record_json_line(
+            &path,
+            "grp/ab",
+            "{\"id\": \"grp/ab\", \"ns_per_iter\": 9.0}",
+        );
+        record_json_line(&path, "grp/a", "{\"id\": \"grp/a\", \"ns_per_iter\": 3.0}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rows: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            rows,
+            [
+                "{\"id\": \"grp/a\", \"ns_per_iter\": 3.0}",
+                "{\"id\": \"grp/ab\", \"ns_per_iter\": 9.0}",
+            ]
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
