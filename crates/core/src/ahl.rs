@@ -203,6 +203,52 @@ impl Ahl {
     }
 }
 
+/// A serializable snapshot of an [`Ahl`]'s mutable state — the aging
+/// indicator's latch, the in-progress window counters, and the transition
+/// tally.
+///
+/// The judging blocks and configuration are *not* part of the snapshot:
+/// they are construction parameters, so a checkpoint that records them
+/// once (skip number, window config, adaptive flag) can rebuild the AHL
+/// with [`Ahl::adaptive`]/[`Ahl::traditional`] and then
+/// [`Ahl::restore`] the dynamic state. Restoring a snapshot into an AHL
+/// built with the same parameters reproduces every future
+/// [`decide`](Ahl::decide)/[`record`](Ahl::record) outcome exactly —
+/// the contract the fleet simulator's checkpoint/resume byte-identity
+/// rests on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AhlState {
+    /// Whether the stricter judging block is engaged.
+    pub aged: bool,
+    /// Operations recorded into the current (incomplete) window.
+    pub ops_in_window: u32,
+    /// Razor errors recorded into the current window.
+    pub errors_in_window: u32,
+    /// Lifetime aged-mode transitions.
+    pub transitions: u64,
+}
+
+impl Ahl {
+    /// Captures the indicator's dynamic state (see [`AhlState`]).
+    pub fn snapshot(&self) -> AhlState {
+        AhlState {
+            aged: self.aged,
+            ops_in_window: self.ops_in_window,
+            errors_in_window: self.errors_in_window,
+            transitions: self.transitions,
+        }
+    }
+
+    /// Restores a [`snapshot`](Self::snapshot) taken from an AHL built
+    /// with the same constructor parameters.
+    pub fn restore(&mut self, state: AhlState) {
+        self.aged = state.aged && self.adaptive;
+        self.ops_in_window = state.ops_in_window;
+        self.errors_in_window = state.errors_in_window;
+        self.transitions = state.transitions;
+    }
+}
+
 impl fmt::Display for Ahl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -222,6 +268,31 @@ impl fmt::Display for Ahl {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A restored snapshot reproduces every future decide/record outcome:
+    /// run an AHL halfway through an error-laden stream, snapshot, restore
+    /// into a freshly built twin, and drive both through the remainder —
+    /// mode, window counters, and decisions stay in lockstep.
+    #[test]
+    fn snapshot_restore_resumes_in_lockstep() {
+        let mut original = Ahl::adaptive(7, AhlConfig::paper());
+        // 137 ops leaves a window mid-flight (37 ops, some errors).
+        for op in 0..137u32 {
+            original.record(op % 9 == 0);
+        }
+        let state = original.snapshot();
+        let mut resumed = Ahl::adaptive(7, AhlConfig::paper());
+        resumed.restore(state);
+        assert_eq!(resumed.snapshot(), state);
+        for op in 0..263u32 {
+            assert_eq!(resumed.decide(op % 17), original.decide(op % 17));
+            let err = op % 7 == 3;
+            original.record(err);
+            resumed.record(err);
+        }
+        assert_eq!(resumed.snapshot(), original.snapshot());
+        assert_eq!(resumed.mode_transitions(), original.mode_transitions());
+    }
 
     #[test]
     fn fresh_ahl_uses_first_block() {

@@ -75,7 +75,7 @@ mod sweep;
 mod validate;
 
 pub use aging_sweep::{AgingSweep, SweepCounters};
-pub use ahl::{Ahl, AhlConfig, CycleDecision};
+pub use ahl::{Ahl, AhlConfig, AhlState, CycleDecision};
 pub use ahl_netlist::GateLevelAhl;
 pub use area::{area_report, Architecture, AreaReport};
 pub use cache::{

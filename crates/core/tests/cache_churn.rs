@@ -1,0 +1,187 @@
+//! `ProfileCache` under fleet-scale key churn.
+//!
+//! A fleet campaign generates *hundreds* of distinct corner fingerprints
+//! — one per (node corner × effective age) — all for the same design, so
+//! they all hash into the **same shard**. These tests drive that exact
+//! churn pattern against a small bounded cache and pin the guarantees the
+//! fleet leans on: per-shard counters stay coherent (`hits + misses`
+//! accounts for every lookup, all in one shard), eviction pressure stays
+//! within the configured bound, and a key that was evicted and rebuilt
+//! yields a bit-identical profile — eviction may cost time, never
+//! correctness.
+
+use std::sync::Arc;
+
+use agemul::{
+    quantize_factors, CoreError, MultiplierDesign, PatternProfile, PatternSet, ProfileCache,
+    SimEngine,
+};
+use agemul_aging::VariationModel;
+use agemul_circuits::MultiplierKind;
+use agemul_netlist::DelayAssignment;
+
+const CORNERS: usize = 300;
+const SHARD_CAPACITY: usize = 32;
+
+fn design() -> MultiplierDesign {
+    MultiplierDesign::new(MultiplierKind::ColumnBypass, 8).unwrap()
+}
+
+/// The delay assignment of corner `seed` — the same variation pipeline a
+/// fleet node uses, so each seed is a realistic distinct fingerprint.
+fn corner_delays(design: &MultiplierDesign, seed: u64) -> DelayAssignment {
+    let variation = VariationModel::new(0.05);
+    let factors = quantize_factors(&variation.factors(design.circuit().netlist(), seed));
+    design.delay_assignment(Some(&factors)).unwrap()
+}
+
+/// A cached profile build that actually simulates (the fleet's miss
+/// path), so rebuild-identity is checked against real timing data.
+fn build(
+    cache: &ProfileCache,
+    design: &MultiplierDesign,
+    delays: &DelayAssignment,
+    pairs: &[(u64, u64)],
+) -> Arc<PatternProfile> {
+    cache
+        .get_or_insert_with(design, delays, pairs, || -> Result<_, CoreError> {
+            design.profile_with_delays_supervised(pairs, delays, SimEngine::Level, None)
+        })
+        .unwrap()
+}
+
+/// Hundreds of corner fingerprints for one design land in exactly one
+/// shard, and that shard's counters account for every lookup: first pass
+/// all misses, second pass over the same keys (unbounded cache) all hits.
+#[test]
+fn corner_churn_keeps_per_shard_counters_coherent() {
+    let design = design();
+    let pairs = PatternSet::uniform(8, 12, 7).pairs().to_vec();
+    let cache = ProfileCache::new();
+
+    let delays: Vec<DelayAssignment> = (0..CORNERS as u64)
+        .map(|seed| corner_delays(&design, seed))
+        .collect();
+    for d in &delays {
+        build(&cache, &design, d, &pairs);
+    }
+    for d in &delays {
+        build(&cache, &design, d, &pairs);
+    }
+
+    assert_eq!(
+        cache.misses(),
+        CORNERS as u64,
+        "first pass misses each corner once"
+    );
+    assert_eq!(
+        cache.hits(),
+        CORNERS as u64,
+        "second pass hits each corner once"
+    );
+    assert_eq!(cache.evictions(), 0, "unbounded cache never evicts");
+    assert_eq!(cache.len(), CORNERS);
+
+    let stats = cache.shard_stats();
+    let active: Vec<_> = stats
+        .iter()
+        .filter(|s| s.hits + s.misses + s.evictions > 0 || s.entries > 0)
+        .collect();
+    assert_eq!(
+        active.len(),
+        1,
+        "one (kind, width) must churn exactly one shard, got {active:?}"
+    );
+    let shard = active[0];
+    assert_eq!(shard.entries, CORNERS);
+    assert_eq!(
+        shard.hits,
+        cache.hits(),
+        "shard rows must sum to the cache totals"
+    );
+    assert_eq!(shard.misses, cache.misses());
+    assert_eq!(
+        shard.hits + shard.misses,
+        2 * CORNERS as u64,
+        "every lookup is either a hit or a miss"
+    );
+}
+
+/// Under a shard bound far below the churn width, eviction pressure stays
+/// within the bound and the counters still reconcile exactly.
+#[test]
+fn bounded_shard_evicts_down_to_capacity_under_churn() {
+    let design = design();
+    let pairs = PatternSet::uniform(8, 12, 7).pairs().to_vec();
+    let cache = ProfileCache::with_capacity(SHARD_CAPACITY);
+
+    for seed in 0..CORNERS as u64 {
+        build(&cache, &design, &corner_delays(&design, seed), &pairs);
+    }
+
+    assert_eq!(
+        cache.len(),
+        SHARD_CAPACITY,
+        "shard must sit exactly at its bound"
+    );
+    assert_eq!(cache.misses(), CORNERS as u64, "all distinct keys miss");
+    assert_eq!(cache.hits(), 0);
+    assert_eq!(
+        cache.evictions(),
+        (CORNERS - SHARD_CAPACITY) as u64,
+        "every insert past the bound evicts exactly one entry"
+    );
+
+    // The most recent SHARD_CAPACITY corners are resident; everything
+    // older was evicted. Replaying the resident tail must be pure hits.
+    let before = cache.hits();
+    for seed in (CORNERS - SHARD_CAPACITY) as u64..CORNERS as u64 {
+        build(&cache, &design, &corner_delays(&design, seed), &pairs);
+    }
+    assert_eq!(
+        cache.hits() - before,
+        SHARD_CAPACITY as u64,
+        "the LRU tail must still be resident"
+    );
+}
+
+/// An evicted key rebuilt later yields a profile bit-identical to the
+/// original build — eviction is transparent to results.
+#[test]
+fn evicted_corners_rebuild_bit_identically() {
+    let design = design();
+    let pairs = PatternSet::uniform(8, 12, 7).pairs().to_vec();
+    let cache = ProfileCache::with_capacity(SHARD_CAPACITY);
+
+    // First builds, retained outside the cache as the reference.
+    let originals: Vec<Arc<PatternProfile>> = (0..CORNERS as u64)
+        .map(|seed| build(&cache, &design, &corner_delays(&design, seed), &pairs))
+        .collect();
+
+    // Early corners are long evicted: rebuilding them must miss (proving
+    // the eviction) and reproduce the exact records.
+    let evicted_probe = 0..(SHARD_CAPACITY as u64);
+    for seed in evicted_probe {
+        let misses_before = cache.misses();
+        let rebuilt = build(&cache, &design, &corner_delays(&design, seed), &pairs);
+        assert!(
+            cache.misses() > misses_before,
+            "corner {seed} should have been evicted by the churn"
+        );
+        let original = &originals[seed as usize];
+        assert!(
+            !Arc::ptr_eq(original, &rebuilt),
+            "a rebuild cannot be the original allocation"
+        );
+        assert_eq!(
+            original.as_ref(),
+            rebuilt.as_ref(),
+            "corner {seed}: rebuilt profile must be bit-identical"
+        );
+        let (a, b) = (original.records(), rebuilt.records());
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(b) {
+            assert_eq!(ra.delay_ns.to_bits(), rb.delay_ns.to_bits());
+        }
+    }
+}

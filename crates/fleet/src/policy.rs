@@ -1,0 +1,270 @@
+//! Routing and node-health policies.
+//!
+//! Routing decides where each arriving operation executes; the health
+//! policy decides, at epoch boundaries, which nodes retire, down-clock,
+//! or rest. Both are deliberately *deterministic*: every tie falls back
+//! to the node id, so a policy comparison is a pure function of the seed
+//! and the replay suite can pin it.
+
+use crate::node::NodeState;
+
+/// How arriving operations are routed across active nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RoutingPolicy {
+    /// Cyclic assignment over active nodes — the oblivious baseline.
+    RoundRobin,
+    /// The active node that frees up earliest (smallest `busy_until`),
+    /// ties broken by id.
+    LeastLoaded,
+    /// Aging-aware least-degraded: the *healthiest half* of the active
+    /// nodes (smallest current profile max delay) is eligible, and the
+    /// least-loaded eligible node wins. Degraded nodes therefore see
+    /// less traffic, age more slowly (BTI stress follows utilization),
+    /// and hold their error rates under the retirement cliff longer —
+    /// wear-leveling applied to transistor aging.
+    AgingAware,
+}
+
+impl RoutingPolicy {
+    /// Every policy, in comparison order.
+    pub const ALL: [RoutingPolicy; 3] = [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::LeastLoaded,
+        RoutingPolicy::AgingAware,
+    ];
+
+    /// A stable label (wire format, CSV cells, CLI flags).
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::LeastLoaded => "least-loaded",
+            RoutingPolicy::AgingAware => "aging-aware",
+        }
+    }
+
+    /// Parses a [`label`](Self::label).
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown label and lists the valid ones.
+    pub fn parse(label: &str) -> Result<RoutingPolicy, String> {
+        Self::ALL
+            .into_iter()
+            .find(|p| p.label() == label)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = Self::ALL.iter().map(|p| p.label()).collect();
+                format!(
+                    "unknown policy {label:?} (want one of {})",
+                    valid.join(", ")
+                )
+            })
+    }
+
+    /// A stable numeric tag (run-key fingerprints).
+    pub fn tag(self) -> u64 {
+        match self {
+            RoutingPolicy::RoundRobin => 0,
+            RoutingPolicy::LeastLoaded => 1,
+            RoutingPolicy::AgingAware => 2,
+        }
+    }
+}
+
+/// The complete per-node management policy of a fleet scenario.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetPolicy {
+    /// Routing discipline.
+    pub routing: RoutingPolicy,
+    /// Retire a node whose per-epoch Razor error rate exceeds this many
+    /// errors per 10 000 operations (`f64::INFINITY` disables). A node
+    /// with any undetected violation retires unconditionally — silent
+    /// corruption is never load-balanced away.
+    pub retire_error_per_10k: f64,
+    /// Below the retirement cliff, stretch the node's clock when its
+    /// per-epoch error rate exceeds this (`f64::INFINITY` disables).
+    pub downclock_error_per_10k: f64,
+    /// Clock stretch per down-clock action, percent.
+    pub downclock_percent: u32,
+    /// Maximum down-clock actions per node.
+    pub max_downclocks: u32,
+    /// Rejuvenation rotation period in epochs: every `rotation_epochs`
+    /// epochs the next node in id order rests for that window (0
+    /// disables). After Gürsoy et al., resting partially rejuvenates.
+    pub rotation_epochs: u32,
+    /// BTI age recovered per rested epoch, years.
+    pub rest_recovery_years: f64,
+}
+
+impl FleetPolicy {
+    /// The workspace baseline for a routing discipline: retirement at
+    /// 600 errors / 10 k ops, down-clocking (two 5 % steps) at 250, no
+    /// rotation.
+    pub fn baseline(routing: RoutingPolicy) -> Self {
+        FleetPolicy {
+            routing,
+            retire_error_per_10k: 600.0,
+            downclock_error_per_10k: 250.0,
+            downclock_percent: 5,
+            max_downclocks: 2,
+            rotation_epochs: 0,
+            rest_recovery_years: 0.0,
+        }
+    }
+
+    /// [`baseline`](Self::baseline) with the rejuvenation rotation on:
+    /// one node rests per `rotation` epochs, recovering `recovery` years
+    /// of effective age per rested epoch.
+    pub fn with_rotation(routing: RoutingPolicy, rotation: u32, recovery: f64) -> Self {
+        FleetPolicy {
+            rotation_epochs: rotation,
+            rest_recovery_years: recovery,
+            ..Self::baseline(routing)
+        }
+    }
+
+    /// A scenario label: the routing label, plus `+rotation` when the
+    /// rejuvenation rotation is enabled.
+    pub fn label(&self) -> String {
+        if self.rotation_epochs > 0 {
+            format!("{}+rotation", self.routing.label())
+        } else {
+            self.routing.label().to_string()
+        }
+    }
+
+    /// The `u64` words this policy contributes to a run-key fingerprint.
+    pub fn fingerprint_words(&self) -> Vec<u64> {
+        vec![
+            self.routing.tag(),
+            self.retire_error_per_10k.to_bits(),
+            self.downclock_error_per_10k.to_bits(),
+            u64::from(self.downclock_percent),
+            u64::from(self.max_downclocks),
+            u64::from(self.rotation_epochs),
+            self.rest_recovery_years.to_bits(),
+        ]
+    }
+}
+
+/// Routes one arrival: returns the chosen node id, or `None` if no node
+/// is routable. `rr_cursor` is the round-robin scan position, advanced
+/// only by the round-robin discipline.
+///
+/// Determinism: every comparison ends in the node id, and the candidate
+/// scan runs in id order, so the decision is a pure function of the node
+/// states — never of map iteration order or heap layout.
+pub fn route(policy: &FleetPolicy, nodes: &[NodeState], rr_cursor: &mut u32) -> Option<u32> {
+    let routable = nodes.iter().filter(|n| n.is_routable()).count();
+    if routable == 0 {
+        return None;
+    }
+    match policy.routing {
+        RoutingPolicy::RoundRobin => {
+            // Scan up to one full cycle from the cursor for the next
+            // routable node.
+            let n = nodes.len() as u32;
+            for step in 0..n {
+                let id = (*rr_cursor + step) % n;
+                if nodes[id as usize].is_routable() {
+                    *rr_cursor = (id + 1) % n;
+                    return Some(id);
+                }
+            }
+            None
+        }
+        RoutingPolicy::LeastLoaded => nodes
+            .iter()
+            .filter(|n| n.is_routable())
+            .min_by_key(|n| (n.busy_until_fs, n.id))
+            .map(|n| n.id),
+        RoutingPolicy::AgingAware => {
+            // Healthiest ceil(half) by current profile max delay (bit
+            // comparison is total: delays are finite non-negative), then
+            // least-loaded among them.
+            let mut active: Vec<&NodeState> = nodes.iter().filter(|n| n.is_routable()).collect();
+            active.sort_by_key(|n| (n.profile_max_delay_ns.to_bits(), n.id));
+            let eligible = active.len().div_ceil(2);
+            active[..eligible]
+                .iter()
+                .min_by_key(|n| (n.busy_until_fs, n.id))
+                .map(|n| n.id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeStatus;
+
+    fn fleet(n: u32) -> Vec<NodeState> {
+        (0..n)
+            .map(|id| NodeState::new(id, u64::from(id) + 1, 0.0, 1_000_000, 7))
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_over_active_nodes() {
+        let mut nodes = fleet(4);
+        nodes[2].status = NodeStatus::Retired;
+        let policy = FleetPolicy::baseline(RoutingPolicy::RoundRobin);
+        let mut cursor = 0;
+        let picks: Vec<u32> = (0..6)
+            .map(|_| route(&policy, &nodes, &mut cursor).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 3, 0, 1, 3]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_earliest_free_then_id() {
+        let mut nodes = fleet(3);
+        nodes[0].busy_until_fs = 50;
+        nodes[1].busy_until_fs = 10;
+        nodes[2].busy_until_fs = 10;
+        let policy = FleetPolicy::baseline(RoutingPolicy::LeastLoaded);
+        let mut cursor = 0;
+        assert_eq!(route(&policy, &nodes, &mut cursor), Some(1));
+    }
+
+    #[test]
+    fn aging_aware_excludes_the_degraded_half() {
+        let mut nodes = fleet(4);
+        nodes[0].profile_max_delay_ns = 1.40; // most degraded
+        nodes[1].profile_max_delay_ns = 1.10;
+        nodes[2].profile_max_delay_ns = 1.35;
+        nodes[3].profile_max_delay_ns = 1.20;
+        // The degraded node is idle, the healthy ones busy: an oblivious
+        // least-loaded pick would choose node 0; aging-aware must not.
+        nodes[1].busy_until_fs = 100;
+        nodes[3].busy_until_fs = 50;
+        let policy = FleetPolicy::baseline(RoutingPolicy::AgingAware);
+        let mut cursor = 0;
+        assert_eq!(route(&policy, &nodes, &mut cursor), Some(3));
+    }
+
+    #[test]
+    fn no_routable_node_yields_none() {
+        let mut nodes = fleet(2);
+        nodes[0].status = NodeStatus::Retired;
+        nodes[1].status = NodeStatus::Resting;
+        for routing in RoutingPolicy::ALL {
+            let mut cursor = 0;
+            assert_eq!(
+                route(&FleetPolicy::baseline(routing), &nodes, &mut cursor),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for p in RoutingPolicy::ALL {
+            assert_eq!(RoutingPolicy::parse(p.label()).unwrap(), p);
+        }
+        assert!(RoutingPolicy::parse("psychic").is_err());
+        assert_eq!(
+            FleetPolicy::with_rotation(RoutingPolicy::AgingAware, 2, 0.25).label(),
+            "aging-aware+rotation"
+        );
+    }
+}

@@ -34,8 +34,11 @@
 //! [`run_sweep_supervised`] (one case per period),
 //! [`run_gate_supervised`] (one case per conformance seed), and
 //! [`run_mc_supervised`] (one case per Monte Carlo process corner, with
-//! the retimed plan-reuse profiler on primary attempts). The `soak`
-//! binary drives a kill → resume → diff smoke test (`just soak-smoke`).
+//! the retimed plan-reuse profiler on primary attempts), and
+//! [`run_fleet_supervised`] (one case per fleet policy scenario, with
+//! engine degradation pinned byte-identical by `agemul-fleet`'s event
+//! log). The `soak` binary drives a kill → resume → diff smoke test
+//! (`just soak-smoke`).
 //!
 //! # Example
 //!
@@ -69,6 +72,7 @@ mod campaign;
 mod checkpoint;
 mod conformance;
 mod error;
+mod fleet;
 mod mc;
 mod request;
 mod snapshot;
@@ -79,6 +83,7 @@ pub use campaign::{campaign_run_key, run_campaign_supervised, SupervisedCampaign
 pub use checkpoint::{crc32, CaseRecord, CaseStatus, Checkpoint, CheckpointError, SCHEMA};
 pub use conformance::{run_gate_supervised, SupervisedGateOutcome};
 pub use error::HarnessError;
+pub use fleet::{fleet_run_key, run_fleet_supervised, FleetScenario, SupervisedFleet};
 pub use mc::{corner_from_json, corner_to_json, mc_run_key, run_mc_supervised, SupervisedMc};
 pub use request::run_request_supervised;
 pub use snapshot::{

@@ -106,6 +106,28 @@ impl Scale {
             (_, _) => 1_024,
         }
     }
+
+    /// Operations routed per epoch in the fleet policy study (`fleet`).
+    /// Every node profiles its corner over the epoch trace, so this is the
+    /// study's hot axis; utilization-driven aging is normalized by the
+    /// fair share, which keeps the policy dynamics comparable across
+    /// scales. The floor is 192 even at `Quick`: below that the epoch
+    /// traces under-utilize every node and no policy separates before the
+    /// horizon ends, which would void the study's acceptance check.
+    pub fn fleet_ops_per_epoch(self) -> usize {
+        match self {
+            Scale::Quick | Scale::Standard => 192,
+            Scale::Paper => 384,
+        }
+    }
+
+    /// Simulated epochs in the fleet policy study. Deliberately constant
+    /// across scales: the epoch count times the per-epoch aging step *is*
+    /// the lifetime horizon under test, so shrinking it would change the
+    /// experiment rather than its resolution.
+    pub fn fleet_epochs(self) -> usize {
+        20
+    }
 }
 
 /// Workload seed shared by the latency experiments, so every figure sees

@@ -22,6 +22,7 @@
 //! | `fig27` | [`fig27`] | latency/power/EDP over 7 years, 32×32 |
 //! | `sweep` | [`sweep`] | 7-year × multi-period profiling-driver study, 32×32 |
 //! | `mc` | [`mc`] | Monte Carlo yield vs lifetime over process corners, 16×16 |
+//! | `fleet` | [`fleet`] | fleet quorum-loss lifetime by routing policy, 16×16 |
 
 mod aged;
 mod aging_trend;
@@ -30,6 +31,7 @@ mod conformance;
 mod dist;
 mod extras;
 mod fault_campaigns;
+mod fleet;
 mod montecarlo;
 mod ratios;
 mod sweep_aging;
@@ -43,6 +45,7 @@ pub use conformance::conformance;
 pub use dist::{fig5, fig6, fig9_10};
 pub use extras::{ablations, extensions};
 pub use fault_campaigns::faults;
+pub use fleet::fleet;
 pub use montecarlo::mc;
 pub use ratios::{table1, table2};
 pub use sweep_aging::sweep;
@@ -53,7 +56,7 @@ use crate::{Context, Report, Result};
 
 /// All experiment ids: the paper's artifacts in paper order, then the
 /// repository's own ablation and extension studies.
-pub const ALL_IDS: [&str; 24] = [
+pub const ALL_IDS: [&str; 25] = [
     "fig5",
     "fig6",
     "fig7",
@@ -78,6 +81,7 @@ pub const ALL_IDS: [&str; 24] = [
     "conformance",
     "sweep",
     "mc",
+    "fleet",
 ];
 
 /// Runs an experiment by id (see [`ALL_IDS`]).
@@ -111,6 +115,7 @@ pub fn run_by_id(ctx: &mut Context, id: &str) -> Result<Report> {
         "conformance" => conformance(ctx),
         "sweep" => sweep(ctx),
         "mc" => mc(ctx),
+        "fleet" => fleet(ctx),
         other => Err(format!("unknown experiment id: {other}").into()),
     }
 }

@@ -11,7 +11,8 @@
 //! repro query [--addr <host:port> | --unix <path>] --op <op>
 //!       [--kind <K>] [--width <N>] [--years <Y>] [--patterns <N>]
 //!       [--seed <N>] [--periods <a,b,..>] [--skip <N>]
-//!       [--faults <N>] [--fault-seed <N>] [--deadline-ms <N>]
+//!       [--faults <N>] [--fault-seed <N>] [--nodes <N>] [--epochs <N>]
+//!       [--policy <P>] [--deadline-ms <N>]
 //! ```
 //!
 //! A failing experiment no longer aborts the batch: every requested
@@ -56,7 +57,7 @@ fn usage() {
     );
     eprintln!(
         "       repro query [--addr <host:port> | --unix <path>] --op \
-         <profile|sweep|campaign|mc|stats|shutdown> [op fields...]"
+         <profile|sweep|campaign|mc|fleet|stats|shutdown> [op fields...]"
     );
     eprintln!("experiments: {}", experiments::ALL_IDS.join(", "));
 }
@@ -327,6 +328,9 @@ fn parse_query(args: &[String]) -> Result<Command, String> {
     let mut corners: Option<usize> = None;
     let mut sigma: Option<f64> = None;
     let mut mc_seed: Option<u64> = None;
+    let mut nodes: Option<usize> = None;
+    let mut epochs: Option<usize> = None;
+    let mut policy: Option<String> = None;
     let mut deadline: Option<Duration> = None;
 
     let mut i = 0;
@@ -437,6 +441,26 @@ fn parse_query(args: &[String]) -> Result<Command, String> {
                 let v = next_value(args, &mut i, "--mc-seed")?;
                 set_once(&mut mc_seed, "--mc-seed", parse_u64("--mc-seed", v)?)?;
             }
+            "--nodes" => {
+                let v = next_value(args, &mut i, "--nodes")?;
+                let n = parse_usize("--nodes", v)?;
+                if n == 0 {
+                    return Err("--nodes must be positive".into());
+                }
+                set_once(&mut nodes, "--nodes", n)?;
+            }
+            "--epochs" => {
+                let v = next_value(args, &mut i, "--epochs")?;
+                let n = parse_usize("--epochs", v)?;
+                if n == 0 {
+                    return Err("--epochs must be positive".into());
+                }
+                set_once(&mut epochs, "--epochs", n)?;
+            }
+            "--policy" => {
+                let v = next_value(args, &mut i, "--policy")?;
+                set_once(&mut policy, "--policy", v.to_string())?;
+            }
             "--deadline-ms" => {
                 let v = next_value(args, &mut i, "--deadline-ms")?;
                 let d = parse_deadline_ms(v)?;
@@ -448,7 +472,7 @@ fn parse_query(args: &[String]) -> Result<Command, String> {
         i += 1;
     }
 
-    let op = op.ok_or("query needs --op <profile|sweep|campaign|mc|stats|shutdown>")?;
+    let op = op.ok_or("query needs --op <profile|sweep|campaign|mc|fleet|stats|shutdown>")?;
     let design_query = |kind: &Option<String>| -> Result<DesignQuery, String> {
         let label = kind
             .as_deref()
@@ -481,11 +505,19 @@ fn parse_query(args: &[String]) -> Result<Command, String> {
             mc_seed: mc_seed.unwrap_or(1),
             skip: skip.unwrap_or(7),
         },
+        "fleet" => RequestBody::Fleet {
+            query: design_query(&kind)?,
+            nodes: nodes.ok_or("--op fleet needs --nodes")?,
+            epochs: epochs.ok_or("--op fleet needs --epochs")?,
+            policy: policy.unwrap_or_else(|| "aging-aware".into()),
+            skip: skip.unwrap_or(7),
+        },
         "stats" => RequestBody::Stats,
         "shutdown" => RequestBody::Shutdown,
         other => {
             return Err(format!(
-                "unknown op {other:?} (want profile, sweep, campaign, mc, stats, or shutdown)"
+                "unknown op {other:?} (want profile, sweep, campaign, mc, fleet, stats, or \
+                 shutdown)"
             ))
         }
     };

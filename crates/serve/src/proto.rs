@@ -145,6 +145,24 @@ pub enum RequestBody {
         /// AHL skip threshold for the evaluation replays.
         skip: u32,
     },
+    /// Seeded fleet policy study on the discrete-event datacenter
+    /// simulator. The query's fields are reinterpreted for the fleet:
+    /// `years` is the aging applied per epoch at fair utilization,
+    /// `patterns` is the operations routed per epoch, and `seed` is the
+    /// campaign base seed (node corners and epoch traces derive from it).
+    Fleet {
+        /// Design/workload coordinates (see reinterpretation above).
+        query: DesignQuery,
+        /// Multiplier instances in the fleet.
+        nodes: usize,
+        /// Epochs to simulate.
+        epochs: usize,
+        /// Routing policy label (`round-robin`, `least-loaded`,
+        /// `aging-aware`); validated when the op executes.
+        policy: String,
+        /// AHL skip threshold shared by every node.
+        skip: u32,
+    },
     /// Server cache/coalescer statistics.
     Stats,
     /// Graceful shutdown: the server finishes in-flight work, saves its
@@ -304,6 +322,29 @@ impl Request {
                         .map_err(|_| "skip out of u32 range".to_string())?,
                 }
             }
+            "fleet" => {
+                let nodes = get_u64(v, "nodes")? as usize;
+                if nodes == 0 {
+                    return Err("fleet needs at least one node".into());
+                }
+                let epochs = get_u64(v, "epochs")? as usize;
+                if epochs == 0 {
+                    return Err("fleet needs at least one epoch".into());
+                }
+                let policy = v
+                    .get("policy")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "missing or non-string field \"policy\"".to_string())?
+                    .to_string();
+                RequestBody::Fleet {
+                    query: query_from_json(v)?,
+                    nodes,
+                    epochs,
+                    policy,
+                    skip: u32::try_from(get_u64(v, "skip")?)
+                        .map_err(|_| "skip out of u32 range".to_string())?,
+                }
+            }
             "stats" => RequestBody::Stats,
             "shutdown" => RequestBody::Shutdown,
             other => return Err(format!("unknown op {other:?}")),
@@ -363,6 +404,20 @@ impl Request {
                 pairs.push(("corners".into(), Json::UInt(*corners as u64)));
                 pairs.push(("sigma".into(), Json::Num(*sigma)));
                 pairs.push(("mc_seed".into(), Json::UInt(*mc_seed)));
+                pairs.push(("skip".into(), Json::UInt(u64::from(*skip))));
+            }
+            RequestBody::Fleet {
+                query,
+                nodes,
+                epochs,
+                policy,
+                skip,
+            } => {
+                pairs.push(("op".into(), Json::Str("fleet".into())));
+                pairs.extend(query_to_json(query));
+                pairs.push(("nodes".into(), Json::UInt(*nodes as u64)));
+                pairs.push(("epochs".into(), Json::UInt(*epochs as u64)));
+                pairs.push(("policy".into(), Json::Str(policy.clone())));
                 pairs.push(("skip".into(), Json::UInt(u64::from(*skip))));
             }
             RequestBody::Stats => pairs.push(("op".into(), Json::Str("stats".into()))),
@@ -470,10 +525,21 @@ mod tests {
             Request {
                 id: 5,
                 deadline_ms: None,
-                body: RequestBody::Stats,
+                body: RequestBody::Fleet {
+                    query: query(),
+                    nodes: 4,
+                    epochs: 20,
+                    policy: "aging-aware".into(),
+                    skip: 7,
+                },
             },
             Request {
                 id: 6,
+                deadline_ms: None,
+                body: RequestBody::Stats,
+            },
+            Request {
+                id: 7,
                 deadline_ms: None,
                 body: RequestBody::Shutdown,
             },

@@ -29,6 +29,7 @@ use std::time::Duration;
 use agemul::{EngineConfig, McConfig, McReport, MonteCarloCampaign, PeriodSweep, SimEngine};
 use agemul_conformance::Json;
 use agemul_faults::{Campaign, FaultSpec};
+use agemul_fleet::{FleetCampaign, FleetConfig, FleetPolicy, FleetSim, RoutingPolicy};
 use agemul_harness::{
     is_cancellation, run_request_supervised, Attempt, CaseError, CaseStatus, SupervisorConfig,
 };
@@ -496,6 +497,7 @@ fn op_label(body: &RequestBody) -> String {
         RequestBody::Sweep { query, .. } => ("sweep", query),
         RequestBody::Campaign { query, .. } => ("campaign", query),
         RequestBody::Mc { query, .. } => ("mc", query),
+        RequestBody::Fleet { query, .. } => ("fleet", query),
         // Stats/Shutdown never reach supervision.
         RequestBody::Stats | RequestBody::Shutdown => return "stats".into(),
     };
@@ -579,6 +581,13 @@ fn eval_op(state: &ServerState, body: &RequestBody, attempt: &Attempt) -> Result
             mc_seed,
             skip,
         } => eval_mc(state, query, *corners, *sigma, *mc_seed, *skip, attempt),
+        RequestBody::Fleet {
+            query,
+            nodes,
+            epochs,
+            policy,
+            skip,
+        } => eval_fleet(state, query, *nodes, *epochs, policy, *skip, attempt),
         RequestBody::Stats | RequestBody::Shutdown => Err(CaseError::Failed(
             "op does not run under supervision".into(),
         )),
@@ -693,4 +702,43 @@ fn eval_mc(
         ("baseline_yield".into(), curve(false)),
         ("ahl_yield".into(), curve(true)),
     ]))
+}
+
+/// Runs a fleet policy campaign on the discrete-event datacenter
+/// simulator: `nodes` divergently aged instances, `epochs` epochs of
+/// `query.patterns` routed operations with `query.years` of fair-share
+/// aging per epoch, under the named routing policy.
+///
+/// Both engines produce byte-identical event logs (pinned in
+/// `agemul-fleet`'s tests), so a degraded attempt returns the same
+/// summary the primary would have.
+fn eval_fleet(
+    state: &ServerState,
+    query: &DesignQuery,
+    nodes: usize,
+    epochs: usize,
+    policy: &str,
+    skip: u32,
+    attempt: &Attempt,
+) -> Result<Json, CaseError> {
+    let routing = RoutingPolicy::parse(policy).map_err(CaseError::Failed)?;
+    let design = state
+        .design(query.kind, query.width)
+        .map_err(CaseError::Failed)?;
+    if !query.years.is_finite() || query.years < 0.0 {
+        return Err(CaseError::Failed(format!(
+            "fleet years-per-epoch must be finite and non-negative, got {}",
+            query.years
+        )));
+    }
+    let mut config = FleetConfig::new(nodes, epochs, query.patterns, query.seed);
+    config.skip = skip;
+    config.years_per_epoch = query.years;
+    config.policy = FleetPolicy::baseline(routing);
+    let campaign = FleetCampaign::new(&design, state.bti(), config).map_err(core_to_case)?;
+    let mut sim = FleetSim::new(&campaign);
+    let summary = sim
+        .run(attempt.engine, attempt.cancel.as_ref())
+        .map_err(core_to_case)?;
+    Ok(summary.to_json())
 }

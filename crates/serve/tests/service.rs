@@ -227,6 +227,77 @@ fn mc_op_returns_yield_curves() {
 }
 
 #[test]
+fn fleet_op_returns_a_policy_summary() {
+    let server = spawn_tcp(None);
+    let mut conn = TcpStream::connect(server.tcp_addr().unwrap()).unwrap();
+    let frame = Json::Obj(vec![
+        ("id".into(), Json::UInt(1)),
+        ("op".into(), Json::Str("fleet".into())),
+        ("kind".into(), Json::Str("CB".into())),
+        ("width".into(), Json::UInt(8)),
+        // For the fleet op `years` is the aging per epoch at fair
+        // utilization and `patterns` the operations routed per epoch.
+        ("years".into(), Json::Num(1.0)),
+        ("patterns".into(), Json::UInt(48)),
+        ("seed".into(), Json::UInt(0x0A6E_0005)),
+        ("nodes".into(), Json::UInt(2)),
+        ("epochs".into(), Json::UInt(2)),
+        ("policy".into(), Json::Str("aging-aware".into())),
+        ("skip".into(), Json::UInt(7)),
+    ]);
+    let response = roundtrip(&mut conn, &frame).unwrap();
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{response}"
+    );
+    let result = response.get("result").expect("fleet summary");
+    assert_eq!(
+        result.get("policy").and_then(Json::as_str),
+        Some("aging-aware")
+    );
+    assert_eq!(result.get("nodes").and_then(Json::as_u64), Some(2));
+    assert_eq!(result.get("epochs").and_then(Json::as_u64), Some(2));
+    assert_eq!(
+        result.get("completed_ops").and_then(Json::as_u64),
+        Some(2 * 48),
+        "every routed op completes on a healthy two-node fleet"
+    );
+    assert!(result.get("log_hash").and_then(Json::as_u64).is_some());
+    let reports = result
+        .get("node_reports")
+        .and_then(Json::as_arr)
+        .expect("per-node reports");
+    assert_eq!(reports.len(), 2);
+
+    // Determinism across connections: the same frame replays to the same
+    // event-log hash.
+    let replay = roundtrip(&mut conn, &frame).unwrap();
+    assert_eq!(
+        replay
+            .get("result")
+            .and_then(|r| r.get("log_hash"))
+            .and_then(Json::as_u64),
+        result.get("log_hash").and_then(Json::as_u64)
+    );
+
+    // Unknown routing labels are rejected without killing the connection.
+    let mut bad = frame.clone();
+    if let Json::Obj(pairs) = &mut bad {
+        for (k, v) in pairs.iter_mut() {
+            if k == "policy" {
+                *v = Json::Str("clairvoyant".into());
+            }
+        }
+    }
+    let rejected = roundtrip(&mut conn, &bad).unwrap();
+    assert_eq!(rejected.get("ok").and_then(Json::as_bool), Some(false));
+
+    drop(conn);
+    server.shutdown().unwrap();
+}
+
+#[test]
 fn batch_envelope_returns_ordered_responses() {
     let server = spawn_tcp(None);
     let mut conn = TcpStream::connect(server.tcp_addr().unwrap()).unwrap();

@@ -6,8 +6,8 @@
 # equivalence smoke + the incremental-vs-full re-profiling equivalence +
 # the seeded cross-engine conformance smoke + the incremental sweep smoke
 # + the supervised kill/resume soak smoke + the resident-service smoke
-# + the seeded Monte Carlo campaign smoke.
-verify: fmt-check clippy test fault-smoke timing-equiv incremental-equiv conformance sweep-smoke soak-smoke serve-smoke mc-smoke
+# + the seeded Monte Carlo campaign smoke + the fleet replay/policy smoke.
+verify: fmt-check clippy test fault-smoke timing-equiv incremental-equiv conformance sweep-smoke soak-smoke serve-smoke mc-smoke fleet-smoke
 
 fmt-check:
 	cargo fmt --all -- --check
@@ -22,7 +22,7 @@ test:
 
 # Tests again with the parallel fan-out compiled in.
 test-parallel:
-	cargo test -q -p agemul -p agemul-faults -p agemul-repro -p agemul-harness --features parallel
+	cargo test -q -p agemul -p agemul-faults -p agemul-repro -p agemul-harness -p agemul-fleet --features parallel
 
 # Crash-safety soak: run a supervised fault campaign, SIGKILL it mid-run,
 # resume from the surviving checkpoint, and require the resumed report to
@@ -106,3 +106,20 @@ bench-sweep:
 # campaign rows; see the `mc/*` rows in BENCH_sim.json for the record.
 bench-mc:
 	cargo bench -p agemul-bench --bench mc
+
+# Fleet replay/policy smoke: the discrete-event log must replay
+# byte-identically (golden FNV-1a digests, serial and with the parallel
+# fan-out compiled in), a truncated fleet checkpoint must resume to the
+# identical study, and the reduced-scale `fleet` experiment must run end
+# to end (it asserts aging-aware lifetime strictly exceeds round-robin).
+fleet-smoke:
+	cargo test -q -p agemul-fleet --test replay_equiv
+	cargo test -q -p agemul-fleet --test replay_equiv --features parallel
+	cargo test -q -p agemul-harness fleet
+	cargo run --release -p agemul-repro -- --quick fleet
+
+# Fleet campaign throughput benches: ops/sec scaling with node count plus
+# the routing-policy overhead pair; see the `fleet/*` rows in
+# BENCH_sim.json for the record.
+bench-fleet:
+	cargo bench -p agemul-bench --bench fleet

@@ -38,3 +38,11 @@ cargo run --release -p agemul-serve --bin loadgen -- --smoke
 cargo test -q -p agemul-harness truncated_checkpoint_resumes_identically
 cargo test -q -p agemul campaign_matches_from_scratch_per_cell
 cargo run --release -p agemul-repro -- --quick mc >/dev/null
+# Fleet replay/policy smoke: golden-pinned event-log replay identity
+# (serial and parallel), supervised fleet checkpoint/resume identity, and
+# the reduced-scale seeded `fleet` experiment (asserts aging-aware
+# lifetime strictly exceeds round-robin).
+cargo test -q -p agemul-fleet --test replay_equiv
+cargo test -q -p agemul-fleet --test replay_equiv --features parallel
+cargo test -q -p agemul-harness fleet
+cargo run --release -p agemul-repro -- --quick fleet >/dev/null
