@@ -289,6 +289,18 @@ impl MultiplierDesign {
         engine: SimEngine,
         cancel: Option<&CancelToken>,
     ) -> Result<PatternProfile, CoreError> {
+        // Chaos failpoint `core/profile` (ctx "{kind}x{width}"): the
+        // profiling attempt fails with a typed error, modelling a transient
+        // kernel fault. Callers (supervised retry, the serve cache) must
+        // surface or retry it — never cache it.
+        if agemul_chaos::armed() {
+            let ctx = format!("{}x{}", self.kind().label(), self.width());
+            if let Some(shot) = agemul_chaos::hit("core/profile", &ctx) {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!("chaos: injected profiling fault ({:?})", shot.kind),
+                });
+            }
+        }
         // Functional-correctness pass: one bit-parallel sweep per 64 pairs
         // guards the timing numbers below against a miscompiled circuit.
         self.verify_functional(pairs)?;

@@ -308,6 +308,11 @@ impl Checkpoint {
     /// Writes the snapshot atomically: serialize to `<path>.tmp`, then
     /// rename over `path`. A reader never observes a torn document.
     ///
+    /// Chaos failpoints: `ckpt/write_tmp` (ENOSPC-like failure, or a torn
+    /// temp file — a prefix lands on disk and the write errors) and
+    /// `ckpt/rename` (the commit rename fails, leaving the temp file). Both
+    /// fault shapes leave the previous generation at `path` untouched.
+    ///
     /// # Errors
     ///
     /// [`CheckpointError::Io`] when the temp write or the rename fails.
@@ -315,19 +320,73 @@ impl Checkpoint {
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, self.to_document()).map_err(io_err)?;
+        let doc = self.to_document();
+        if agemul_chaos::armed() {
+            let ctx = path.to_string_lossy();
+            if let Some(shot) = agemul_chaos::hit("ckpt/write_tmp", &ctx) {
+                if shot.kind == agemul_chaos::FaultKind::Torn {
+                    // ENOSPC mid-write: a strict prefix of the document
+                    // reaches the temp file before the failure.
+                    let cut = (shot.entropy as usize) % doc.len().max(1);
+                    let _ = std::fs::write(&tmp, &doc.as_bytes()[..cut]);
+                    return Err(CheckpointError::Io {
+                        message: "chaos: injected torn temp write (ENOSPC mid-write)".into(),
+                    });
+                }
+                return Err(CheckpointError::Io {
+                    message: "chaos: injected temp-write failure (ENOSPC)".into(),
+                });
+            }
+        }
+        std::fs::write(&tmp, doc).map_err(io_err)?;
+        if agemul_chaos::armed()
+            && agemul_chaos::hit("ckpt/rename", &path.to_string_lossy()).is_some()
+        {
+            // The temp file stays behind, exactly as a real rename failure
+            // would leave it; the previous generation at `path` survives.
+            return Err(CheckpointError::Io {
+                message: "chaos: injected rename failure".into(),
+            });
+        }
         std::fs::rename(&tmp, path).map_err(io_err)
     }
 
     /// Loads and verifies a snapshot; with `expected_run_key`, also refuses
     /// checkpoints recorded for a different run.
     ///
+    /// Chaos failpoint: `ckpt/read` corrupts the read-back bytes (bit
+    /// flip, truncation) or fails the read outright, modelling bit rot and
+    /// media faults; the schema/CRC envelope must convert every such
+    /// corruption into a typed refusal, never a silently-wrong snapshot.
+    ///
     /// # Errors
     ///
     /// Every [`CheckpointError`] variant is reachable: I/O, parse, schema,
     /// checksum, and run-key mismatch.
     pub fn load(path: &Path, expected_run_key: Option<&str>) -> Result<Self, CheckpointError> {
-        let text = std::fs::read_to_string(path).map_err(io_err)?;
+        let mut bytes = std::fs::read(path).map_err(io_err)?;
+        if agemul_chaos::armed() {
+            if let Some(shot) = agemul_chaos::hit("ckpt/read", &path.to_string_lossy()) {
+                match shot.kind {
+                    agemul_chaos::FaultKind::BitFlip if !bytes.is_empty() => {
+                        let bit = (shot.entropy as usize) % (bytes.len() * 8);
+                        bytes[bit / 8] ^= 1 << (bit % 8);
+                    }
+                    agemul_chaos::FaultKind::Torn => {
+                        let cut = (shot.entropy as usize) % (bytes.len() + 1);
+                        bytes.truncate(cut);
+                    }
+                    _ => {
+                        return Err(CheckpointError::Io {
+                            message: "chaos: injected read failure".into(),
+                        });
+                    }
+                }
+            }
+        }
+        let text = String::from_utf8(bytes).map_err(|e| CheckpointError::Parse {
+            message: format!("checkpoint is not UTF-8: {e}"),
+        })?;
         let ck = Self::from_document(&text)?;
         if let Some(expected) = expected_run_key {
             if ck.run_key != expected {

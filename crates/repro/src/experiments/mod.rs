@@ -23,10 +23,12 @@
 //! | `sweep` | [`sweep`] | 7-year × multi-period profiling-driver study, 32×32 |
 //! | `mc` | [`mc`] | Monte Carlo yield vs lifetime over process corners, 16×16 |
 //! | `fleet` | [`fleet`] | fleet quorum-loss lifetime by routing policy, 16×16 |
+//! | `chaos` | [`chaos`] | deterministic fault-injection soak over the IO seams |
 
 mod aged;
 mod aging_trend;
 mod area;
+mod chaos;
 mod conformance;
 mod dist;
 mod extras;
@@ -41,6 +43,7 @@ mod years;
 pub use aged::{fig19_22, fig23, fig24};
 pub use aging_trend::fig7;
 pub use area::fig25;
+pub use chaos::chaos;
 pub use conformance::conformance;
 pub use dist::{fig5, fig6, fig9_10};
 pub use extras::{ablations, extensions};
@@ -56,7 +59,7 @@ use crate::{Context, Report, Result};
 
 /// All experiment ids: the paper's artifacts in paper order, then the
 /// repository's own ablation and extension studies.
-pub const ALL_IDS: [&str; 25] = [
+pub const ALL_IDS: [&str; 26] = [
     "fig5",
     "fig6",
     "fig7",
@@ -82,6 +85,7 @@ pub const ALL_IDS: [&str; 25] = [
     "sweep",
     "mc",
     "fleet",
+    "chaos",
 ];
 
 /// Runs an experiment by id (see [`ALL_IDS`]).
@@ -116,6 +120,7 @@ pub fn run_by_id(ctx: &mut Context, id: &str) -> Result<Report> {
         "sweep" => sweep(ctx),
         "mc" => mc(ctx),
         "fleet" => fleet(ctx),
+        "chaos" => chaos(ctx),
         other => Err(format!("unknown experiment id: {other}").into()),
     }
 }

@@ -824,6 +824,7 @@ fn run_serve(args: ServeArgs) -> ExitCode {
         shard_capacity: args.shard_capacity,
         snapshot: args.snapshot,
         max_retries: args.max_retries,
+        ..ServeConfig::default()
     }) {
         Ok(h) => h,
         Err(e) => {

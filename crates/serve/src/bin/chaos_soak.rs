@@ -1,0 +1,116 @@
+//! `chaos_soak` — the deterministic fault-schedule soak runner.
+//!
+//! Drives seeded chaos schedules across the service's three IO seams
+//! (checkpoint IO, serve transport, cache/single-flight) plus the
+//! overload-shedding probe, and exits non-zero on any invariant
+//! violation. Every schedule is a pure function of its seed, so a failure
+//! line names the exact seed to replay.
+//!
+//! ```text
+//! chaos_soak [--schedules N] [--seed S] [--smoke] [--csv PATH]
+//! ```
+//!
+//! `--smoke` runs a miniature soak (a few dozen schedules, seconds of
+//! wall clock) for CI; the default is the full 1000-schedule soak whose
+//! summary lands in `results/chaos__soak.csv`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use agemul_serve::chaos::{csv_header, run_soak, silence_chaos_panics, write_csv};
+
+struct Args {
+    schedules: usize,
+    seed: u64,
+    csv: Option<std::path::PathBuf>,
+}
+
+fn parse(args: &[String]) -> Result<Args, String> {
+    let mut schedules: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut csv: Option<std::path::PathBuf> = None;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--schedules" => {
+                let v = it.next().ok_or("--schedules needs a value")?;
+                schedules = Some(v.parse().map_err(|e| format!("--schedules: {e}"))?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = Some(v.parse().map_err(|e| format!("--seed: {e}"))?);
+            }
+            "--csv" => {
+                let v = it.next().ok_or("--csv needs a path")?;
+                csv = Some(v.into());
+            }
+            "--smoke" => smoke = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let schedules = schedules.unwrap_or(if smoke { 36 } else { 1000 });
+    Ok(Args {
+        schedules,
+        seed: seed.unwrap_or(0x0A6E_C405),
+        csv,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos_soak: {e}");
+            eprintln!("usage: chaos_soak [--schedules N] [--seed S] [--smoke] [--csv PATH]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Injected panics are the point; keep the log readable.
+    silence_chaos_panics();
+
+    eprintln!(
+        "chaos_soak: {} schedules, base seed {:#010x}",
+        args.schedules, args.seed
+    );
+    let t0 = Instant::now();
+    let reports = run_soak(args.schedules, args.seed);
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    println!("{}", csv_header());
+    let mut failed = false;
+    for r in &reports {
+        println!("{}", r.csv_row());
+        for note in &r.notes {
+            eprintln!("chaos_soak: [{}] {}", r.seam, note);
+        }
+        for v in &r.violations {
+            failed = true;
+            eprintln!("chaos_soak: VIOLATION [{}] {}", r.seam, v);
+        }
+    }
+    let injected: u64 = reports.iter().map(|r| r.injected).sum();
+    let operations: u64 = reports.iter().map(|r| r.operations).sum();
+    eprintln!(
+        "chaos_soak: {} faults injected across {} operations in {elapsed:.1}s",
+        injected, operations
+    );
+
+    if let Some(path) = &args.csv {
+        if let Err(e) = write_csv(path, &reports) {
+            eprintln!("chaos_soak: csv write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("chaos_soak: summary written to {}", path.display());
+    }
+
+    if failed {
+        eprintln!("chaos_soak: FAILED");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("chaos_soak: all invariants held");
+        ExitCode::SUCCESS
+    }
+}

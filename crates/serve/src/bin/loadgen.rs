@@ -31,6 +31,7 @@ struct ClientStats {
     warm_ns: Vec<u64>,
     cold_ns: Vec<u64>,
     coalesced: u64,
+    shed: u64,
     errors: Vec<String>,
     ops: u64,
 }
@@ -125,6 +126,34 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// Bounded connect retry: a freshly spawned (or momentarily saturated)
+/// server can refuse or shed the first attempts; back off geometrically
+/// and give up with the last error after [`CONNECT_ATTEMPTS`] tries
+/// rather than retrying forever.
+const CONNECT_ATTEMPTS: u32 = 5;
+const CONNECT_BACKOFF_MS: u64 = 20;
+
+fn connect_with_retry(addr: std::net::SocketAddr) -> Result<TcpStream, String> {
+    let mut last = String::from("no attempt made");
+    for attempt in 0..CONNECT_ATTEMPTS {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                CONNECT_BACKOFF_MS << (attempt - 1),
+            ));
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => match stream.set_nodelay(true) {
+                Ok(()) => return Ok(stream),
+                Err(e) => last = format!("nodelay: {e}"),
+            },
+            Err(e) => last = format!("connect: {e}"),
+        }
+    }
+    Err(format!(
+        "gave up after {CONNECT_ATTEMPTS} connect attempts (last: {last})"
+    ))
+}
+
 fn client_loop(
     addr: std::net::SocketAddr,
     combos: &[(String, usize, f64, usize, u64)],
@@ -132,11 +161,7 @@ fn client_loop(
     client_index: usize,
     next_id: &AtomicU64,
 ) -> Result<ClientStats, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
-    stream
-        .set_nodelay(true)
-        .map_err(|e| format!("nodelay: {e}"))?;
-    let mut stream = stream;
+    let mut stream = connect_with_retry(addr)?;
     let mut stats = ClientStats::default();
     let mut op = 0u64;
     while op < my_ops {
@@ -171,6 +196,19 @@ fn client_loop(
         let start = Instant::now();
         let response = roundtrip(&mut stream, &frame).map_err(|e| format!("roundtrip: {e}"))?;
         let elapsed = start.elapsed().as_nanos() as u64;
+
+        // An acceptor shed: the server answered `overloaded` and closed
+        // the connection. Reconnect (bounded, with backoff) and retry the
+        // same frame; give up after a cap so a permanently saturated
+        // server fails the client rather than spinning forever.
+        if response.get("overloaded").and_then(Json::as_bool) == Some(true) {
+            stats.shed += 1;
+            if stats.shed > 16 {
+                return Err("shed more than 16 times; server stays saturated".into());
+            }
+            stream = connect_with_retry(addr)?;
+            continue;
+        }
 
         let singles: Vec<&Json> = if batch {
             response
@@ -245,6 +283,7 @@ fn main() {
         shard_capacity: Some(64),
         snapshot: None,
         max_retries: 1,
+        ..ServeConfig::default()
     }) {
         Ok(s) => s,
         Err(e) => {
@@ -294,6 +333,7 @@ fn main() {
     let mut errors: Vec<String> = Vec::new();
     let mut total_ops = 0u64;
     let mut coalesced_seen = 0u64;
+    let mut shed_seen = 0u64;
     for result in results {
         match result {
             Ok(stats) => {
@@ -302,6 +342,7 @@ fn main() {
                 errors.extend(stats.errors);
                 total_ops += stats.ops;
                 coalesced_seen += stats.coalesced;
+                shed_seen += stats.shed;
             }
             Err(e) => errors.push(e),
         }
@@ -355,6 +396,7 @@ fn main() {
         hit_rate
     );
     println!("  coalesced:      {coalesced_seen} (client-observed)");
+    println!("  shed+retried:   {shed_seen}");
     println!("  errors:         {}", errors.len());
     println!("  clean shutdown: {shutdown_clean}");
     for e in errors.iter().take(5) {

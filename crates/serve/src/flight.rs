@@ -78,6 +78,10 @@ pub struct SingleFlight<K, V> {
     slots: Mutex<HashMap<K, Arc<Slot<V>>>>,
     led: AtomicU64,
     coalesced: AtomicU64,
+    /// Context string for the `flight/lead` / `flight/publish` chaos
+    /// failpoints, so a chaos plan can target one coalescer instance
+    /// without perturbing every other flight in the process.
+    scope: String,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> Default for SingleFlight<K, V> {
@@ -114,10 +118,17 @@ impl<K: Eq + Hash, V> Drop for Publish<'_, K, V> {
 impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
     /// An empty single-flight map.
     pub fn new() -> Self {
+        Self::with_scope(String::new())
+    }
+
+    /// An empty single-flight map whose chaos failpoints match plans
+    /// scoped to `scope` (see [`agemul_chaos::SiteRule::scope`]).
+    pub fn with_scope(scope: impl Into<String>) -> Self {
         SingleFlight {
             slots: Mutex::new(HashMap::new()),
             led: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            scope: scope.into(),
         }
     }
 
@@ -174,7 +185,13 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
             slot: &slot,
             value: None,
         };
+        // Chaos failpoints bracket the build — leader death at either
+        // await point (just after winning leadership, just before
+        // publishing) must unwind through the guard above, releasing
+        // waiters with `LeaderPanicked` and freeing the key.
+        agemul_chaos::maybe_panic("flight/lead", &self.scope);
         let outcome = build();
+        agemul_chaos::maybe_panic("flight/publish", &self.scope);
         publish.value = Some(outcome.clone());
         drop(publish);
         (outcome, FlightRole::Leader)

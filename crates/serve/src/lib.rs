@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod chaos;
 mod flight;
 mod proto;
 mod server;
@@ -45,8 +46,8 @@ mod state;
 
 pub use flight::{FlightError, FlightRole, SingleFlight};
 pub use proto::{
-    parse_kind, read_frame, response_error, response_ok, write_frame, DesignQuery, Request,
-    RequestBody, MAX_FRAME_BYTES,
+    parse_kind, read_frame, response_error, response_ok, response_overloaded, write_frame,
+    DesignQuery, FrameAccumulator, FramePoll, Request, RequestBody, MAX_FRAME_BYTES,
 };
 pub use server::{spawn, Endpoint, ServeConfig, ServerHandle};
 pub use state::{CacheOutcome, ServerState, SNAPSHOT_KEY};

@@ -43,35 +43,163 @@ pub fn write_frame<W: Write>(w: &mut W, msg: &Json) -> io::Result<()> {
     w.flush()
 }
 
+/// Growth step for a frame body: the accumulator extends its buffer by at
+/// most this much beyond the bytes actually delivered, so a hostile length
+/// prefix can never force a large allocation up front.
+const BODY_CHUNK: usize = 64 * 1024;
+
+/// What one [`FrameAccumulator::poll`] observed.
+#[derive(Debug)]
+pub enum FramePoll {
+    /// A complete frame was assembled and parsed.
+    Frame(Json),
+    /// The peer closed cleanly on a frame boundary.
+    Closed,
+    /// The frame is incomplete; `progressed` reports whether this poll
+    /// consumed any bytes (the server's slow-client budget resets on
+    /// progress and accrues on mid-frame silence).
+    Pending {
+        /// Whether any bytes arrived during this poll.
+        progressed: bool,
+    },
+}
+
+/// Incremental frame reassembly that survives read timeouts.
+///
+/// [`read_frame`]'s original implementation used `read_exact`, which
+/// discards partially read bytes when a read times out mid-frame — under
+/// the server's polling read timeout a slow client could desync the
+/// stream. The accumulator owns the partial state instead: each
+/// [`poll`](Self::poll) performs at most one `read`, and a `WouldBlock` /
+/// `TimedOut` between polls loses nothing.
+///
+/// Allocation is bounded: the length prefix is validated against
+/// [`MAX_FRAME_BYTES`] before any body allocation, and the body buffer
+/// grows in [`BODY_CHUNK`] steps as bytes actually arrive — a corrupt
+/// 4 GiB length prefix costs a rejection, not an allocation.
+#[derive(Default)]
+pub struct FrameAccumulator {
+    header: [u8; 4],
+    header_filled: usize,
+    body: Vec<u8>,
+    body_target: Option<usize>,
+}
+
+impl FrameAccumulator {
+    /// An empty accumulator, positioned at a frame boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a frame is partially assembled (the slow-client budget
+    /// only accrues mid-frame; silence *between* frames is an idle
+    /// connection, which is fine).
+    pub fn mid_frame(&self) -> bool {
+        self.header_filled > 0
+    }
+
+    /// Current capacity of the body buffer — exposed so tests can assert
+    /// the bounded-allocation contract against adversarial streams.
+    pub fn body_capacity(&self) -> usize {
+        self.body.capacity()
+    }
+
+    /// Performs at most one `read` and reports progress.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors pass through (`WouldBlock`/`TimedOut` are
+    /// recoverable: state is preserved and the next poll resumes).
+    /// `UnexpectedEof` means the peer vanished mid-frame; `InvalidData`
+    /// covers an oversized length prefix, non-UTF-8 text, and malformed
+    /// JSON.
+    pub fn poll<R: Read>(&mut self, r: &mut R) -> io::Result<FramePoll> {
+        let Some(target) = self.body_target else {
+            let n = r.read(&mut self.header[self.header_filled..])?;
+            if n == 0 {
+                if self.header_filled == 0 {
+                    return Ok(FramePoll::Closed);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside a frame length prefix",
+                ));
+            }
+            self.header_filled += n;
+            if self.header_filled < 4 {
+                return Ok(FramePoll::Pending { progressed: true });
+            }
+            let len = u32::from_be_bytes(self.header) as usize;
+            if len > MAX_FRAME_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame length {len} exceeds {MAX_FRAME_BYTES}"),
+                ));
+            }
+            self.body_target = Some(len);
+            self.body = Vec::new();
+            if len == 0 {
+                return self.finish();
+            }
+            return Ok(FramePoll::Pending { progressed: true });
+        };
+
+        // Grow by a bounded chunk, read into the fresh tail, then shrink
+        // back to the bytes actually delivered.
+        let filled = self.body.len();
+        let want = (target - filled).min(BODY_CHUNK);
+        self.body.resize(filled + want, 0);
+        let n = match r.read(&mut self.body[filled..]) {
+            Ok(n) => n,
+            Err(e) => {
+                self.body.truncate(filled);
+                return Err(e);
+            }
+        };
+        self.body.truncate(filled + n);
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("eof inside a frame body ({filled} of {target} bytes)"),
+            ));
+        }
+        if self.body.len() == target {
+            return self.finish();
+        }
+        Ok(FramePoll::Pending { progressed: true })
+    }
+
+    fn finish(&mut self) -> io::Result<FramePoll> {
+        self.header_filled = 0;
+        self.body_target = None;
+        let text = String::from_utf8(std::mem::take(&mut self.body))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Json::parse(&text)
+            .map(FramePoll::Frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
 /// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer closed
 /// between frames); EOF mid-frame, an oversized length prefix, or
-/// malformed JSON are `InvalidData` errors.
+/// malformed JSON are errors.
+///
+/// Implemented on [`FrameAccumulator`], so allocation stays bounded by
+/// delivered bytes plus one [`BODY_CHUNK`].
 ///
 /// # Errors
 ///
 /// Transport errors (including read timeouts, surfaced as `WouldBlock` /
 /// `TimedOut`) and the malformed-frame cases above.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Json>> {
-    let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    let mut acc = FrameAccumulator::new();
+    loop {
+        match acc.poll(r)? {
+            FramePoll::Frame(json) => return Ok(Some(json)),
+            FramePoll::Closed => return Ok(None),
+            FramePoll::Pending { .. } => {}
+        }
     }
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds {MAX_FRAME_BYTES}"),
-        ));
-    }
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    let text = String::from_utf8(buf)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    Json::parse(&text)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 /// Parses a multiplier-kind label (`AM`, `CB`, `RB`, `WAL`, `BOOTH`).
@@ -449,6 +577,22 @@ pub fn response_error(id: u64, error: &str) -> Json {
     ])
 }
 
+/// The typed shed response: sent by the acceptor when the admission queue
+/// is full, *before* any request is read (hence id 0), then the connection
+/// is reset. `overloaded: true` lets clients distinguish "retry later"
+/// from a request-level failure.
+pub fn response_overloaded() -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::UInt(0)),
+        ("ok".into(), Json::Bool(false)),
+        (
+            "error".into(),
+            Json::Str("overloaded: admission queue full; retry later".into()),
+        ),
+        ("overloaded".into(), Json::Bool(true)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,5 +752,134 @@ mod tests {
         wire.truncate(wire.len() - 2);
         let err = read_frame(&mut wire.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    /// A reader that yields its script one item per `read` call:
+    /// `Ok(bytes)` delivers bytes, `Err(kind)` fails that call only.
+    struct Script {
+        items: std::collections::VecDeque<Result<Vec<u8>, io::ErrorKind>>,
+    }
+
+    impl Script {
+        fn new(items: Vec<Result<Vec<u8>, io::ErrorKind>>) -> Self {
+            Script {
+                items: items.into(),
+            }
+        }
+    }
+
+    impl Read for Script {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.items.pop_front() {
+                None => Ok(0),
+                Some(Err(kind)) => Err(io::Error::new(kind, "scripted")),
+                Some(Ok(bytes)) => {
+                    let n = bytes.len().min(buf.len());
+                    buf[..n].copy_from_slice(&bytes[..n]);
+                    if n < bytes.len() {
+                        self.items.push_front(Ok(bytes[n..].to_vec()));
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    /// The accumulator's whole reason to exist: a read timeout striking
+    /// mid-frame (even mid-length-prefix) loses nothing; the next poll
+    /// resumes exactly where the stream stalled.
+    #[test]
+    fn accumulator_survives_timeouts_at_every_split_point() {
+        let msg = Json::Obj(vec![("x".into(), Json::UInt(7))]);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &msg).unwrap();
+
+        for split in 1..wire.len() {
+            let mut script = Script::new(vec![
+                Ok(wire[..split].to_vec()),
+                Err(io::ErrorKind::WouldBlock),
+                Err(io::ErrorKind::TimedOut),
+                Ok(wire[split..].to_vec()),
+            ]);
+            let mut acc = FrameAccumulator::new();
+            let mut timeouts = 0;
+            loop {
+                match acc.poll(&mut script) {
+                    Ok(FramePoll::Frame(json)) => {
+                        assert_eq!(json, msg, "split at {split}");
+                        break;
+                    }
+                    Ok(FramePoll::Pending { .. }) => {}
+                    Ok(FramePoll::Closed) => panic!("split at {split}: spurious close"),
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        timeouts += 1;
+                        assert!(acc.mid_frame(), "split at {split}: stalled mid-frame");
+                    }
+                    Err(e) => panic!("split at {split}: {e}"),
+                }
+            }
+            assert_eq!(timeouts, 2, "split at {split}");
+        }
+    }
+
+    /// A hostile length prefix near the cap must not provoke a
+    /// prefix-sized allocation: the body buffer grows only as bytes
+    /// arrive, one bounded chunk beyond the delivered count.
+    #[test]
+    fn accumulator_allocation_tracks_delivered_bytes_not_the_prefix() {
+        let claimed = MAX_FRAME_BYTES as u32; // maximal legal prefix
+        let mut acc = FrameAccumulator::new();
+        let mut script = Script::new(vec![
+            Ok(claimed.to_be_bytes().to_vec()),
+            Ok(vec![b'x'; 100]),
+        ]);
+        for _ in 0..2 {
+            match acc.poll(&mut script) {
+                Ok(FramePoll::Pending { progressed: true }) => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(
+            acc.body_capacity() <= 100 + 64 * 1024,
+            "allocated {} bytes for 100 delivered",
+            acc.body_capacity()
+        );
+    }
+
+    #[test]
+    fn accumulator_reads_back_to_back_frames() {
+        let first = Json::Str("first".into());
+        let second = Json::Str("second".into());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &first).unwrap();
+        write_frame(&mut wire, &second).unwrap();
+        let mut cursor = wire.as_slice();
+        let mut acc = FrameAccumulator::new();
+        let mut seen = Vec::new();
+        loop {
+            match acc.poll(&mut cursor).unwrap() {
+                FramePoll::Frame(json) => seen.push(json),
+                FramePoll::Closed => break,
+                FramePoll::Pending { .. } => {}
+            }
+        }
+        assert_eq!(seen, vec![first, second]);
+        assert!(!acc.mid_frame());
+    }
+
+    #[test]
+    fn overloaded_response_is_typed() {
+        let resp = response_overloaded();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(resp.get("overloaded").and_then(Json::as_bool), Some(true));
+        assert!(resp
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("overloaded")));
     }
 }

@@ -17,14 +17,14 @@
 //! start.
 
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use agemul::{EngineConfig, McConfig, McReport, MonteCarloCampaign, PeriodSweep, SimEngine};
 use agemul_conformance::Json;
@@ -34,9 +34,12 @@ use agemul_harness::{
     is_cancellation, run_request_supervised, Attempt, CaseError, CaseStatus, SupervisorConfig,
 };
 
+use agemul_chaos::ChaosStream;
+
 use crate::flight::FlightError;
 use crate::proto::{
-    read_frame, response_error, response_ok, write_frame, DesignQuery, Request, RequestBody,
+    response_error, response_ok, response_overloaded, write_frame, DesignQuery, FrameAccumulator,
+    FramePoll, Request, RequestBody,
 };
 use crate::state::ServerState;
 
@@ -67,6 +70,16 @@ pub struct ServeConfig {
     /// Levelized-kernel retries per request before the Event-engine
     /// degradation attempt.
     pub max_retries: u32,
+    /// Admission-queue depth: connections accepted but not yet claimed by
+    /// a worker. Beyond this the acceptor *sheds*: the excess connection
+    /// gets one typed `overloaded` response and is closed immediately,
+    /// instead of queueing unboundedly behind a saturated pool.
+    pub admission_queue: usize,
+    /// Slow-client budget: how long a connection may sit *mid-frame*
+    /// without delivering a byte before the worker sends a typed error,
+    /// shuts the socket down, and moves on. Silence between frames is an
+    /// idle client and never counts.
+    pub stall_budget: Duration,
 }
 
 impl Default for ServeConfig {
@@ -77,7 +90,34 @@ impl Default for ServeConfig {
             shard_capacity: Some(64),
             snapshot: None,
             max_retries: 1,
+            admission_queue: 64,
+            stall_budget: Duration::from_secs(2),
         }
+    }
+}
+
+/// What a worker needs from a connection beyond `Read + Write`: the
+/// polling read timeout that lets it notice shutdown, and a hard
+/// both-directions socket shutdown for teardown (so a half-dead peer can
+/// never hold the worker's buffers or linger in `CLOSE_WAIT`).
+///
+/// Abstracting this (rather than using [`Conn`] directly) lets the serve
+/// loop run over a chaos fault-wrapping stream in soaks and over mock
+/// transports in unit tests.
+pub(crate) trait Transport: Read + Write {
+    /// Sets the polling read timeout.
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+    /// Shuts down both directions of the underlying socket.
+    fn shutdown_both(&self) -> io::Result<()>;
+}
+
+impl<S: Transport> Transport for ChaosStream<S> {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.get_ref().set_read_timeout(timeout)
+    }
+
+    fn shutdown_both(&self) -> io::Result<()> {
+        self.get_ref().shutdown_both()
     }
 }
 
@@ -88,10 +128,26 @@ enum Conn {
 }
 
 impl Conn {
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(timeout),
+            Conn::Unix(s) => s.set_write_timeout(timeout),
+        }
+    }
+}
+
+impl Transport for Conn {
     fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
         match self {
             Conn::Tcp(s) => s.set_read_timeout(timeout),
             Conn::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    fn shutdown_both(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.shutdown(Shutdown::Both),
+            Conn::Unix(s) => s.shutdown(Shutdown::Both),
         }
     }
 }
@@ -130,6 +186,16 @@ enum Bound {
 }
 
 impl Bound {
+    /// A stable textual label for this listener, used as the context of
+    /// the `serve/read` / `serve/write` chaos failpoints so a fault plan
+    /// can target one server's transport without touching another's.
+    fn label(&self) -> String {
+        match self {
+            Bound::Tcp(addr) => format!("tcp:{addr}"),
+            Bound::Unix(path) => format!("unix:{}", path.display()),
+        }
+    }
+
     fn poke(&self) {
         // A throwaway connection unblocks the acceptor so it can observe
         // the stop flag; errors are irrelevant (the listener may already
@@ -162,7 +228,27 @@ pub struct ServerHandle {
 /// Bind/listen failures, and a snapshot file that exists but fails to
 /// load (a corrupt warm start is surfaced, not silently ignored).
 pub fn spawn(config: ServeConfig) -> io::Result<ServerHandle> {
-    let state = Arc::new(ServerState::new(config.shard_capacity));
+    // Bind first: the bound address labels the state's chaos failpoints,
+    // so every fault site of one server shares one scope string.
+    let (bound, listener) = match &config.endpoint {
+        Endpoint::Tcp(addr) => {
+            let listener = TcpListener::bind(addr.as_str())?;
+            let bound = Bound::Tcp(listener.local_addr()?);
+            (bound, Listener::Tcp(listener))
+        }
+        Endpoint::Unix(path) => {
+            // A stale socket file from a killed predecessor would fail the
+            // bind; remove it (errors deferred to the bind itself).
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            (Bound::Unix(path.clone()), Listener::Unix(listener))
+        }
+    };
+
+    let state = Arc::new(ServerState::with_chaos_scope(
+        config.shard_capacity,
+        bound.label(),
+    ));
     if let Some(path) = &config.snapshot {
         if path.exists() {
             let seeded = state
@@ -176,27 +262,19 @@ pub fn spawn(config: ServeConfig) -> io::Result<ServerHandle> {
     }
 
     let stop = Arc::new(AtomicBool::new(false));
+    let queued = Arc::new(AtomicUsize::new(0));
     let (sender, receiver) = std::sync::mpsc::channel::<Conn>();
     let receiver = Arc::new(Mutex::new(receiver));
 
-    let (bound, acceptor) = match &config.endpoint {
-        Endpoint::Tcp(addr) => {
-            let listener = TcpListener::bind(addr.as_str())?;
-            let bound = Bound::Tcp(listener.local_addr()?);
-            let stop = Arc::clone(&stop);
-            let acceptor = std::thread::spawn(move || accept_tcp(&listener, &sender, &stop));
-            (bound, acceptor)
-        }
-        Endpoint::Unix(path) => {
-            // A stale socket file from a killed predecessor would fail the
-            // bind; remove it (errors deferred to the bind itself).
-            let _ = std::fs::remove_file(path);
-            let listener = UnixListener::bind(path)?;
-            let bound = Bound::Unix(path.clone());
-            let stop = Arc::clone(&stop);
-            let acceptor = std::thread::spawn(move || accept_unix(&listener, &sender, &stop));
-            (bound, acceptor)
-        }
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let queued = Arc::clone(&queued);
+        let state = Arc::clone(&state);
+        let depth = config.admission_queue;
+        std::thread::spawn(move || match listener {
+            Listener::Tcp(l) => accept_tcp(&l, &sender, &stop, &queued, depth, &state),
+            Listener::Unix(l) => accept_unix(&l, &sender, &stop, &queued, depth, &state),
+        })
     };
 
     let workers = (0..config.workers.max(1))
@@ -204,9 +282,21 @@ pub fn spawn(config: ServeConfig) -> io::Result<ServerHandle> {
             let state = Arc::clone(&state);
             let receiver = Arc::clone(&receiver);
             let stop = Arc::clone(&stop);
+            let queued = Arc::clone(&queued);
             let bound = bound.clone();
             let max_retries = config.max_retries;
-            std::thread::spawn(move || worker_loop(&state, &receiver, &stop, &bound, max_retries))
+            let stall_budget = config.stall_budget;
+            std::thread::spawn(move || {
+                worker_loop(
+                    &state,
+                    &receiver,
+                    &stop,
+                    &queued,
+                    &bound,
+                    max_retries,
+                    stall_budget,
+                )
+            })
         })
         .collect();
 
@@ -305,7 +395,60 @@ fn finish(
     Ok(())
 }
 
-fn accept_tcp(listener: &TcpListener, sender: &Sender<Conn>, stop: &AtomicBool) {
+/// The bound listener, either transport (held so the acceptor thread can
+/// be spawned after the server state exists).
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+/// Admits `conn` into the bounded queue or sheds it with a typed
+/// `overloaded` response. Returns `false` when the worker channel is gone
+/// (shutdown) and the acceptor should exit.
+fn admit(
+    conn: Conn,
+    sender: &Sender<Conn>,
+    queued: &AtomicUsize,
+    depth: usize,
+    state: &ServerState,
+) -> bool {
+    // Reserve a queue slot before sending: the counter can momentarily
+    // read high (a worker decrements only once it claims the connection),
+    // which errs toward shedding — never toward unbounded queueing.
+    let admitted = queued
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < depth).then_some(n + 1)
+        })
+        .is_ok();
+    if !admitted {
+        shed(conn, state);
+        return true;
+    }
+    if sender.send(conn).is_err() {
+        queued.fetch_sub(1, Ordering::SeqCst);
+        return false;
+    }
+    true
+}
+
+/// Sheds one connection: a single typed `overloaded` response under a
+/// short write timeout (a shed must cost microseconds, not a slow-client
+/// stall), then a hard both-directions shutdown.
+fn shed(mut conn: Conn, state: &ServerState) {
+    state.record_shed();
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(50)));
+    let _ = write_frame(&mut conn, &response_overloaded());
+    let _ = conn.shutdown_both();
+}
+
+fn accept_tcp(
+    listener: &TcpListener,
+    sender: &Sender<Conn>,
+    stop: &AtomicBool,
+    queued: &AtomicUsize,
+    depth: usize,
+    state: &ServerState,
+) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -315,7 +458,7 @@ fn accept_tcp(listener: &TcpListener, sender: &Sender<Conn>, stop: &AtomicBool) 
                 // Request/response frames are small; leaving Nagle on
                 // would cost a delayed-ACK round trip per response.
                 let _ = stream.set_nodelay(true);
-                if sender.send(Conn::Tcp(stream)).is_err() {
+                if !admit(Conn::Tcp(stream), sender, queued, depth, state) {
                     break;
                 }
             }
@@ -325,14 +468,21 @@ fn accept_tcp(listener: &TcpListener, sender: &Sender<Conn>, stop: &AtomicBool) 
     // Dropping the sender lets idle workers observe the drain.
 }
 
-fn accept_unix(listener: &UnixListener, sender: &Sender<Conn>, stop: &AtomicBool) {
+fn accept_unix(
+    listener: &UnixListener,
+    sender: &Sender<Conn>,
+    stop: &AtomicBool,
+    queued: &AtomicUsize,
+    depth: usize,
+    state: &ServerState,
+) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         match conn {
             Ok(stream) => {
-                if sender.send(Conn::Unix(stream)).is_err() {
+                if !admit(Conn::Unix(stream), sender, queued, depth, state) {
                     break;
                 }
             }
@@ -341,12 +491,15 @@ fn accept_unix(listener: &UnixListener, sender: &Sender<Conn>, stop: &AtomicBool
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     state: &ServerState,
     receiver: &Arc<Mutex<Receiver<Conn>>>,
     stop: &AtomicBool,
+    queued: &AtomicUsize,
     bound: &Bound,
     max_retries: u32,
+    stall_budget: Duration,
 ) {
     loop {
         // Holding the receiver lock only for the recv keeps the pool
@@ -357,27 +510,66 @@ fn worker_loop(
             guard.recv()
         };
         match conn {
-            Ok(conn) => serve_conn(state, conn, stop, bound, max_retries),
+            Ok(conn) => {
+                // The connection left the admission queue the moment a
+                // worker claimed it; free its slot for the acceptor.
+                queued.fetch_sub(1, Ordering::SeqCst);
+                serve_conn(state, conn, stop, bound, max_retries, stall_budget);
+            }
             Err(_) => break, // channel drained: acceptor is gone
         }
     }
 }
 
-/// Serves one connection to completion: frames in, responses out. A read
-/// timeout lets the worker notice a shutdown even under an idle client
-/// that never closes its end.
+/// Serves one accepted connection: wraps it in the chaos fault layer
+/// (one relaxed atomic load per IO call when no plan is armed) and runs
+/// the transport-generic serve loop.
 fn serve_conn(
     state: &ServerState,
-    mut conn: Conn,
+    conn: Conn,
     stop: &AtomicBool,
     bound: &Bound,
     max_retries: u32,
+    stall_budget: Duration,
 ) {
-    let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+    let stream = ChaosStream::new(conn, "serve", bound.label());
+    serve_stream(state, stream, stop, bound, max_retries, stall_budget);
+}
+
+/// Serves one connection to completion: frames in, responses out. A read
+/// timeout lets the worker notice a shutdown even under an idle client
+/// that never closes its end; the [`FrameAccumulator`] keeps partial
+/// frames across those timeouts, and a client that stalls *mid-frame*
+/// longer than `stall_budget` is sent a typed error and disconnected so
+/// it can never pin a worker.
+fn serve_stream<T: Transport>(
+    state: &ServerState,
+    mut stream: T,
+    stop: &AtomicBool,
+    bound: &Bound,
+    max_retries: u32,
+    stall_budget: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut acc = FrameAccumulator::new();
+    let mut stalled_since: Option<Instant> = None;
     loop {
-        let frame = match read_frame(&mut conn) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => return, // clean close
+        let frame = match acc.poll(&mut stream) {
+            Ok(FramePoll::Frame(frame)) => {
+                stalled_since = None;
+                frame
+            }
+            Ok(FramePoll::Closed) => return, // clean close
+            Ok(FramePoll::Pending { progressed }) => {
+                if progressed {
+                    stalled_since = None;
+                }
+                if stop.load(Ordering::SeqCst) {
+                    let _ = stream.shutdown_both();
+                    return;
+                }
+                continue;
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -385,17 +577,52 @@ fn serve_conn(
                 ) =>
             {
                 if stop.load(Ordering::SeqCst) {
+                    let _ = stream.shutdown_both();
                     return;
+                }
+                if acc.mid_frame() {
+                    let since = *stalled_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= stall_budget {
+                        // Typed goodbye (best effort — the client may be
+                        // gone), then a hard teardown so the worker is
+                        // freed no matter what the peer does.
+                        let _ = write_frame(
+                            &mut stream,
+                            &response_error(
+                                0,
+                                &format!(
+                                    "slow client: no bytes mid-frame for {}ms; disconnecting",
+                                    stall_budget.as_millis()
+                                ),
+                            ),
+                        );
+                        let _ = stream.shutdown_both();
+                        return;
+                    }
+                } else {
+                    stalled_since = None;
                 }
                 continue;
             }
-            Err(_) => return, // malformed length/JSON or transport failure
+            // Malformed length/JSON or transport failure: tear the socket
+            // down both ways so the peer sees a reset, not a half-open
+            // connection that swallows its next request.
+            Err(_) => {
+                let _ = stream.shutdown_both();
+                return;
+            }
         };
         let response = handle_frame(state, &frame, stop, bound, max_retries);
-        if write_frame(&mut conn, &response).is_err() {
+        if write_frame(&mut stream, &response).is_err() {
+            // A failed response write leaves the stream mid-frame from the
+            // client's perspective; shut down both directions so the
+            // client unblocks immediately instead of waiting on a reply
+            // that will never finish.
+            let _ = stream.shutdown_both();
             return;
         }
         if stop.load(Ordering::SeqCst) {
+            let _ = stream.shutdown_both();
             return;
         }
     }
@@ -741,4 +968,187 @@ fn eval_fleet(
         .run(attempt.engine, attempt.cancel.as_ref())
         .map_err(core_to_case)?;
     Ok(summary.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::VecDeque;
+    use std::sync::atomic::AtomicUsize;
+
+    use super::*;
+
+    /// A scripted in-memory transport: reads replay a queue of chunks and
+    /// error kinds (partial deliveries push their remainder back), writes
+    /// either collect into a shared buffer or fail, and both shutdown
+    /// directions are counted so tests can assert the teardown contract.
+    struct MockTransport {
+        reads: Mutex<VecDeque<io::Result<Vec<u8>>>>,
+        /// What reads return once the script is exhausted.
+        exhausted: io::ErrorKind,
+        write_fails: bool,
+        written: Arc<Mutex<Vec<u8>>>,
+        shutdowns: Arc<AtomicUsize>,
+    }
+
+    impl MockTransport {
+        fn new(script: Vec<io::Result<Vec<u8>>>, exhausted: io::ErrorKind) -> Self {
+            MockTransport {
+                reads: Mutex::new(script.into_iter().collect()),
+                exhausted,
+                write_fails: false,
+                written: Arc::new(Mutex::new(Vec::new())),
+                shutdowns: Arc::new(AtomicUsize::new(0)),
+            }
+        }
+    }
+
+    impl Read for MockTransport {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let mut reads = self.reads.lock().unwrap();
+            match reads.pop_front() {
+                Some(Ok(chunk)) => {
+                    let n = chunk.len().min(buf.len());
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        reads.push_front(Ok(chunk[n..].to_vec()));
+                    }
+                    Ok(n)
+                }
+                Some(Err(e)) => Err(e),
+                None => {
+                    if self.exhausted == io::ErrorKind::UnexpectedEof {
+                        Ok(0) // clean close
+                    } else {
+                        Err(io::Error::new(self.exhausted, "script exhausted"))
+                    }
+                }
+            }
+        }
+    }
+
+    impl Write for MockTransport {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.write_fails {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"));
+            }
+            self.written.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Transport for MockTransport {
+        fn set_read_timeout(&self, _timeout: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+
+        fn shutdown_both(&self) -> io::Result<()> {
+            self.shutdowns.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    fn frame_bytes(msg: &agemul_conformance::Json) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, msg).unwrap();
+        buf
+    }
+
+    fn stats_request() -> agemul_conformance::Json {
+        agemul_conformance::Json::parse(r#"{"op":"stats","id":1}"#).unwrap()
+    }
+
+    fn bound() -> Bound {
+        Bound::Tcp("127.0.0.1:1".parse().unwrap())
+    }
+
+    /// Satellite regression: a response-write failure must tear the socket
+    /// down in both directions and free the worker — not just drop the
+    /// connection object and leave the peer half-open.
+    #[test]
+    fn write_failure_shuts_the_socket_down_both_ways() {
+        let state = ServerState::new(Some(4));
+        let mut mock = MockTransport::new(
+            vec![Ok(frame_bytes(&stats_request()))],
+            io::ErrorKind::UnexpectedEof,
+        );
+        mock.write_fails = true;
+        let shutdowns = Arc::clone(&mock.shutdowns);
+
+        let stop = AtomicBool::new(false);
+        serve_stream(&state, mock, &stop, &bound(), 1, Duration::from_secs(2));
+        assert!(
+            shutdowns.load(Ordering::SeqCst) >= 1,
+            "write failure must shutdown both directions"
+        );
+    }
+
+    /// A client that delivers part of a frame and then goes silent past
+    /// the stall budget gets a typed error response and a hard teardown.
+    #[test]
+    fn mid_frame_stall_past_budget_is_a_typed_disconnect() {
+        let state = ServerState::new(Some(4));
+        // Two bytes of a length prefix, then eternal timeouts.
+        let mock = MockTransport::new(vec![Ok(vec![0, 0])], io::ErrorKind::TimedOut);
+        let shutdowns = Arc::clone(&mock.shutdowns);
+        let written = Arc::clone(&mock.written);
+
+        let stop = AtomicBool::new(false);
+        let start = Instant::now();
+        serve_stream(&state, mock, &stop, &bound(), 1, Duration::from_millis(50));
+        assert!(start.elapsed() >= Duration::from_millis(50));
+        assert_eq!(shutdowns.load(Ordering::SeqCst), 1);
+
+        let bytes = written.lock().unwrap().clone();
+        let response = read_frame(&mut &bytes[..]).unwrap().unwrap();
+        assert_eq!(
+            response
+                .get("ok")
+                .and_then(agemul_conformance::Json::as_bool),
+            Some(false)
+        );
+        let error = response
+            .get("error")
+            .and_then(agemul_conformance::Json::as_str)
+            .unwrap();
+        assert!(error.contains("slow client"), "got: {error}");
+    }
+
+    /// Idle silence *between* frames never trips the stall budget: the
+    /// connection stays open until the peer closes it.
+    #[test]
+    fn idle_between_frames_outlives_the_stall_budget() {
+        let state = ServerState::new(Some(4));
+        // Eight timeouts with nothing mid-frame, then a clean close.
+        let mut script: Vec<io::Result<Vec<u8>>> = (0..8)
+            .map(|_| Err(io::Error::new(io::ErrorKind::TimedOut, "idle")))
+            .collect();
+        script.push(Ok(frame_bytes(&stats_request())));
+        let mock = MockTransport::new(script, io::ErrorKind::UnexpectedEof);
+        let written = Arc::clone(&mock.written);
+
+        let stop = AtomicBool::new(false);
+        serve_stream(
+            &state,
+            mock,
+            &stop,
+            &bound(),
+            1,
+            Duration::from_millis(1), // far shorter than 8 idle polls
+        );
+        let bytes = written.lock().unwrap().clone();
+        let response = read_frame(&mut &bytes[..]).unwrap().unwrap();
+        assert_eq!(
+            response
+                .get("ok")
+                .and_then(agemul_conformance::Json::as_bool),
+            Some(true),
+            "idle client must still be served: {response}"
+        );
+    }
+
+    use crate::proto::read_frame;
 }

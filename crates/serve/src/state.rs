@@ -99,6 +99,13 @@ pub struct ServerState {
     workloads: Mutex<HashMap<(usize, usize, u64), Arc<PatternSet>>>,
     stats: Mutex<StatsMap>,
     factors: Mutex<FactorsMap>,
+    /// Connections shed by the acceptor with a typed `overloaded`
+    /// response (surfaced in the `stats` op).
+    shed: std::sync::atomic::AtomicU64,
+    /// Context for this state's `serve/build` chaos failpoint; chaos plans
+    /// scope on it so one test's injected leader deaths cannot strike
+    /// another state in the same process.
+    chaos_scope: String,
 }
 
 impl ServerState {
@@ -106,18 +113,45 @@ impl ServerState {
     /// cache bounded to `shard_capacity` entries per shard (`None` =
     /// unbounded, for short-lived test servers).
     pub fn new(shard_capacity: Option<usize>) -> Self {
+        Self::with_chaos_scope(shard_capacity, String::new())
+    }
+
+    /// Like [`new`](Self::new), but the `serve/build`, `flight/lead`, and
+    /// `flight/publish` chaos failpoints carry `scope` as their context,
+    /// so seeded fault plans can target exactly this state.
+    pub fn with_chaos_scope(shard_capacity: Option<usize>, scope: impl Into<String>) -> Self {
+        let scope = scope.into();
         ServerState {
             bti: BtiModel::calibrated(Technology::ptm_32nm_hk(), REFERENCE_GATE_7Y_FACTOR),
             cache: match shard_capacity {
                 Some(per_shard) => ProfileCache::with_capacity(per_shard),
                 None => ProfileCache::new(),
             },
-            flight: SingleFlight::new(),
+            flight: SingleFlight::with_scope(scope.clone()),
             designs: Mutex::new(HashMap::new()),
             workloads: Mutex::new(HashMap::new()),
             stats: Mutex::new(HashMap::new()),
             factors: Mutex::new(HashMap::new()),
+            shed: std::sync::atomic::AtomicU64::new(0),
+            chaos_scope: scope,
         }
+    }
+
+    /// Records one connection shed by the acceptor.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Connections shed with a typed `overloaded` response so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Profile builds currently in flight in the coalescer (0 when the
+    /// server is quiescent — a stranded slot would wedge every future
+    /// request for its key, so soaks assert this drains).
+    pub fn in_flight(&self) -> usize {
+        self.flight.in_flight()
     }
 
     /// The profile cache (shared with campaign preparation).
@@ -264,6 +298,20 @@ impl ServerState {
         };
         let simulated = std::cell::Cell::new(false);
         let (outcome, role) = self.flight.run(flight_key, || {
+            // Chaos failpoint `serve/build`: the leader dies *inside* the
+            // build closure — between the flight's own lead/publish sites —
+            // exercising the cache's exception safety under the coalescer.
+            if agemul_chaos::armed() {
+                agemul_chaos::maybe_panic(
+                    "serve/build",
+                    &format!(
+                        "{} {}x{}",
+                        self.chaos_scope,
+                        query.kind.label(),
+                        query.width
+                    ),
+                );
+            }
             self.cache
                 .get_or_insert_with(&design, &delays, workload.pairs(), || {
                     simulated.set(true);
@@ -325,12 +373,14 @@ impl ServerState {
                     .shard_capacity()
                     .map_or(Json::Null, |c| Json::UInt(c as u64)),
             ),
+            ("shed".into(), Json::UInt(self.shed())),
             ("shards".into(), Json::Arr(shards)),
             (
                 "flight".into(),
                 Json::Obj(vec![
                     ("led".into(), Json::UInt(self.flight.led())),
                     ("coalesced".into(), Json::UInt(self.flight.coalesced())),
+                    ("in_flight".into(), Json::UInt(self.in_flight() as u64)),
                 ]),
             ),
         ])

@@ -39,6 +39,7 @@ fn spawn_tcp(snapshot: Option<std::path::PathBuf>) -> agemul_serve::ServerHandle
         shard_capacity: Some(16),
         snapshot,
         max_retries: 1,
+        ..ServeConfig::default()
     })
     .expect("spawn")
 }
@@ -411,6 +412,7 @@ fn unix_socket_serves_and_cleans_up() {
         shard_capacity: Some(8),
         snapshot: None,
         max_retries: 1,
+        ..ServeConfig::default()
     })
     .expect("spawn unix");
     let mut conn = std::os::unix::net::UnixStream::connect(&path).expect("connect unix");
@@ -505,6 +507,7 @@ fn corrupt_snapshot_fails_spawn_loudly() {
         shard_capacity: Some(8),
         snapshot: Some(snap),
         max_retries: 0,
+        ..ServeConfig::default()
     });
     assert!(err.is_err(), "corrupt warm start must not be ignored");
     std::fs::remove_dir_all(&dir).ok();

@@ -6,8 +6,9 @@
 # equivalence smoke + the incremental-vs-full re-profiling equivalence +
 # the seeded cross-engine conformance smoke + the incremental sweep smoke
 # + the supervised kill/resume soak smoke + the resident-service smoke
-# + the seeded Monte Carlo campaign smoke + the fleet replay/policy smoke.
-verify: fmt-check clippy test fault-smoke timing-equiv incremental-equiv conformance sweep-smoke soak-smoke serve-smoke mc-smoke fleet-smoke
+# + the seeded Monte Carlo campaign smoke + the fleet replay/policy smoke
+# + the deterministic chaos/overload smoke.
+verify: fmt-check clippy test fault-smoke timing-equiv incremental-equiv conformance sweep-smoke soak-smoke serve-smoke mc-smoke fleet-smoke chaos-smoke
 
 fmt-check:
 	cargo fmt --all -- --check
@@ -117,6 +118,21 @@ fleet-smoke:
 	cargo test -q -p agemul-fleet --test replay_equiv --features parallel
 	cargo test -q -p agemul-harness fleet
 	cargo run --release -p agemul-repro -- --quick fleet
+
+# Chaos/overload smoke: the fault-schedule engine's unit suite plus the
+# reduced-scale `chaos` experiment — seeded fault schedules over the
+# checkpoint, transport, and cache/single-flight seams and the
+# overload-shedding probe. The experiment fails on any invariant
+# violation (corrupt checkpoint load, non-identical resume, cached error,
+# wedged server, or an untyped/slow shed answer).
+chaos-smoke:
+	cargo test -q -p agemul-chaos
+	cargo run --release -p agemul-repro -- --quick chaos
+
+# Full chaos soak: ≥1000 seeded schedules across all seams; writes
+# results/chaos__soak.csv and exits nonzero on any violation.
+chaos-soak:
+	cargo run --release -p agemul-serve --bin chaos_soak -- --schedules 1000 --csv results/chaos__soak.csv
 
 # Fleet campaign throughput benches: ops/sec scaling with node count plus
 # the routing-policy overhead pair; see the `fleet/*` rows in

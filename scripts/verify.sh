@@ -46,3 +46,9 @@ cargo test -q -p agemul-fleet --test replay_equiv
 cargo test -q -p agemul-fleet --test replay_equiv --features parallel
 cargo test -q -p agemul-harness fleet
 cargo run --release -p agemul-repro -- --quick fleet >/dev/null
+# Chaos/overload smoke: the fault-schedule engine's unit suite plus the
+# reduced-scale `chaos` experiment (seeded fault schedules over the
+# checkpoint, transport, and cache/single-flight seams and the
+# overload-shedding probe; fails on any invariant violation).
+cargo test -q -p agemul-chaos
+cargo run --release -p agemul-repro -- --quick chaos >/dev/null
